@@ -1,0 +1,90 @@
+// Reproduces the Section 5 discussion claim ("Divergent and non-workflow
+// schemas"): when entries from different databases cannot be linked, the
+// query graph degenerates to a divergent star — every answer has exactly
+// one supporting path. InEdge and PathCount then see identical counts
+// everywhere and cannot rank at all (one all-tied group = the random
+// baseline), while the probabilistic methods still order answers by the
+// strength of their single path.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/ranking.h"
+#include "eval/experiment_stats.h"
+#include "eval/tied_ap.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace biorank;
+
+namespace {
+
+/// A divergent star: query -> intermediate -> answer, one chain per
+/// answer, no convergence anywhere. Relevant answers get stronger chains.
+QueryGraph MakeStar(Rng& rng, int num_answers, double relevant_fraction,
+                    std::unordered_set<NodeId>& relevant) {
+  QueryGraphBuilder b;
+  std::vector<NodeId> answers;
+  for (int i = 0; i < num_answers; ++i) {
+    bool is_relevant = rng.NextDouble() < relevant_fraction;
+    double strength = is_relevant ? rng.NextUniform(0.6, 0.95)
+                                  : rng.NextUniform(0.05, 0.5);
+    NodeId mid = b.Node(rng.NextUniform(0.7, 1.0));
+    NodeId answer = b.Node(1.0, "ans" + std::to_string(i));
+    b.Edge(b.Source(), mid, strength);
+    b.Edge(mid, answer, rng.NextUniform(0.7, 1.0));
+    answers.push_back(answer);
+    if (is_relevant) relevant.insert(answer);
+  }
+  return std::move(b).Build(answers);
+}
+
+}  // namespace
+
+int main() {
+  const int repetitions = bench::Repetitions(20);
+  std::cout << "=== Divergent star schemas (Section 5 discussion) ===\n"
+            << "Every answer has exactly one evidence path; counting\n"
+            << "measures cannot rank (" << repetitions << " random stars, "
+            << "40 answers, ~30% relevant).\n\n";
+
+  Rng rng(0xD17E);
+  Ranker ranker;
+  ApExperiment experiment;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    std::unordered_set<NodeId> relevant;
+    QueryGraph g = MakeStar(rng, 40, 0.3, relevant);
+    if (relevant.empty()) continue;
+    for (RankingMethod method : AllRankingMethods()) {
+      Result<std::vector<RankedAnswer>> ranked = ranker.Rank(g, method);
+      if (!ranked.ok()) continue;
+      Result<double> ap = ApForRanking(ranked.value(), relevant);
+      if (ap.ok()) experiment.Record(RankingMethodName(method), ap.value());
+    }
+    // Random baseline for the same star.
+    Result<double> random = ExpectedApWithTies(
+        {{static_cast<int>(g.answers.size()),
+          static_cast<int>(relevant.size())}});
+    if (random.ok()) experiment.Record("Random", random.value());
+  }
+
+  TextTable table({"Method", "Mean AP", "Stdv"});
+  CsvWriter csv({"method", "mean_ap", "stdev"});
+  for (const std::string& condition : experiment.Conditions()) {
+    SampleStats stats = experiment.Summary(condition);
+    table.AddRow({condition, FormatDouble(stats.mean, 2),
+                  FormatDouble(stats.stddev, 2)});
+    csv.AddRow({condition, FormatDouble(stats.mean, 4),
+                FormatDouble(stats.stddev, 4)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected: InEdge and PathCount equal the random baseline "
+               "exactly (all answers\ntied at one path / one in-edge); "
+               "Rel / Prop / Diff rank by path strength and\nstay far "
+               "above it — 'taking into account the strength of each "
+               "individual path\nis the only way to rank results'.\n";
+  bench::MaybeWriteCsv(csv, "divergent_schema");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces Figure 6 (a-i): the multi-way sensitivity analysis. Every
+// node and edge probability is perturbed with log-odds Gaussian noise at
+// sigma in {0.5, 1, 2, 3}; the AP of each probabilistic ranking method on
+// each scenario is averaged over repeated perturbations and compared with
+// the unperturbed default and the random baseline.
+//
+// Paper shape: quality is flat through sigma = 1 and degrades only
+// mildly at sigma = 3, staying far above random everywhere (the method
+// is robust to imprecise expert probabilities). The paper averages over
+// m = 100 repetitions; set BIORANK_REPS=100 to match.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "eval/experiment_stats.h"
+#include "eval/perturbation.h"
+#include "integrate/scenario_harness.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace biorank;
+
+int main() {
+  const int reps = bench::Repetitions(10);
+  std::cout << "=== Figure 6: sensitivity to input probabilities (m=" << reps
+            << ") ===\n\n";
+
+  ScenarioHarness harness;
+  CsvWriter csv({"scenario", "method", "sigma", "mean_ap", "stdev"});
+  Rng rng(0xF16);
+
+  const ScenarioId scenarios[] = {ScenarioId::kScenario1WellKnown,
+                                  ScenarioId::kScenario2LessKnown,
+                                  ScenarioId::kScenario3Hypothetical};
+  const RankingMethod methods[] = {RankingMethod::kReliability,
+                                   RankingMethod::kPropagation,
+                                   RankingMethod::kDiffusion};
+
+  for (ScenarioId scenario : scenarios) {
+    Result<std::vector<ScenarioQuery>> queries =
+        harness.BuildQueries(scenario);
+    if (!queries.ok()) {
+      std::cerr << queries.status() << "\n";
+      return 1;
+    }
+
+    for (RankingMethod method : methods) {
+      ApExperiment experiment;
+      double random_sum = 0.0;
+      int random_count = 0;
+      for (const ScenarioQuery& query : queries.value()) {
+        if (query.relevant.empty()) continue;
+        Result<double> base = harness.ApForQuery(query, method);
+        if (base.ok()) experiment.Record("Default", base.value());
+        Result<double> random = harness.RandomBaselineAp(query);
+        if (random.ok()) {
+          random_sum += random.value();
+          ++random_count;
+        }
+        for (double sigma : {0.5, 1.0, 2.0, 3.0}) {
+          for (int rep = 0; rep < reps; ++rep) {
+            QueryGraph perturbed = query.graph;
+            PerturbationOptions options;
+            options.sigma = sigma;
+            PerturbQueryGraph(perturbed, options, rng);
+            Result<double> ap =
+                harness.ApForGraph(perturbed, query.relevant, method);
+            if (ap.ok()) experiment.Record(FormatCompact(sigma, 1),
+                                           ap.value());
+          }
+        }
+      }
+
+      std::cout << ScenarioName(scenario) << ", "
+                << RankingMethodName(method) << ":\n";
+      TextTable table({"Perturbation", "Mean AP", "Stdv"});
+      for (const std::string& condition : experiment.Conditions()) {
+        SampleStats stats = experiment.Summary(condition);
+        table.AddRow({condition, FormatDouble(stats.mean, 2),
+                      FormatDouble(stats.stddev, 2)});
+        csv.AddRow({ScenarioName(scenario), RankingMethodName(method),
+                    condition, FormatDouble(stats.mean, 4),
+                    FormatDouble(stats.stddev, 4)});
+      }
+      if (random_count > 0) {
+        table.AddRow({"Random", FormatDouble(random_sum / random_count, 2),
+                      "-"});
+      }
+      table.Print(std::cout);
+      std::cout << "\n";
+    }
+  }
+
+  std::cout << "Paper (reliability rows, default -> sigma 3):\n"
+            << "  S1: .84 .86 .85 .80 .72 | random .42\n"
+            << "  S2: .46 .46 .46 .41 .34 | random .12\n"
+            << "  S3: .68 .67 .64 .60 .57 | random .29\n";
+  bench::MaybeWriteCsv(csv, "fig6_sensitivity");
+  return 0;
+}

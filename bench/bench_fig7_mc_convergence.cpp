@@ -1,0 +1,93 @@
+// Reproduces Figure 7: speed of convergence of the Monte Carlo estimator
+// — the reliability ranking's AP on scenario 1 as a function of the
+// number of simulation trials (1 .. 10^5), averaged over repeated runs,
+// against the closed-solution AP and the random baseline.
+//
+// Paper shape: AP climbs from the random baseline and is already at the
+// closed-solution plateau by ~1,000 trials (hence "1000 trials already
+// deliver very reliable results"). Paper uses m = 100; set
+// BIORANK_REPS=100 to match.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/reliability_mc.h"
+#include "eval/experiment_stats.h"
+#include "eval/tied_ap.h"
+#include "integrate/scenario_harness.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace biorank;
+
+int main() {
+  const int reps = bench::Repetitions(10);
+  std::cout << "=== Figure 7: Monte Carlo convergence (m=" << reps
+            << ") ===\n\n";
+
+  ScenarioHarness harness;
+  Result<std::vector<ScenarioQuery>> queries =
+      harness.BuildQueries(ScenarioId::kScenario1WellKnown);
+  if (!queries.ok()) {
+    std::cerr << queries.status() << "\n";
+    return 1;
+  }
+
+  // Closed-solution reference AP (deterministic).
+  double closed_sum = 0.0;
+  int closed_count = 0;
+  double random_sum = 0.0;
+  for (const ScenarioQuery& query : queries.value()) {
+    if (query.relevant.empty()) continue;
+    Result<double> ap =
+        harness.ApForQuery(query, RankingMethod::kReliability);
+    if (ap.ok()) {
+      closed_sum += ap.value();
+      ++closed_count;
+    }
+    Result<double> random = harness.RandomBaselineAp(query);
+    if (random.ok()) random_sum += random.value();
+  }
+  double closed_ap = closed_count > 0 ? closed_sum / closed_count : 0.0;
+  double random_ap = closed_count > 0 ? random_sum / closed_count : 0.0;
+
+  TextTable table({"# trials", "Mean AP", "Stdv"});
+  CsvWriter csv({"trials", "mean_ap", "stdev"});
+  const int64_t trial_counts[] = {1, 3, 10, 30, 100, 300, 1000, 3000, 10000};
+  uint64_t seed = 1;
+  for (int64_t trials : trial_counts) {
+    ApExperiment experiment;
+    for (int rep = 0; rep < reps; ++rep) {
+      for (const ScenarioQuery& query : queries.value()) {
+        if (query.relevant.empty()) continue;
+        McOptions mc;
+        mc.trials = trials;
+        mc.seed = seed++;
+        Result<McEstimate> estimate =
+            EstimateReliabilityMc(query.graph, mc);
+        if (!estimate.ok()) continue;
+        std::vector<RankedAnswer> ranked =
+            RankAnswers(query.graph.answers, estimate.value().scores);
+        Result<double> ap = ApForRanking(ranked, query.relevant);
+        if (ap.ok()) {
+          experiment.Record(std::to_string(trials), ap.value());
+        }
+      }
+    }
+    SampleStats stats = experiment.Summary(std::to_string(trials));
+    table.AddRow({std::to_string(trials), FormatDouble(stats.mean, 3),
+                  FormatDouble(stats.stddev, 3)});
+    csv.AddRow({std::to_string(trials), FormatDouble(stats.mean, 4),
+                FormatDouble(stats.stddev, 4)});
+  }
+  table.AddSeparator();
+  table.AddRow({"closed solution", FormatDouble(closed_ap, 3), "-"});
+  table.AddRow({"random baseline", FormatDouble(random_ap, 3), "-"});
+  table.Print(std::cout);
+
+  std::cout << "\nPaper: the curve reaches the closed-solution plateau "
+               "(0.84) by ~1000 trials,\nstarting from the random baseline "
+               "(0.42) at 1 trial.\n";
+  bench::MaybeWriteCsv(csv, "fig7_mc_convergence");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Table 1: the scenario-1 reference proteins with the size of
+// their curated (iProClass-like) gold standard, the size of BioRank's
+// answer set, and the ratio. The paper's 20 proteins have 7-35 curated
+// functions, 15-130 returned functions, and ratios of 13-63% (sum row:
+// 306 / 1036 = 37%).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "integrate/scenario_harness.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace biorank;
+
+int main() {
+  std::cout << "=== Table 1: scenario 1 reference proteins ===\n\n";
+
+  ScenarioHarness harness;
+  Result<std::vector<ScenarioQuery>> queries =
+      harness.BuildQueries(ScenarioId::kScenario1WellKnown);
+  if (!queries.ok()) {
+    std::cerr << queries.status() << "\n";
+    return 1;
+  }
+
+  TextTable table(
+      {"Protein", "# gold functions", "# BioRank functions", "%"});
+  CsvWriter csv({"protein", "gold", "biorank", "percent"});
+  int sum_gold = 0, sum_answers = 0;
+  for (const ScenarioQuery& query : queries.value()) {
+    int percent = query.answer_count > 0
+                      ? (100 * query.gold_retrieved) / query.answer_count
+                      : 0;
+    sum_gold += query.gold_retrieved;
+    sum_answers += query.answer_count;
+    std::vector<std::string> cells = {
+        query.spec.gene_symbol, std::to_string(query.gold_retrieved),
+        std::to_string(query.answer_count), std::to_string(percent) + "%"};
+    table.AddRow(cells);
+    csv.AddRow(cells);
+  }
+  table.AddSeparator();
+  int sum_percent = sum_answers > 0 ? (100 * sum_gold) / sum_answers : 0;
+  table.AddRow({"Sum", std::to_string(sum_gold), std::to_string(sum_answers),
+                std::to_string(sum_percent) + "%"});
+  table.Print(std::cout);
+  std::cout << "\nPaper: 20 proteins, gold 7-35 each (sum 306), answers "
+               "15-130 (sum 1036), ratio 37%.\n";
+  bench::MaybeWriteCsv(csv, "table1_scenario1");
+  return 0;
+}

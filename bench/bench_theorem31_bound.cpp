@@ -1,0 +1,68 @@
+// Reproduces Theorem 3.1: the trial-count bound for correct Monte Carlo
+// ranking. Prints the bound n(eps, delta) over a grid (the paper's
+// example: eps = 0.02, delta = 0.05 -> 7,896, rounded to "10,000 trials
+// should be enough") and then validates it empirically: with n bounded
+// trials, the observed misranking frequency stays below delta.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/trial_bound.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace biorank;
+
+int main() {
+  std::cout << "=== Theorem 3.1: Monte Carlo trial bound ===\n\n";
+
+  TextTable grid({"eps \\ delta", "0.10", "0.05", "0.01"});
+  CsvWriter csv({"eps", "delta", "bound_n"});
+  for (double eps : {0.01, 0.02, 0.05, 0.10, 0.20}) {
+    std::vector<std::string> row = {FormatCompact(eps, 2)};
+    for (double delta : {0.10, 0.05, 0.01}) {
+      int64_t n = RequiredMcTrials(eps, delta).value();
+      row.push_back(std::to_string(n));
+      csv.AddRow({FormatCompact(eps, 2), FormatCompact(delta, 2),
+                  std::to_string(n)});
+    }
+    grid.AddRow(row);
+  }
+  grid.Print(std::cout);
+  std::cout << "\nPaper: n(0.02, 0.05) rounds up to 10,000.\n\n";
+
+  // Empirical validation: two Bernoulli "nodes" eps apart, n trials each,
+  // repeated; count how often the estimates invert the true order.
+  std::cout << "Empirical misranking frequency at the bound (300 "
+               "repetitions each):\n";
+  TextTable empirical({"eps", "delta", "n", "observed misrank rate",
+                       "within bound?"});
+  Rng rng(31);
+  for (double eps : {0.05, 0.1, 0.2}) {
+    for (double delta : {0.1, 0.05}) {
+      int64_t n = RequiredMcTrials(eps, delta).value();
+      double r_hi = 0.5 + eps / 2;
+      double r_lo = 0.5 - eps / 2;
+      const int repetitions = 300;
+      int misranked = 0;
+      for (int rep = 0; rep < repetitions; ++rep) {
+        int64_t hits_hi = 0, hits_lo = 0;
+        for (int64_t i = 0; i < n; ++i) {
+          if (rng.NextBernoulli(r_hi)) ++hits_hi;
+          if (rng.NextBernoulli(r_lo)) ++hits_lo;
+        }
+        if (hits_lo >= hits_hi) ++misranked;
+      }
+      double rate = static_cast<double>(misranked) / repetitions;
+      empirical.AddRow({FormatCompact(eps, 2), FormatCompact(delta, 2),
+                        std::to_string(n), FormatDouble(rate, 4),
+                        rate <= delta ? "yes" : "NO"});
+    }
+  }
+  empirical.Print(std::cout);
+  std::cout << "\nThe Bennett-inequality bound is conservative: observed "
+               "rates sit well below delta.\n";
+  bench::MaybeWriteCsv(csv, "theorem31_bound");
+  return 0;
+}

@@ -1,0 +1,37 @@
+#ifndef BIORANK_BENCH_BENCH_UTIL_H_
+#define BIORANK_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "util/csv.h"
+
+namespace biorank::bench {
+
+/// Repetition count for repeated-experiment benches. The paper uses
+/// m = 100; the default here keeps the full bench suite fast. Raise via
+/// the BIORANK_REPS environment variable to reproduce at paper scale.
+inline int Repetitions(int default_reps = 10) {
+  const char* env = std::getenv("BIORANK_REPS");
+  if (env == nullptr) return default_reps;
+  int value = std::atoi(env);
+  return value > 0 ? value : default_reps;
+}
+
+/// Writes a CSV copy of a bench table when BIORANK_CSV_DIR is set.
+inline void MaybeWriteCsv(const CsvWriter& csv, const std::string& name) {
+  const char* dir = std::getenv("BIORANK_CSV_DIR");
+  if (dir == nullptr) return;
+  std::string path = std::string(dir) + "/" + name + ".csv";
+  Status status = csv.WriteToFile(path);
+  if (status.ok()) {
+    std::cout << "(csv written to " << path << ")\n";
+  } else {
+    std::cerr << "csv write failed: " << status << "\n";
+  }
+}
+
+}  // namespace biorank::bench
+
+#endif  // BIORANK_BENCH_BENCH_UTIL_H_

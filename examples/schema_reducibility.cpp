@@ -1,0 +1,81 @@
+// Theorem 3.2 demo: decide whether an E/R schema is reducible — i.e.
+// whether every data instance collapses to closed-form reliability under
+// the Section 3.1 reduction rules — and print the contraction trace.
+//
+// Run:  ./build/examples/schema_reducibility
+
+#include <iostream>
+
+#include "schema/reducibility.h"
+
+using namespace biorank;
+
+namespace {
+
+ErSchema Chain(const std::vector<Cardinality>& types) {
+  ErSchema schema;
+  for (size_t i = 0; i <= types.size(); ++i) {
+    schema.AddEntitySet({"E" + std::to_string(i), {}, 1.0});
+  }
+  for (size_t i = 0; i < types.size(); ++i) {
+    schema.AddRelationship({"R" + std::to_string(i), "E" + std::to_string(i),
+                            "E" + std::to_string(i + 1), types[i], 1.0});
+  }
+  return schema;
+}
+
+void Report(const std::string& title, const ErSchema& schema,
+            const CompositionOracle& oracle) {
+  ReducibilityResult result = CheckSchemaReducibility(schema, oracle);
+  std::cout << title << "\n  verdict: "
+            << (result.reducible ? "REDUCIBLE" : "not provably reducible")
+            << "\n";
+  for (const std::string& step : result.trace) {
+    std::cout << "  - " << step << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Theorem 3.2: reducible schemas ==\n\n";
+
+  Report("Figure 2a: [1:n] [m:n] [n:1]",
+         Chain({Cardinality::kOneToMany, Cardinality::kManyToMany,
+                Cardinality::kManyToOne}),
+         {});
+
+  Report("Figure 2b: [1:n] [1:n] [n:1] [n:1] (no domain knowledge)",
+         Chain({Cardinality::kOneToMany, Cardinality::kOneToMany,
+                Cardinality::kManyToOne, Cardinality::kManyToOne}),
+         {});
+
+  {
+    // Figure 3a: with domain knowledge the innermost compositions stay
+    // functional, and contraction cascades.
+    CompositionOracle oracle;
+    oracle.Declare("R0", "R1", Cardinality::kOneToOne);
+    oracle.Declare("R2", "R3", Cardinality::kOneToMany);
+    Report("Figure 3a: [1:n] [n:1] [1:n] [n:1] with composition knowledge",
+           Chain({Cardinality::kOneToMany, Cardinality::kManyToOne,
+                  Cardinality::kOneToMany, Cardinality::kManyToOne}),
+           oracle);
+  }
+  {
+    // Figure 3b: the first composition is known to be [m:n]: stuck.
+    CompositionOracle oracle;
+    oracle.Declare("R0", "R1", Cardinality::kManyToMany);
+    Report("Figure 3b: same chain, first composition known to be [m:n]",
+           Chain({Cardinality::kOneToMany, Cardinality::kManyToOne,
+                  Cardinality::kOneToMany, Cardinality::kManyToOne}),
+           oracle);
+  }
+
+  std::cout << "Theorem 3.2 is sufficient, not necessary: Figure 2d's\n"
+               "benign [m:n] instances reduce at the data level even though\n"
+               "the schema check reports 'not provably reducible'. BioRank\n"
+               "therefore falls back to per-target reductions at query time\n"
+               "(core/closed_form.h) and to Monte Carlo when those fail.\n";
+  return 0;
+}

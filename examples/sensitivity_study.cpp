@@ -1,0 +1,85 @@
+// Sensitivity-analysis example (Section 4): how stable are the rankings
+// when every input probability is perturbed with log-odds Gaussian noise?
+// Perturbs one scenario-1 query graph at increasing sigma and reports the
+// reliability ranking's average precision.
+//
+// Run:  ./build/examples/sensitivity_study
+
+#include <iostream>
+
+#include "eval/perturbation.h"
+#include "eval/rank_correlation.h"
+#include "integrate/scenario_harness.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace biorank;
+
+int main() {
+  std::cout << "== BioRank sensitivity study ==\n\n"
+            << "The default probabilities were elicited from domain\n"
+            << "experts; this study perturbs all of them simultaneously\n"
+            << "(p' = sigmoid(logit(p) + N(0, sigma))) and watches the\n"
+            << "ranking quality.\n\n";
+
+  ScenarioHarness harness;
+  Result<std::vector<ScenarioQuery>> queries =
+      harness.BuildQueries(ScenarioId::kScenario1WellKnown);
+  if (!queries.ok()) {
+    std::cerr << queries.status() << "\n";
+    return 1;
+  }
+  const ScenarioQuery& query = queries.value().front();
+  std::cout << "Protein " << query.spec.gene_symbol << ": "
+            << query.answer_count << " candidate functions, "
+            << query.relevant.size() << " gold.\n\n";
+
+  const int repetitions = 20;
+  Rng rng(4242);
+  TextTable table(
+      {"sigma", "mean AP (Rel)", "stdev", "rank stability (tau-b)"});
+
+  Result<double> baseline =
+      harness.ApForQuery(query, RankingMethod::kReliability);
+  Result<std::vector<RankedAnswer>> base_ranking =
+      harness.ranker().Rank(query.graph, RankingMethod::kReliability);
+  table.AddRow(
+      {"default", FormatDouble(baseline.value_or(0.0), 3), "-", "1.000"});
+
+  for (double sigma : {0.5, 1.0, 2.0, 3.0}) {
+    std::vector<double> aps;
+    std::vector<double> taus;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      QueryGraph perturbed = query.graph;
+      PerturbationOptions options;
+      options.sigma = sigma;
+      PerturbQueryGraph(perturbed, options, rng);
+      Result<double> ap = harness.ApForGraph(perturbed, query.relevant,
+                                             RankingMethod::kReliability);
+      if (ap.ok()) aps.push_back(ap.value());
+      // Rank-order stability vs the unperturbed ranking (the AI
+      // literature's "rank swaps" lens on the same experiment).
+      Result<std::vector<RankedAnswer>> perturbed_ranking =
+          harness.ranker().Rank(perturbed, RankingMethod::kReliability);
+      if (base_ranking.ok() && perturbed_ranking.ok()) {
+        Result<double> tau = RankingKendallTau(base_ranking.value(),
+                                               perturbed_ranking.value());
+        if (tau.ok()) taus.push_back(tau.value());
+      }
+    }
+    SampleStats stats = ComputeStats(aps);
+    table.AddRow({FormatCompact(sigma, 1), FormatDouble(stats.mean, 3),
+                  FormatDouble(stats.stddev, 3),
+                  FormatDouble(Mean(taus), 3)});
+  }
+  Result<double> random = harness.RandomBaselineAp(query);
+  table.AddRow({"random", FormatDouble(random.value_or(0.0), 3), "-", "-"});
+  table.Print(std::cout);
+
+  std::cout << "\nThe paper's observation: quality degrades only slowly "
+               "with sigma\nand stays far above the random baseline — "
+               "expert-elicited\nprobabilities need not be precise.\n";
+  return 0;
+}

@@ -1,0 +1,32 @@
+#ifndef BIORANK_CORE_CLOSED_FORM_H_
+#define BIORANK_CORE_CLOSED_FORM_H_
+
+#include <vector>
+
+#include "core/query_graph.h"
+#include "util/status.h"
+
+namespace biorank {
+
+/// Attempts the tractable closed solution of Section 3.1 ("3. Tractable
+/// closed solution") for one answer node: restrict the graph to the nodes
+/// on some source -> target path, apply the reduction rules, and — if the
+/// residue is the single edge source -> target — read the reliability off
+/// as p(source) * q(source, target) * p(target).
+///
+/// Fails with FailedPrecondition when the per-target subgraph is
+/// irreducible (e.g. contains a Wheatstone bridge); callers fall back to
+/// factoring or Monte Carlo. This mirrors the paper's observation that the
+/// *whole* scenario graph is irreducible (final [n:m] relationship) while
+/// each individual target subgraph reduces completely.
+Result<double> ClosedFormReliability(const QueryGraph& query_graph,
+                                     NodeId target);
+
+/// Closed-form reliability for every answer node. Fails if any single
+/// target is irreducible. Scores are indexed like `query_graph.answers`.
+Result<std::vector<double>> ClosedFormReliabilityAllAnswers(
+    const QueryGraph& query_graph);
+
+}  // namespace biorank
+
+#endif  // BIORANK_CORE_CLOSED_FORM_H_

@@ -1,0 +1,155 @@
+#ifndef BIORANK_CORE_GRAPH_H_
+#define BIORANK_CORE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace biorank {
+
+/// Index of a node inside a ProbabilisticEntityGraph. Stable for the
+/// lifetime of the graph (removal tombstones instead of renumbering).
+using NodeId = int32_t;
+
+/// Index of an edge inside a ProbabilisticEntityGraph. Stable likewise.
+using EdgeId = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+/// A node of the probabilistic entity graph (Definition 2.1): one data
+/// record from one entity set, present with probability `p`.
+struct GraphNode {
+  double p = 1.0;         ///< Presence probability, p(i) = ps(i) * pr(i).
+  std::string label;      ///< Display label, e.g. "AmiGO:GO:0008281".
+  std::string entity_set; ///< Mediated-schema entity set, e.g. "AmiGO".
+  bool alive = true;      ///< False once removed (tombstone).
+};
+
+/// A directed edge of the probabilistic entity graph: one relationship
+/// record, present with probability `q`.
+struct GraphEdge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  double q = 1.0;      ///< Presence probability, q(i,j) = qs(i,j) * qr(i,j).
+  bool alive = true;   ///< False once removed (tombstone).
+};
+
+/// Labeled directed graph with probability labels on nodes and edges —
+/// the paper's probabilistic entity graph G = (N, E, p, q) (Definition 2.1).
+///
+/// Mutations used by the reduction rules of Section 3.1 (removing nodes and
+/// edges, adding bypass edges) are supported via tombstones; InducedSubgraph
+/// (core/graph_algo.h) or the serializer (core/graph_io.h) rebuild dense
+/// ids when needed. Parallel edges are allowed (serial collapses create
+/// them; the parallel-merge rule removes them again).
+class ProbabilisticEntityGraph {
+ public:
+  ProbabilisticEntityGraph() = default;
+
+  /// Adds a node with presence probability `p` (clamped to [0,1]) and
+  /// optional labels. Returns its id.
+  NodeId AddNode(double p, std::string label = "", std::string entity_set = "");
+
+  /// Adds a directed edge with presence probability `q` (clamped to [0,1]).
+  /// Returns an error if either endpoint is invalid or dead.
+  Result<EdgeId> AddEdge(NodeId from, NodeId to, double q);
+
+  /// Marks a node and all its incident edges dead. No-op if already dead.
+  Status RemoveNode(NodeId id);
+
+  /// Marks an edge dead. No-op if already dead.
+  Status RemoveEdge(EdgeId id);
+
+  /// Total ids ever allocated (including dead); valid ids are [0, size).
+  NodeId node_capacity() const { return static_cast<NodeId>(nodes_.size()); }
+  EdgeId edge_capacity() const { return static_cast<EdgeId>(edges_.size()); }
+
+  /// Counts of alive nodes / edges.
+  int num_nodes() const { return num_alive_nodes_; }
+  int num_edges() const { return num_alive_edges_; }
+
+  bool IsValidNode(NodeId id) const {
+    return id >= 0 && id < node_capacity() && nodes_[id].alive;
+  }
+  bool IsValidEdge(EdgeId id) const {
+    return id >= 0 && id < edge_capacity() && edges_[id].alive;
+  }
+
+  const GraphNode& node(NodeId id) const { return nodes_[id]; }
+  const GraphEdge& edge(EdgeId id) const { return edges_[id]; }
+
+  /// Sets a node's presence probability (clamped to [0,1]).
+  Status SetNodeProb(NodeId id, double p);
+
+  /// Sets an edge's presence probability (clamped to [0,1]).
+  Status SetEdgeProb(EdgeId id, double q);
+
+  /// Ids of alive outgoing / incoming edges of `id` (dead edges filtered).
+  std::vector<EdgeId> OutEdges(NodeId id) const;
+  std::vector<EdgeId> InEdges(NodeId id) const;
+
+  /// Alive out-degree / in-degree (counting parallel edges).
+  int OutDegree(NodeId id) const;
+  int InDegree(NodeId id) const;
+
+  /// All alive node ids, ascending.
+  std::vector<NodeId> AliveNodes() const;
+
+  /// All alive edge ids, ascending.
+  std::vector<EdgeId> AliveEdges() const;
+
+  /// Visits each alive out-edge id of `id`.
+  template <typename Fn>
+  void ForEachOutEdge(NodeId id, Fn&& fn) const {
+    for (EdgeId e : out_[id]) {
+      if (edges_[e].alive) fn(e);
+    }
+  }
+
+  /// Visits each alive in-edge id of `id`.
+  template <typename Fn>
+  void ForEachInEdge(NodeId id, Fn&& fn) const {
+    for (EdgeId e : in_[id]) {
+      if (edges_[e].alive) fn(e);
+    }
+  }
+
+ private:
+  std::vector<GraphNode> nodes_;
+  std::vector<GraphEdge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+  int num_alive_nodes_ = 0;
+  int num_alive_edges_ = 0;
+};
+
+/// Read-only CSR (compressed sparse row) snapshot of the alive part of a
+/// graph. The Monte Carlo simulator and the iterative scoring algorithms
+/// touch every edge up to 1e4 times per query, so they run on this dense
+/// cache-friendly view instead of the mutable adjacency lists.
+///
+/// Dead nodes keep their ids (p forced to 0, no edges) so score vectors
+/// returned by algorithms index directly by the original NodeId.
+struct CompactGraphView {
+  /// Node presence probabilities, indexed by NodeId; 0 for dead nodes.
+  std::vector<double> node_p;
+  /// CSR offsets into `edge_to` / `edge_q`, size node_capacity + 1.
+  std::vector<int32_t> out_offset;
+  std::vector<NodeId> edge_to;     ///< Flattened out-edge targets.
+  std::vector<double> edge_q;      ///< Edge probabilities, parallel to edge_to.
+  /// CSR for incoming edges (used by propagation / diffusion / InEdge).
+  std::vector<int32_t> in_offset;
+  std::vector<NodeId> edge_from;
+  std::vector<double> in_edge_q;
+
+  int node_count() const { return static_cast<int>(node_p.size()); }
+
+  /// Builds the view from the alive part of `graph`.
+  static CompactGraphView FromGraph(const ProbabilisticEntityGraph& graph);
+};
+
+}  // namespace biorank
+
+#endif  // BIORANK_CORE_GRAPH_H_

@@ -1,0 +1,151 @@
+#include "core/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace biorank {
+
+namespace {
+
+constexpr const char* kHeader = "biorank-graph 1";
+
+std::string FormatProb(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", p);
+  return buf;
+}
+
+}  // namespace
+
+std::string SerializeQueryGraph(const QueryGraph& query_graph) {
+  const ProbabilisticEntityGraph& graph = query_graph.graph;
+  std::ostringstream out;
+  out << kHeader << "\n";
+
+  // Dense renumbering of alive nodes.
+  std::vector<NodeId> dense(graph.node_capacity(), kInvalidNode);
+  NodeId next = 0;
+  for (NodeId id : graph.AliveNodes()) dense[id] = next++;
+
+  for (NodeId id : graph.AliveNodes()) {
+    const GraphNode& node = graph.node(id);
+    out << "node " << dense[id] << " " << FormatProb(node.p) << " "
+        << (node.entity_set.empty() ? "-" : node.entity_set);
+    if (!node.label.empty()) out << " " << node.label;
+    out << "\n";
+  }
+  for (EdgeId e : graph.AliveEdges()) {
+    const GraphEdge& edge = graph.edge(e);
+    out << "edge " << dense[edge.from] << " " << dense[edge.to] << " "
+        << FormatProb(edge.q) << "\n";
+  }
+  out << "source " << dense[query_graph.source] << "\n";
+  out << "answers";
+  for (NodeId t : query_graph.answers) out << " " << dense[t];
+  out << "\n";
+  return out.str();
+}
+
+Result<QueryGraph> ParseQueryGraph(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || Trim(line) != kHeader) {
+    return Status::InvalidArgument("graph io: missing or bad header");
+  }
+
+  QueryGraph result;
+  std::vector<NodeId> id_map;  // dense file id -> graph id.
+  bool have_source = false;
+
+  int line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string trimmed(Trim(line));
+    if (trimmed.empty()) continue;
+    std::istringstream fields(trimmed);
+    std::string directive;
+    fields >> directive;
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("graph io: line " +
+                                     std::to_string(line_number) + ": " +
+                                     why);
+    };
+    if (directive == "node") {
+      int64_t id;
+      double p;
+      std::string entity_set;
+      if (!(fields >> id >> p >> entity_set)) {
+        return fail("malformed node");
+      }
+      if (id != static_cast<int64_t>(id_map.size())) {
+        return fail("node ids must be dense and ascending");
+      }
+      std::string label;
+      std::getline(fields, label);
+      label = std::string(Trim(label));
+      if (entity_set == "-") entity_set.clear();
+      id_map.push_back(result.graph.AddNode(p, label, entity_set));
+    } else if (directive == "edge") {
+      int64_t from, to;
+      double q;
+      if (!(fields >> from >> to >> q)) return fail("malformed edge");
+      if (from < 0 || to < 0 ||
+          from >= static_cast<int64_t>(id_map.size()) ||
+          to >= static_cast<int64_t>(id_map.size())) {
+        return fail("edge endpoint out of range");
+      }
+      Result<EdgeId> added =
+          result.graph.AddEdge(id_map[from], id_map[to], q);
+      if (!added.ok()) return added.status();
+    } else if (directive == "source") {
+      int64_t id;
+      if (!(fields >> id) || id < 0 ||
+          id >= static_cast<int64_t>(id_map.size())) {
+        return fail("bad source id");
+      }
+      result.source = id_map[id];
+      have_source = true;
+    } else if (directive == "answers") {
+      int64_t id;
+      while (fields >> id) {
+        if (id < 0 || id >= static_cast<int64_t>(id_map.size())) {
+          return fail("answer id out of range");
+        }
+        result.answers.push_back(id_map[id]);
+      }
+    } else {
+      return fail("unknown directive '" + directive + "'");
+    }
+  }
+  if (!have_source) {
+    return Status::InvalidArgument("graph io: no source line");
+  }
+  BIORANK_RETURN_IF_ERROR(result.Validate());
+  return result;
+}
+
+Status WriteQueryGraphFile(const QueryGraph& query_graph,
+                           const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("graph io: cannot open " + path);
+  }
+  out << SerializeQueryGraph(query_graph);
+  if (!out) return Status::Internal("graph io: write failed: " + path);
+  return Status::OK();
+}
+
+Result<QueryGraph> ReadQueryGraphFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("graph io: cannot open " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseQueryGraph(buffer.str());
+}
+
+}  // namespace biorank

@@ -1,0 +1,36 @@
+#ifndef BIORANK_CORE_GRAPH_IO_H_
+#define BIORANK_CORE_GRAPH_IO_H_
+
+#include <string>
+
+#include "core/query_graph.h"
+#include "util/status.h"
+
+namespace biorank {
+
+/// Serializes a query graph to a line-oriented text format:
+///
+///   biorank-graph 1
+///   node <id> <p> <entity_set> <label...>
+///   edge <from> <to> <q>
+///   source <id>
+///   answers <id> <id> ...
+///
+/// Dead (tombstoned) elements are compacted away; ids are renumbered
+/// densely. Labels may contain spaces (they extend to end of line);
+/// entity-set names may not.
+std::string SerializeQueryGraph(const QueryGraph& query_graph);
+
+/// Parses the format produced by SerializeQueryGraph. Fails with
+/// InvalidArgument on malformed input (bad header, unknown directive,
+/// out-of-range ids, missing source).
+Result<QueryGraph> ParseQueryGraph(const std::string& text);
+
+/// Convenience wrappers over files.
+Status WriteQueryGraphFile(const QueryGraph& query_graph,
+                           const std::string& path);
+Result<QueryGraph> ReadQueryGraphFile(const std::string& path);
+
+}  // namespace biorank
+
+#endif  // BIORANK_CORE_GRAPH_IO_H_

@@ -1,0 +1,52 @@
+#include "core/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace biorank {
+
+Result<IterativeScores> Propagate(const QueryGraph& query_graph,
+                                  const PropagationOptions& options) {
+  BIORANK_RETURN_IF_ERROR(query_graph.Validate());
+  if (options.max_iterations < 1) {
+    return Status::InvalidArgument("propagation: max_iterations must be >= 1");
+  }
+
+  CompactGraphView view = CompactGraphView::FromGraph(query_graph.graph);
+  const int n = view.node_count();
+  const NodeId source = query_graph.source;
+
+  IterativeScores result;
+  result.scores.assign(n, 0.0);
+  result.scores[source] = 1.0;
+  std::vector<double> next(n, 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double max_delta = 0.0;
+    for (NodeId y = 0; y < n; ++y) {
+      if (y == source) {
+        next[y] = 1.0;
+        continue;
+      }
+      if (view.node_p[y] <= 0.0) {
+        next[y] = 0.0;
+        continue;
+      }
+      double fail_all = 1.0;
+      for (int32_t i = view.in_offset[y]; i < view.in_offset[y + 1]; ++i) {
+        fail_all *= 1.0 - result.scores[view.edge_from[i]] * view.in_edge_q[i];
+      }
+      next[y] = (1.0 - fail_all) * view.node_p[y];
+      max_delta = std::max(max_delta, std::abs(next[y] - result.scores[y]));
+    }
+    std::swap(result.scores, next);
+    result.iterations = iter + 1;
+    if (max_delta <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace biorank

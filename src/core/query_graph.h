@@ -1,0 +1,77 @@
+#ifndef BIORANK_CORE_QUERY_GRAPH_H_
+#define BIORANK_CORE_QUERY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "util/status.h"
+
+namespace biorank {
+
+/// The paper's probabilistic query graph (Definition 2.3): a probabilistic
+/// entity graph together with the query node `source` and the answer set.
+///
+/// Conventions:
+///  - `source` is the synthetic query node the mediator creates; its
+///    presence probability is 1.
+///  - `answers` lists distinct alive node ids; relevance functions assign
+///    each of them a score and the result is ranked (Definition 2.4).
+struct QueryGraph {
+  ProbabilisticEntityGraph graph;
+  NodeId source = kInvalidNode;
+  std::vector<NodeId> answers;
+
+  /// Checks structural invariants: source valid, answers valid, distinct,
+  /// and not equal to the source.
+  Status Validate() const;
+};
+
+/// Convenience builder for hand-constructed graphs in tests, examples, and
+/// the canonical Figure 4 topologies.
+///
+///   QueryGraphBuilder b;
+///   auto s = b.Source();
+///   auto m = b.Node(1.0, "m");
+///   b.Edge(s, m, 0.5);
+///   QueryGraph g = std::move(b).Build({m});
+class QueryGraphBuilder {
+ public:
+  QueryGraphBuilder();
+
+  /// The query node (created at construction, p = 1).
+  NodeId Source() const { return source_; }
+
+  /// Adds a node with presence probability `p`.
+  NodeId Node(double p, std::string label = "", std::string entity_set = "");
+
+  /// Adds an edge with presence probability `q`. Dies on invalid endpoints
+  /// (builder misuse is a programming error in tests, not a runtime state).
+  EdgeId Edge(NodeId from, NodeId to, double q);
+
+  /// Finalizes with the given answer set.
+  QueryGraph Build(std::vector<NodeId> answers) &&;
+
+ private:
+  QueryGraph query_graph_;
+  NodeId source_;
+};
+
+/// The two canonical example topologies of Figure 4, used across tests and
+/// the `bench_fig4_topologies` harness.
+
+/// Figure 4a: serial-parallel graph. s -(0.5)-> m, then two parallel
+/// certain 2-edge paths m -> a -> u and m -> b -> u. All node probabilities
+/// are 1. Known scores at the single answer u: reliability 0.5,
+/// propagation 0.75, diffusion 1/9, InEdge 2, PathCount 2.
+QueryGraph MakeFig4aSerialParallel();
+
+/// Figure 4b: Wheatstone bridge. Edges s->a, s->b, a->b (bridge), a->u,
+/// b->u, each with probability 0.5; node probabilities 1. Known scores at
+/// u: reliability 15/32 = 0.46875, propagation 0.484375, InEdge 2,
+/// PathCount 3.
+QueryGraph MakeFig4bWheatstoneBridge();
+
+}  // namespace biorank
+
+#endif  // BIORANK_CORE_QUERY_GRAPH_H_

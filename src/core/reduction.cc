@@ -1,0 +1,135 @@
+#include "core/reduction.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace biorank {
+
+namespace {
+
+/// One full pass of all enabled rules. Returns true if anything changed.
+bool ReductionPass(QueryGraph& query_graph, const ReductionOptions& options,
+                   const std::vector<bool>& protected_nodes,
+                   ReductionStats& stats) {
+  ProbabilisticEntityGraph& graph = query_graph.graph;
+  bool changed = false;
+
+  // Rule: delete self-loops (reachability is unaffected by them).
+  if (options.delete_self_loops) {
+    for (EdgeId e = 0; e < graph.edge_capacity(); ++e) {
+      if (!graph.IsValidEdge(e)) continue;
+      if (graph.edge(e).from == graph.edge(e).to) {
+        graph.RemoveEdge(e);
+        ++stats.self_loop_deletions;
+        changed = true;
+      }
+    }
+  }
+
+  // Rule: merge parallel edges, 1 - prod(1 - q).
+  if (options.merge_parallel) {
+    for (NodeId x = 0; x < graph.node_capacity(); ++x) {
+      if (!graph.IsValidNode(x)) continue;
+      std::unordered_map<NodeId, std::vector<EdgeId>> by_target;
+      graph.ForEachOutEdge(
+          x, [&](EdgeId e) { by_target[graph.edge(e).to].push_back(e); });
+      for (auto& [target, edges] : by_target) {
+        if (edges.size() < 2) continue;
+        double fail_all = 1.0;
+        for (EdgeId e : edges) fail_all *= 1.0 - graph.edge(e).q;
+        // Keep the first edge, fold the others into it.
+        graph.SetEdgeProb(edges[0], 1.0 - fail_all);
+        for (size_t i = 1; i < edges.size(); ++i) graph.RemoveEdge(edges[i]);
+        stats.parallel_merges += static_cast<int>(edges.size()) - 1;
+        changed = true;
+      }
+    }
+  }
+
+  // Rule: collapse serial interior nodes.
+  if (options.collapse_serial) {
+    for (NodeId x = 0; x < graph.node_capacity(); ++x) {
+      if (!graph.IsValidNode(x) || protected_nodes[x]) continue;
+      std::vector<EdgeId> in = graph.InEdges(x);
+      std::vector<EdgeId> out = graph.OutEdges(x);
+      if (in.size() != 1 || out.size() != 1) continue;
+      NodeId y = graph.edge(in[0]).from;
+      NodeId z = graph.edge(out[0]).to;
+      if (y == x || z == x) continue;  // Self-loop shapes; other rules apply.
+      double q = graph.edge(in[0]).q * graph.node(x).p * graph.edge(out[0]).q;
+      graph.RemoveNode(x);  // Also removes both incident edges.
+      if (y != z) {
+        graph.AddEdge(y, z, q).value();
+      }
+      // When y == z the spliced path would be a self-loop; drop it.
+      ++stats.serial_collapses;
+      changed = true;
+    }
+  }
+
+  // Rule: delete sinks that are not protected.
+  if (options.delete_sinks) {
+    bool removed = true;
+    while (removed) {  // Deleting a sink can create new sinks upstream.
+      removed = false;
+      for (NodeId x = 0; x < graph.node_capacity(); ++x) {
+        if (!graph.IsValidNode(x) || protected_nodes[x]) continue;
+        if (graph.OutDegree(x) == 0) {
+          graph.RemoveNode(x);
+          ++stats.sink_deletions;
+          removed = true;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Rule: delete orphans (no in-edges) other than the source. Unreachable
+  // answers are protected and stay (they keep score 0).
+  if (options.delete_orphans) {
+    bool removed = true;
+    while (removed) {
+      removed = false;
+      for (NodeId x = 0; x < graph.node_capacity(); ++x) {
+        if (!graph.IsValidNode(x) || protected_nodes[x]) continue;
+        if (graph.InDegree(x) == 0) {
+          graph.RemoveNode(x);
+          ++stats.orphan_deletions;
+          removed = true;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  return changed;
+}
+
+}  // namespace
+
+ReductionStats ReduceQueryGraph(QueryGraph& query_graph,
+                                const ReductionOptions& options) {
+  ReductionStats stats;
+  ProbabilisticEntityGraph& graph = query_graph.graph;
+  stats.nodes_before = graph.num_nodes();
+  stats.edges_before = graph.num_edges();
+
+  std::vector<bool> protected_nodes(graph.node_capacity(), false);
+  if (query_graph.source >= 0 &&
+      query_graph.source < graph.node_capacity()) {
+    protected_nodes[query_graph.source] = true;
+  }
+  for (NodeId t : query_graph.answers) {
+    if (t >= 0 && t < graph.node_capacity()) protected_nodes[t] = true;
+  }
+
+  while (ReductionPass(query_graph, options, protected_nodes, stats)) {
+    ++stats.passes;
+  }
+
+  stats.nodes_after = graph.num_nodes();
+  stats.edges_after = graph.num_edges();
+  return stats;
+}
+
+}  // namespace biorank

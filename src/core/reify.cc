@@ -1,0 +1,43 @@
+#include "core/reify.h"
+
+namespace biorank {
+
+ReifiedGraph ReifyNodeFailures(const QueryGraph& query_graph) {
+  const ProbabilisticEntityGraph& graph = query_graph.graph;
+  ReifiedGraph out;
+  out.in_node.assign(graph.node_capacity(), kInvalidNode);
+  out.out_node.assign(graph.node_capacity(), kInvalidNode);
+
+  for (NodeId i = 0; i < graph.node_capacity(); ++i) {
+    if (!graph.IsValidNode(i)) continue;
+    const GraphNode& node = graph.node(i);
+    if (node.p >= 1.0) {
+      NodeId id = out.query_graph.graph.AddNode(1.0, node.label,
+                                                node.entity_set);
+      out.in_node[i] = id;
+      out.out_node[i] = id;
+    } else {
+      NodeId vin = out.query_graph.graph.AddNode(1.0, node.label + "/in",
+                                                 node.entity_set);
+      NodeId vout = out.query_graph.graph.AddNode(1.0, node.label + "/out",
+                                                  node.entity_set);
+      out.query_graph.graph.AddEdge(vin, vout, node.p).value();
+      out.in_node[i] = vin;
+      out.out_node[i] = vout;
+    }
+  }
+  for (EdgeId e = 0; e < graph.edge_capacity(); ++e) {
+    if (!graph.IsValidEdge(e)) continue;
+    const GraphEdge& edge = graph.edge(e);
+    out.query_graph.graph
+        .AddEdge(out.out_node[edge.from], out.in_node[edge.to], edge.q)
+        .value();
+  }
+  out.query_graph.source = out.in_node[query_graph.source];
+  for (NodeId t : query_graph.answers) {
+    out.query_graph.answers.push_back(out.out_node[t]);
+  }
+  return out;
+}
+
+}  // namespace biorank

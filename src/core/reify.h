@@ -1,0 +1,34 @@
+#ifndef BIORANK_CORE_REIFY_H_
+#define BIORANK_CORE_REIFY_H_
+
+#include <vector>
+
+#include "core/query_graph.h"
+
+namespace biorank {
+
+/// Result of reifying node failures (Section 3.1: "the generalized
+/// source-target reliability problem with node failures can be reduced to
+/// the standard network reliability problem by removing node failures and
+/// reifying the graph").
+struct ReifiedGraph {
+  QueryGraph query_graph;        ///< All node probabilities are 1.
+  /// For each original node: the id its *incoming* edges attach to.
+  std::vector<NodeId> in_node;
+  /// For each original node: the id its *outgoing* edges leave from.
+  /// Equal to in_node for nodes that were already certain (p == 1).
+  std::vector<NodeId> out_node;
+};
+
+/// Splits every uncertain node v (p(v) < 1) into v_in -> v_out connected by
+/// an edge of probability p(v); certain nodes stay single. Incoming edges
+/// re-attach to v_in, outgoing edges to v_out. The source maps to its
+/// in-side and each answer to its *out*-side, so that "t reachable and
+/// present" in the original graph is exactly "t_out reachable" in the
+/// reified graph. Edge-only reliability algorithms (exact factoring, brute
+/// force) run on the result.
+ReifiedGraph ReifyNodeFailures(const QueryGraph& query_graph);
+
+}  // namespace biorank
+
+#endif  // BIORANK_CORE_REIFY_H_

@@ -1,0 +1,55 @@
+#ifndef BIORANK_CORE_RELIABILITY_EXACT_H_
+#define BIORANK_CORE_RELIABILITY_EXACT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query_graph.h"
+#include "util/status.h"
+
+namespace biorank {
+
+/// Exact source-target reliability of one answer node by enumerating every
+/// subset of uncertain elements (nodes with 0 < p < 1, edges with
+/// 0 < q < 1). Exponential: refuses graphs with more than
+/// `max_uncertain_elements` uncertain elements. Intended as the oracle for
+/// property tests; use factoring or Monte Carlo for real graphs.
+///
+/// The score is P[target reachable from source AND target present],
+/// matching the semantics of Algorithm 3.1.
+Result<double> ExactReliabilityBruteForce(const QueryGraph& query_graph,
+                                          NodeId target,
+                                          int max_uncertain_elements = 25);
+
+/// Options for the factoring algorithm.
+struct FactoringOptions {
+  /// Interleave series-parallel reductions between conditioning steps.
+  /// Dramatically shrinks the recursion on workflow-shaped graphs.
+  bool use_reductions = true;
+  /// Upper bound on recursive conditioning calls; exceeding it returns
+  /// FailedPrecondition ("graph too complex"). #P-hardness (Valiant 1979)
+  /// means some graphs are genuinely out of reach.
+  int64_t max_calls = 4'000'000;
+};
+
+/// Exact source-target reliability by the factoring (edge conditioning)
+/// method: pick an uncertain edge e, then
+///   R = q(e) * R(G with e certain) + (1 - q(e)) * R(G without e),
+/// with series-parallel reductions applied between steps and two prunings
+/// (target unreachable via any alive edge -> 0; target reachable via
+/// certain edges only -> 1). Node failures are removed first by reifying
+/// the graph. Exact up to floating point; fails with FailedPrecondition on
+/// graphs exceeding `options.max_calls`.
+Result<double> ExactReliabilityFactoring(const QueryGraph& query_graph,
+                                         NodeId target,
+                                         const FactoringOptions& options = {});
+
+/// Factoring reliability for every answer node, each computed on its own
+/// query-relevant subgraph. Returns scores indexed like
+/// `query_graph.answers`.
+Result<std::vector<double>> ExactReliabilityAllAnswers(
+    const QueryGraph& query_graph, const FactoringOptions& options = {});
+
+}  // namespace biorank
+
+#endif  // BIORANK_CORE_RELIABILITY_EXACT_H_

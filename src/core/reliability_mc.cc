@@ -1,0 +1,154 @@
+#include "core/reliability_mc.h"
+
+#include <thread>
+
+#include "util/rng.h"
+
+namespace biorank {
+
+namespace {
+
+/// Runs `trials` traversal trials (Algorithm 3.1), accumulating per-node
+/// reach counts into `reach_count`.
+void RunTraversalTrials(const CompactGraphView& view, NodeId source,
+                        int64_t trials, Rng rng,
+                        std::vector<int64_t>& reach_count) {
+  const int n = view.node_count();
+  // `last_sim[x] == trial` marks x as already simulated in this trial;
+  // `present[x]` caches its coin. Unreached elements never flip a coin.
+  std::vector<int64_t> last_sim(n, -1);
+  std::vector<NodeId> stack;
+  stack.reserve(64);
+
+  for (int64_t trial = 0; trial < trials; ++trial) {
+    stack.clear();
+    last_sim[source] = trial;
+    if (rng.NextBernoulli(view.node_p[source])) {
+      ++reach_count[source];
+      stack.push_back(source);
+    }
+    while (!stack.empty()) {
+      NodeId x = stack.back();
+      stack.pop_back();
+      for (int32_t i = view.out_offset[x]; i < view.out_offset[x + 1]; ++i) {
+        // One coin per edge per trial: x expands at most once per trial.
+        if (!rng.NextBernoulli(view.edge_q[i])) continue;
+        NodeId y = view.edge_to[i];
+        if (last_sim[y] == trial) continue;
+        last_sim[y] = trial;
+        if (rng.NextBernoulli(view.node_p[y])) {
+          ++reach_count[y];
+          stack.push_back(y);
+        }
+      }
+    }
+  }
+}
+
+/// Runs `trials` naive trials: every element flips a coin, then a DFS over
+/// the sampled subgraph counts reached-and-present nodes.
+void RunNaiveTrials(const CompactGraphView& view, NodeId source,
+                    int64_t trials, Rng rng,
+                    std::vector<int64_t>& reach_count) {
+  const int n = view.node_count();
+  const int m = static_cast<int>(view.edge_q.size());
+  std::vector<uint8_t> node_present(n, 0);
+  std::vector<uint8_t> edge_present(m, 0);
+  std::vector<uint8_t> visited(n, 0);
+  std::vector<NodeId> stack;
+
+  for (int64_t trial = 0; trial < trials; ++trial) {
+    for (int i = 0; i < n; ++i) {
+      node_present[i] = rng.NextBernoulli(view.node_p[i]) ? 1 : 0;
+    }
+    for (int i = 0; i < m; ++i) {
+      edge_present[i] = rng.NextBernoulli(view.edge_q[i]) ? 1 : 0;
+    }
+    std::fill(visited.begin(), visited.end(), 0);
+    if (!node_present[source]) continue;
+    stack.clear();
+    stack.push_back(source);
+    visited[source] = 1;
+    ++reach_count[source];
+    while (!stack.empty()) {
+      NodeId x = stack.back();
+      stack.pop_back();
+      for (int32_t i = view.out_offset[x]; i < view.out_offset[x + 1]; ++i) {
+        if (!edge_present[i]) continue;
+        NodeId y = view.edge_to[i];
+        if (visited[y] || !node_present[y]) continue;
+        visited[y] = 1;
+        ++reach_count[y];
+        stack.push_back(y);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<McEstimate> EstimateReliabilityMc(const QueryGraph& query_graph,
+                                         const McOptions& options) {
+  BIORANK_RETURN_IF_ERROR(query_graph.Validate());
+  if (options.trials <= 0) {
+    return Status::InvalidArgument("MC trials must be positive");
+  }
+  if (options.num_threads < 1) {
+    return Status::InvalidArgument("MC num_threads must be >= 1");
+  }
+
+  CompactGraphView view = CompactGraphView::FromGraph(query_graph.graph);
+  const int n = view.node_count();
+
+  int num_threads = options.num_threads;
+  if (static_cast<int64_t>(num_threads) > options.trials) {
+    num_threads = static_cast<int>(options.trials);
+  }
+
+  // Derive one child generator per chunk from the root seed.
+  Rng root(options.seed);
+  std::vector<Rng> rngs;
+  rngs.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) rngs.push_back(root.Split());
+
+  std::vector<std::vector<int64_t>> counts(
+      num_threads, std::vector<int64_t>(n, 0));
+  int64_t per_chunk = options.trials / num_threads;
+  int64_t remainder = options.trials % num_threads;
+
+  auto run_chunk = [&](int worker) {
+    int64_t chunk_trials = per_chunk + (worker < remainder ? 1 : 0);
+    if (chunk_trials == 0) return;
+    if (options.mode == McOptions::Mode::kTraversal) {
+      RunTraversalTrials(view, query_graph.source, chunk_trials, rngs[worker],
+                         counts[worker]);
+    } else {
+      RunNaiveTrials(view, query_graph.source, chunk_trials, rngs[worker],
+                     counts[worker]);
+    }
+  };
+
+  if (num_threads == 1) {
+    run_chunk(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    for (int i = 0; i < num_threads; ++i) workers.emplace_back(run_chunk, i);
+    for (auto& w : workers) w.join();
+  }
+
+  McEstimate estimate;
+  estimate.trials = options.trials;
+  estimate.scores.assign(n, 0.0);
+  for (int worker = 0; worker < num_threads; ++worker) {
+    for (int i = 0; i < n; ++i) {
+      estimate.scores[i] += static_cast<double>(counts[worker][i]);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    estimate.scores[i] /= static_cast<double>(options.trials);
+  }
+  return estimate;
+}
+
+}  // namespace biorank

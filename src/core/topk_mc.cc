@@ -1,0 +1,105 @@
+#include "core/topk_mc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/reduction.h"
+#include "core/reliability_mc.h"
+#include "util/rng.h"
+
+namespace biorank {
+
+namespace {
+
+/// Two-sided normal quantile for the given confidence (e.g. 1.96 for
+/// 0.95). Acklam-style rational approximation is overkill here; a small
+/// table with linear interpolation covers the practical range.
+double NormalQuantile(double confidence) {
+  struct Entry {
+    double confidence;
+    double z;
+  };
+  static constexpr Entry kTable[] = {
+      {0.50, 0.674}, {0.80, 1.282}, {0.90, 1.645}, {0.95, 1.960},
+      {0.98, 2.326}, {0.99, 2.576}, {0.999, 3.291},
+  };
+  if (confidence <= kTable[0].confidence) return kTable[0].z;
+  for (size_t i = 1; i < sizeof(kTable) / sizeof(kTable[0]); ++i) {
+    if (confidence <= kTable[i].confidence) {
+      const Entry& lo = kTable[i - 1];
+      const Entry& hi = kTable[i];
+      double t = (confidence - lo.confidence) /
+                 (hi.confidence - lo.confidence);
+      return lo.z + t * (hi.z - lo.z);
+    }
+  }
+  return 3.291;
+}
+
+}  // namespace
+
+Result<TopKResult> RankTopKAdaptive(const QueryGraph& query_graph,
+                                    const TopKOptions& options) {
+  BIORANK_RETURN_IF_ERROR(query_graph.Validate());
+  if (options.k < 1) {
+    return Status::InvalidArgument("top-k: k must be >= 1");
+  }
+  if (options.batch_trials < 1 || options.max_trials < options.batch_trials) {
+    return Status::InvalidArgument("top-k: invalid trial budget");
+  }
+  if (options.confidence <= 0.0 || options.confidence >= 1.0) {
+    return Status::InvalidArgument("top-k: confidence must be in (0,1)");
+  }
+
+  QueryGraph working = query_graph;
+  if (options.reduce_first) ReduceQueryGraph(working);
+
+  const double z = NormalQuantile(options.confidence);
+  const size_t answer_count = working.answers.size();
+
+  TopKResult result;
+  // Fewer answers than k: everything is "the top"; still estimate scores
+  // with one batch so the ranking is meaningful.
+  std::vector<double> sums(query_graph.graph.node_capacity(), 0.0);
+  Rng seed_stream(options.seed);
+
+  while (result.trials_used < options.max_trials) {
+    McOptions mc;
+    mc.trials = std::min(options.batch_trials,
+                         options.max_trials - result.trials_used);
+    mc.seed = seed_stream.NextUint64();
+    Result<McEstimate> estimate = EstimateReliabilityMc(working, mc);
+    if (!estimate.ok()) return estimate.status();
+    for (size_t i = 0; i < sums.size() &&
+                       i < estimate.value().scores.size();
+         ++i) {
+      sums[i] += estimate.value().scores[i] *
+                 static_cast<double>(mc.trials);
+    }
+    result.trials_used += mc.trials;
+
+    std::vector<double> scores(sums.size(), 0.0);
+    for (size_t i = 0; i < sums.size(); ++i) {
+      scores[i] = sums[i] / static_cast<double>(result.trials_used);
+    }
+    result.ranking = RankAnswers(query_graph.answers, scores);
+
+    if (answer_count <= static_cast<size_t>(options.k)) {
+      result.separated = true;  // No boundary to separate.
+      break;
+    }
+    // Boundary separation test: k-th vs (k+1)-th estimate.
+    double upper = result.ranking[options.k - 1].score;
+    double lower = result.ranking[options.k].score;
+    double n = static_cast<double>(result.trials_used);
+    double se = std::sqrt(upper * (1.0 - upper) / n +
+                          lower * (1.0 - lower) / n);
+    if (upper - lower > z * se && upper > lower) {
+      result.separated = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace biorank

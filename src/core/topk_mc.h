@@ -1,0 +1,48 @@
+#ifndef BIORANK_CORE_TOPK_MC_H_
+#define BIORANK_CORE_TOPK_MC_H_
+
+#include <cstdint>
+
+#include "core/ranking.h"
+#include "util/status.h"
+
+namespace biorank {
+
+/// Options for adaptive top-k Monte Carlo ranking.
+struct TopKOptions {
+  int k = 10;                  ///< How many top answers must be stable.
+  double confidence = 0.95;    ///< Separation confidence at the boundary.
+  int64_t batch_trials = 500;  ///< Trials added per adaptive round.
+  int64_t max_trials = 100000; ///< Hard budget.
+  uint64_t seed = 42;
+  /// Apply the Section 3.1 reductions before simulating.
+  bool reduce_first = true;
+};
+
+/// Result of adaptive top-k ranking.
+struct TopKResult {
+  /// Tie-aware ranking of the full answer set by the final estimates.
+  std::vector<RankedAnswer> ranking;
+  int64_t trials_used = 0;
+  /// True if the k / k+1 boundary separated at the requested confidence
+  /// before the budget ran out; false means the caller should treat the
+  /// boundary as a statistical tie (Theorem 3.1's "if scores are that
+  /// close, we do not have enough evidence to distinguish them").
+  bool separated = false;
+};
+
+/// Ranks the answer set by reliability using only as many Monte Carlo
+/// trials as the ranking actually needs: simulation proceeds in batches
+/// until the gap between the k-th and (k+1)-th estimated scores exceeds
+/// the normal-approximation confidence radius of their difference.
+///
+/// This operationalizes Theorem 3.1 adaptively: instead of fixing n from
+/// a worst-case eps up front, the boundary's observed eps-hat drives the
+/// stopping rule. Exploratory-search users only read the top of the
+/// list, so this is the practical fast path.
+Result<TopKResult> RankTopKAdaptive(const QueryGraph& query_graph,
+                                    const TopKOptions& options = {});
+
+}  // namespace biorank
+
+#endif  // BIORANK_CORE_TOPK_MC_H_

@@ -1,0 +1,55 @@
+#include "core/topological.h"
+
+#include "core/graph_algo.h"
+
+namespace biorank {
+
+Result<std::vector<double>> InEdgeScores(const QueryGraph& query_graph) {
+  BIORANK_RETURN_IF_ERROR(query_graph.Validate());
+  const ProbabilisticEntityGraph& graph = query_graph.graph;
+  std::vector<double> scores(graph.node_capacity(), 0.0);
+  for (NodeId i : graph.AliveNodes()) {
+    scores[i] = static_cast<double>(graph.InDegree(i));
+  }
+  return scores;
+}
+
+Result<std::vector<double>> PathCountScores(const QueryGraph& query_graph) {
+  BIORANK_RETURN_IF_ERROR(query_graph.Validate());
+  const ProbabilisticEntityGraph& graph = query_graph.graph;
+  if (HasCycleReachableFrom(graph, query_graph.source)) {
+    return Status::FailedPrecondition(
+        "PathCount: cycle reachable from the query node makes path counts "
+        "infinite");
+  }
+
+  std::vector<bool> reachable = ReachableFrom(graph, query_graph.source);
+  std::vector<double> counts(graph.node_capacity(), 0.0);
+  counts[query_graph.source] = 1.0;
+
+  // Process the reachable sub-DAG in topological order via Kahn's
+  // algorithm restricted to reachable nodes.
+  std::vector<int> in_degree(graph.node_capacity(), 0);
+  std::vector<NodeId> queue;
+  for (NodeId i : graph.AliveNodes()) {
+    if (!reachable[i]) continue;
+    int degree = 0;
+    graph.ForEachInEdge(i, [&](EdgeId e) {
+      if (reachable[graph.edge(e).from]) ++degree;
+    });
+    in_degree[i] = degree;
+    if (degree == 0) queue.push_back(i);
+  }
+  for (size_t head = 0; head < queue.size(); ++head) {
+    NodeId x = queue[head];
+    graph.ForEachOutEdge(x, [&](EdgeId e) {
+      NodeId y = graph.edge(e).to;
+      if (!reachable[y]) return;
+      counts[y] += counts[x];  // Parallel edges each count as a path.
+      if (--in_degree[y] == 0) queue.push_back(y);
+    });
+  }
+  return counts;
+}
+
+}  // namespace biorank

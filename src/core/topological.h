@@ -1,0 +1,27 @@
+#ifndef BIORANK_CORE_TOPOLOGICAL_H_
+#define BIORANK_CORE_TOPOLOGICAL_H_
+
+#include <vector>
+
+#include "core/query_graph.h"
+#include "util/status.h"
+
+namespace biorank {
+
+/// InEdge (Section 3.4; "cardinality" in Lacroix et al.): the relevance of
+/// a node is its number of incoming edges. Ignores all probabilities and
+/// all structure beyond the node's immediate neighbourhood. Returns the
+/// in-degree of every node, indexed by NodeId.
+Result<std::vector<double>> InEdgeScores(const QueryGraph& query_graph);
+
+/// PathCount (Section 3.5): the relevance of a node is the number of
+/// distinct directed paths from the query node to it. Only defined on
+/// graphs whose source-reachable region is acyclic — cycles would make
+/// path counts infinite, so they fail with FailedPrecondition (the paper
+/// restricts PathCount to workflow-type DAGs for the same reason).
+/// Counts are returned as doubles (they can be astronomically large).
+Result<std::vector<double>> PathCountScores(const QueryGraph& query_graph);
+
+}  // namespace biorank
+
+#endif  // BIORANK_CORE_TOPOLOGICAL_H_

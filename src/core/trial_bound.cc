@@ -1,0 +1,21 @@
+#include "core/trial_bound.h"
+
+#include <cmath>
+
+namespace biorank {
+
+Result<int64_t> RequiredMcTrials(double epsilon, double delta) {
+  if (!(epsilon > 0.0) || epsilon > 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1]");
+  }
+  if (!(delta > 0.0) || !(delta < 1.0)) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  double one_plus = 1.0 + epsilon;
+  double n = one_plus * one_plus * one_plus /
+             (epsilon * epsilon * (1.0 + epsilon / 3.0)) *
+             std::log(1.0 / delta);
+  return static_cast<int64_t>(std::ceil(n));
+}
+
+}  // namespace biorank

@@ -1,0 +1,25 @@
+#ifndef BIORANK_CORE_TRIAL_BOUND_H_
+#define BIORANK_CORE_TRIAL_BOUND_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace biorank {
+
+/// Theorem 3.1: the number of independent Monte Carlo trials that
+/// guarantees two nodes whose true reliabilities differ by at least
+/// `epsilon` are ranked in the correct order with probability >= 1 - delta:
+///
+///   n = ceil( (1 + eps)^3 / (eps^2 * (1 + eps/3)) * ln(1 / delta) )
+///
+/// Derived in the paper's Appendix A from Bennett's inequality. With
+/// epsilon = 0.02 and delta = 0.05 this evaluates to 7,896, which the
+/// paper rounds up to "10,000 trials should be enough".
+///
+/// Requires epsilon in (0, 1] and delta in (0, 1).
+Result<int64_t> RequiredMcTrials(double epsilon, double delta);
+
+}  // namespace biorank
+
+#endif  // BIORANK_CORE_TRIAL_BOUND_H_

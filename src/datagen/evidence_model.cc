@@ -1,0 +1,80 @@
+#include "datagen/evidence_model.h"
+
+#include <cmath>
+
+namespace biorank {
+
+GeneStatus EvidenceModel::SampleCuratedStatus(Rng& rng) const {
+  // Curated entries span the status scale: gold-standard functions are
+  // not uniformly backed by Reviewed rows, which is what keeps purely
+  // probabilistic ranking from dominating on well-known functions.
+  double u = rng.NextDouble();
+  if (u < 0.30) return GeneStatus::kReviewed;
+  if (u < 0.60) return GeneStatus::kValidated;
+  if (u < 0.85) return GeneStatus::kProvisional;
+  return GeneStatus::kPredicted;
+}
+
+GeneStatus EvidenceModel::SampleBackgroundStatus(Rng& rng) const {
+  double u = rng.NextDouble();
+  if (u < 0.10) return GeneStatus::kValidated;
+  if (u < 0.40) return GeneStatus::kProvisional;
+  if (u < 0.75) return GeneStatus::kPredicted;
+  return GeneStatus::kModel;
+}
+
+GeneStatus EvidenceModel::SamplePredictedStatus(Rng& rng) const {
+  double u = rng.NextDouble();
+  if (u < 0.50) return GeneStatus::kPredicted;
+  if (u < 0.80) return GeneStatus::kModel;
+  return GeneStatus::kInferred;
+}
+
+EvidenceCode EvidenceModel::SampleStrongEvidence(Rng& rng) const {
+  double u = rng.NextDouble();
+  if (u < 0.50) return EvidenceCode::kIDA;
+  if (u < 0.80) return EvidenceCode::kTAS;
+  return EvidenceCode::kIMP;
+}
+
+EvidenceCode EvidenceModel::SampleCuratedEvidence(Rng& rng) const {
+  double u = rng.NextDouble();
+  if (u < 0.15) return EvidenceCode::kIDA;
+  if (u < 0.30) return EvidenceCode::kIMP;
+  if (u < 0.60) return EvidenceCode::kISS;
+  if (u < 0.75) return EvidenceCode::kIC;
+  if (u < 0.90) return EvidenceCode::kNAS;
+  return EvidenceCode::kIEA;
+}
+
+EvidenceCode EvidenceModel::SampleBackgroundEvidence(Rng& rng) const {
+  double u = rng.NextDouble();
+  if (u < 0.10) return EvidenceCode::kIMP;
+  if (u < 0.50) return EvidenceCode::kISS;
+  if (u < 0.65) return EvidenceCode::kNAS;
+  return EvidenceCode::kIEA;
+}
+
+EvidenceCode EvidenceModel::SampleWeakEvidence(Rng& rng) const {
+  double u = rng.NextDouble();
+  if (u < 0.70) return EvidenceCode::kIEA;
+  if (u < 0.90) return EvidenceCode::kISS;
+  return EvidenceCode::kND;
+}
+
+double EvidenceModel::SampleTrueHitEValue(Rng& rng) const {
+  return std::pow(10.0,
+                  rng.NextUniform(true_hit_log10_min, true_hit_log10_max));
+}
+
+double EvidenceModel::SampleWeakHitEValue(Rng& rng) const {
+  return std::pow(10.0,
+                  rng.NextUniform(weak_hit_log10_min, weak_hit_log10_max));
+}
+
+double EvidenceModel::SampleStrongHitEValue(Rng& rng) const {
+  return std::pow(
+      10.0, rng.NextUniform(strong_hit_log10_min, strong_hit_log10_max));
+}
+
+}  // namespace biorank

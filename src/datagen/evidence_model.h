@@ -1,0 +1,60 @@
+#ifndef BIORANK_DATAGEN_EVIDENCE_MODEL_H_
+#define BIORANK_DATAGEN_EVIDENCE_MODEL_H_
+
+#include "schema/transforms.h"
+#include "util/rng.h"
+
+namespace biorank {
+
+/// Samples the attribute values (status codes, evidence codes, e-values)
+/// that the simulated sources attach to their records. The distributions
+/// encode the paper's Figure 9 structure: well-known facts carry redundant
+/// moderate evidence, recently published facts carry one very strong
+/// record, noise carries weak records.
+struct EvidenceModel {
+  /// log10 e-value ranges (uniform within each).
+  double true_hit_log10_min = -200.0;   ///< Same-family BLAST/HMM hits.
+  double true_hit_log10_max = -60.0;
+  double weak_hit_log10_min = -30.0;    ///< Spurious cross-family hits.
+  double weak_hit_log10_max = -4.0;
+  double strong_hit_log10_min = -299.0; ///< Recently published strong hits.
+  double strong_hit_log10_max = -285.0;
+
+  /// Status code of a curated gene annotation (mostly Reviewed/Validated).
+  GeneStatus SampleCuratedStatus(Rng& rng) const;
+
+  /// Status code of a background (less-studied) protein's curated
+  /// annotation — skewed toward Provisional/Predicted, which keeps
+  /// homology-transferred evidence individually weak (Figure 9a:
+  /// redundant, not strong).
+  GeneStatus SampleBackgroundStatus(Rng& rng) const;
+
+  /// Status code of a computationally predicted annotation.
+  GeneStatus SamplePredictedStatus(Rng& rng) const;
+
+  /// Evidence code of a high-quality experimental GO annotation.
+  EvidenceCode SampleStrongEvidence(Rng& rng) const;
+
+  /// Evidence code of a reliable curated GO annotation (mixed quality).
+  EvidenceCode SampleCuratedEvidence(Rng& rng) const;
+
+  /// Evidence code of a background protein's GO annotation (mostly
+  /// sequence-similarity and electronic inference).
+  EvidenceCode SampleBackgroundEvidence(Rng& rng) const;
+
+  /// Evidence code of an electronically inferred annotation.
+  EvidenceCode SampleWeakEvidence(Rng& rng) const;
+
+  /// e-value of a genuine homology hit.
+  double SampleTrueHitEValue(Rng& rng) const;
+
+  /// e-value of a spurious hit.
+  double SampleWeakHitEValue(Rng& rng) const;
+
+  /// e-value of an exceptionally strong hit (recent-discovery evidence).
+  double SampleStrongHitEValue(Rng& rng) const;
+};
+
+}  // namespace biorank
+
+#endif  // BIORANK_DATAGEN_EVIDENCE_MODEL_H_

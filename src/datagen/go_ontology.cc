@@ -1,0 +1,53 @@
+#include "datagen/go_ontology.h"
+
+#include <cstdio>
+
+namespace biorank {
+
+namespace {
+
+constexpr const char* kProcessWords[] = {
+    "ATP",        "potassium",  "sodium",   "calcium",    "sulphonylurea",
+    "glutamate",  "chloride",   "membrane", "ubiquitin",  "kinase",
+    "phosphatase", "ribosome",  "histone",  "cytochrome", "zinc",
+    "heme",       "lipid",      "glycogen", "proton",     "electron",
+};
+
+constexpr const char* kActivityWords[] = {
+    "binding",        "transport",     "receptor activity",
+    "channel activity", "conductance", "catalytic activity",
+    "transferase activity", "hydrolase activity", "oxidoreductase activity",
+    "ligase activity", "carrier activity", "biosynthesis",
+    "degradation",    "regulation",    "signaling",
+};
+
+}  // namespace
+
+GoOntology GoOntology::Generate(int num_terms, Rng& rng) {
+  GoOntology ontology;
+  ontology.terms_.reserve(num_terms);
+  constexpr int kNumProcess =
+      static_cast<int>(sizeof(kProcessWords) / sizeof(kProcessWords[0]));
+  constexpr int kNumActivity =
+      static_cast<int>(sizeof(kActivityWords) / sizeof(kActivityWords[0]));
+  for (int i = 0; i < num_terms; ++i) {
+    GoTerm term;
+    char id[16];
+    // Deterministic, unique 7-digit ids spaced out like real GO ids.
+    std::snprintf(id, sizeof(id), "GO:%07d", 1000 + i * 13);
+    term.id = id;
+    term.name = std::string(kProcessWords[rng.NextBounded(kNumProcess)]) +
+                " " + kActivityWords[rng.NextBounded(kNumActivity)];
+    ontology.index_[term.id] = i;
+    ontology.terms_.push_back(std::move(term));
+  }
+  return ontology;
+}
+
+Result<int> GoOntology::IndexOf(const std::string& id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) return Status::NotFound("GO term: " + id);
+  return it->second;
+}
+
+}  // namespace biorank

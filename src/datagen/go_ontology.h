@@ -1,0 +1,42 @@
+#ifndef BIORANK_DATAGEN_GO_ONTOLOGY_H_
+#define BIORANK_DATAGEN_GO_ONTOLOGY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace biorank {
+
+/// One Gene Ontology term of the synthetic shared vocabulary.
+struct GoTerm {
+  std::string id;    ///< "GO:NNNNNNN", 7 digits, unique.
+  std::string name;  ///< Synthesized descriptive name.
+};
+
+/// A synthetic Gene Ontology: the shared function vocabulary every source
+/// annotates against (the real GO plays this role in the paper). Term ids
+/// are deterministic in the seed, so a universe regenerates identically.
+class GoOntology {
+ public:
+  /// Generates `num_terms` distinct terms with plausible names.
+  static GoOntology Generate(int num_terms, Rng& rng);
+
+  int size() const { return static_cast<int>(terms_.size()); }
+
+  /// Term by dense index in [0, size).
+  const GoTerm& term(int index) const { return terms_[index]; }
+
+  /// Dense index of a term id, or NotFound.
+  Result<int> IndexOf(const std::string& id) const;
+
+ private:
+  std::vector<GoTerm> terms_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace biorank
+
+#endif  // BIORANK_DATAGEN_GO_ONTOLOGY_H_

@@ -1,0 +1,220 @@
+#include "datagen/protein_universe.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace biorank {
+
+namespace {
+
+/// Synthesizes an "ABCC8"-style gene symbol: 3-5 uppercase letters plus a
+/// digit suffix, unique via the running counter.
+std::string MakeGeneSymbol(Rng& rng, int counter) {
+  int letters = 3 + static_cast<int>(rng.NextBounded(3));
+  std::string symbol;
+  for (int i = 0; i < letters; ++i) {
+    symbol += static_cast<char>('A' + rng.NextBounded(26));
+  }
+  symbol += std::to_string(counter % 10);
+  return symbol;
+}
+
+/// Draws `count` distinct values from `pool` (without replacement).
+std::vector<int> SampleDistinct(const std::vector<int>& pool, int count,
+                                Rng& rng) {
+  std::vector<int> shuffled = pool;
+  rng.Shuffle(shuffled);
+  if (count > static_cast<int>(shuffled.size())) {
+    count = static_cast<int>(shuffled.size());
+  }
+  shuffled.resize(count);
+  return shuffled;
+}
+
+}  // namespace
+
+ProteinUniverse ProteinUniverse::Generate(const UniverseOptions& options) {
+  ProteinUniverse universe;
+  universe.options_ = options;
+  Rng rng(options.seed);
+  universe.ontology_ = GoOntology::Generate(options.num_go_terms, rng);
+
+  // Per-family shared function pools: proteins in a family draw their true
+  // functions mostly from the family pool (sequence similarity implies
+  // functional similarity — the premise of BLAST-based annotation
+  // transfer).
+  std::vector<int> all_terms(options.num_go_terms);
+  for (int i = 0; i < options.num_go_terms; ++i) all_terms[i] = i;
+  std::vector<std::vector<int>> family_pools;
+  for (int f = 0; f < options.num_families; ++f) {
+    family_pools.push_back(
+        SampleDistinct(all_terms, options.family_function_pool, rng));
+  }
+
+  universe.families_.assign(options.num_families, {});
+  std::vector<bool> family_sparse(options.num_families, false);
+  int symbol_counter = 0;
+  std::set<std::string> used_symbols;
+
+  auto add_protein = [&](int family, StudyLevel level) -> int {
+    Protein protein;
+    int index = static_cast<int>(universe.proteins_.size());
+    char accession[16];
+    std::snprintf(accession, sizeof(accession), "BRP%05d", index);
+    protein.accession = accession;
+    do {
+      protein.gene_symbol = MakeGeneSymbol(rng, symbol_counter++);
+    } while (!used_symbols.insert(protein.gene_symbol).second);
+    protein.family = family;
+    protein.study_level = level;
+
+    // Background proteins preferentially share the functions already
+    // curated for earlier family members (homologs really do have the
+    // same biology) — this is the redundancy that makes counting-based
+    // ranking work on well-known functions (Figure 9a).
+    std::vector<int> pool = family_pools[family];
+    if (level == StudyLevel::kBackground) {
+      std::set<int> established;
+      for (int member : universe.families_[family]) {
+        const Protein& peer = universe.proteins_[member];
+        established.insert(peer.curated_functions.begin(),
+                           peer.curated_functions.end());
+      }
+      std::vector<int> weighted = pool;
+      for (int term : pool) {
+        if (established.count(term) > 0) {
+          weighted.push_back(term);  // Weight 3 via duplication.
+          weighted.push_back(term);
+        }
+      }
+      pool = std::move(weighted);
+    }
+    int curated = 0;
+    switch (level) {
+      case StudyLevel::kWellStudied:
+        curated = static_cast<int>(
+            rng.NextInt(options.min_curated, options.max_curated));
+        break;
+      case StudyLevel::kBackground:
+        curated = static_cast<int>(
+            family_sparse[family]
+                ? rng.NextInt(options.sparse_background_min_curated,
+                              options.sparse_background_max_curated)
+                : rng.NextInt(options.background_min_curated,
+                              options.background_max_curated));
+        break;
+      case StudyLevel::kHypothetical:
+        curated = 0;
+        break;
+    }
+    // Weighted draw without replacement (duplicates in `pool` act as
+    // weights).
+    {
+      std::set<int> chosen;
+      for (int tries = 0;
+           static_cast<int>(chosen.size()) < curated && tries < 800 &&
+           !pool.empty();
+           ++tries) {
+        chosen.insert(pool[rng.NextBounded(pool.size())]);
+      }
+      protein.curated_functions.assign(chosen.begin(), chosen.end());
+    }
+
+    // Extra true-but-uncurated functions (weak leakage via predictions).
+    std::set<int> taken(protein.curated_functions.begin(),
+                        protein.curated_functions.end());
+    int extra = static_cast<int>(
+        rng.NextInt(options.min_extra_true, options.max_extra_true));
+    for (int tries = 0; extra > 0 && tries < 200; ++tries) {
+      int term = pool[rng.NextBounded(pool.size())];
+      if (taken.insert(term).second) --extra;
+    }
+    protein.true_functions.assign(taken.begin(), taken.end());
+
+    universe.families_[family].push_back(index);
+    universe.by_name_[protein.gene_symbol] = index;
+    universe.by_name_[protein.accession] = index;
+    universe.proteins_.push_back(std::move(protein));
+    return index;
+  };
+
+  // Well-studied proteins, one per family for the first families so their
+  // BLAST neighbourhoods don't overlap too much.
+  for (int i = 0; i < options.num_well_studied; ++i) {
+    int family = i % options.num_families;
+    universe.well_studied_.push_back(
+        add_protein(family, StudyLevel::kWellStudied));
+  }
+  // Hypothetical proteins in the later families, which are smaller and
+  // sparsely annotated.
+  for (int i = 0; i < options.num_hypothetical; ++i) {
+    int family = (options.num_well_studied + i) % options.num_families;
+    family_sparse[family] = true;
+    universe.hypothetical_.push_back(
+        add_protein(family, StudyLevel::kHypothetical));
+  }
+  // Background proteins fill every family to its target size.
+  for (int f = 0; f < options.num_families; ++f) {
+    int target = family_sparse[f] ? options.hypothetical_family_size
+                                  : options.proteins_per_family;
+    while (static_cast<int>(universe.families_[f].size()) < target) {
+      add_protein(f, StudyLevel::kBackground);
+    }
+  }
+
+  // Recently-published functions for the first few well-studied proteins:
+  // true functions of the protein that no curated source lists. Drawn from
+  // *outside* the family pool — genuinely novel biology that homology
+  // transfer cannot reach, so the only evidence is the single fresh
+  // experimental record (Figure 9b's shape).
+  for (size_t i = 0; i < options.recent_function_counts.size() &&
+                     i < universe.well_studied_.size();
+       ++i) {
+    Protein& protein = universe.proteins_[universe.well_studied_[i]];
+    std::set<int> family_pool(family_pools[protein.family].begin(),
+                              family_pools[protein.family].end());
+    std::set<int> chosen;
+    int wanted = options.recent_function_counts[i];
+    for (int tries = 0; static_cast<int>(chosen.size()) < wanted &&
+                        tries < 500;
+         ++tries) {
+      int term = static_cast<int>(rng.NextBounded(options.num_go_terms));
+      if (family_pool.count(term) == 0) chosen.insert(term);
+    }
+    protein.recent_functions.assign(chosen.begin(), chosen.end());
+    for (int term : protein.recent_functions) {
+      if (std::find(protein.true_functions.begin(),
+                    protein.true_functions.end(),
+                    term) == protein.true_functions.end()) {
+        protein.true_functions.push_back(term);
+      }
+    }
+  }
+
+  // Expert-validated functions for hypothetical proteins ("generally only
+  // one in bacteria", Table 3).
+  for (int index : universe.hypothetical_) {
+    Protein& protein = universe.proteins_[index];
+    const std::vector<int>& pool = family_pools[protein.family];
+    protein.expert_functions = {pool[rng.NextBounded(pool.size())]};
+    protein.true_functions.push_back(protein.expert_functions[0]);
+  }
+
+  return universe;
+}
+
+const std::vector<int>& ProteinUniverse::FamilyMembers(int family) const {
+  return families_[family];
+}
+
+Result<int> ProteinUniverse::FindProtein(
+    const std::string& symbol_or_accession) const {
+  auto it = by_name_.find(symbol_or_accession);
+  if (it == by_name_.end()) {
+    return Status::NotFound("protein: " + symbol_or_accession);
+  }
+  return it->second;
+}
+
+}  // namespace biorank

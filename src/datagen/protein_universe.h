@@ -1,0 +1,114 @@
+#ifndef BIORANK_DATAGEN_PROTEIN_UNIVERSE_H_
+#define BIORANK_DATAGEN_PROTEIN_UNIVERSE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datagen/go_ontology.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace biorank {
+
+/// How thoroughly a synthetic protein has been characterized. Drives which
+/// scenario uses it and how much redundant evidence the sources hold.
+enum class StudyLevel {
+  kWellStudied,  ///< Scenario 1/2: rich curated annotations (iProClass-like).
+  kBackground,   ///< Fills families; provides BLAST neighbours.
+  kHypothetical, ///< Scenario 3: no curated annotations at all.
+};
+
+/// One synthetic protein with its ground truth.
+struct Protein {
+  std::string accession;    ///< "BRP00042", unique.
+  std::string gene_symbol;  ///< "ABCC8"-style synthetic symbol, unique.
+  int family = 0;           ///< Sequence-similarity cluster id.
+  StudyLevel study_level = StudyLevel::kBackground;
+
+  /// Well-known functions recorded in curated databases — the iProClass
+  /// gold standard of scenario 1.
+  std::vector<int> curated_functions;
+  /// True functions reported only in very recent publications, absent from
+  /// all curated records — the scenario 2 gold standard. Non-empty only
+  /// for a few designated well-studied proteins.
+  std::vector<int> recent_functions;
+  /// Function assigned by the expert protocol of Louie et al. — the
+  /// scenario 3 gold standard. Non-empty only for hypothetical proteins.
+  std::vector<int> expert_functions;
+  /// Every true function (superset of the above plus shared family
+  /// biology); sources may leak weak evidence for any of these.
+  std::vector<int> true_functions;
+};
+
+/// Knobs for universe generation; defaults mirror the paper's scale
+/// (Table 1: 20 reference proteins with 7-35 curated functions each;
+/// Table 3: 11 hypothetical proteins; query graphs of ~520 nodes).
+struct UniverseOptions {
+  uint64_t seed = 20090401;
+  int num_go_terms = 600;
+  int num_families = 34;
+  int proteins_per_family = 7;
+  /// Families hosting a hypothetical protein are smaller and sparsely
+  /// annotated (bacterial genomes at the research frontier).
+  int hypothetical_family_size = 3;
+  int family_function_pool = 32;  ///< Shared functions per family.
+  int num_well_studied = 20;
+  int min_curated = 7;
+  int max_curated = 30;
+  /// Curated-annotation counts for background (family-filler) proteins.
+  int background_min_curated = 8;
+  int background_max_curated = 18;
+  int sparse_background_min_curated = 2;
+  int sparse_background_max_curated = 5;
+  /// How many well-studied proteins carry recently published functions
+  /// and how many each (paper: 3 proteins with 3 + 2 + 2 functions).
+  std::vector<int> recent_function_counts = {3, 2, 2};
+  int num_hypothetical = 11;
+  /// Extra true-but-uncurated functions per protein (weak leakage).
+  int min_extra_true = 2;
+  int max_extra_true = 6;
+};
+
+/// The synthetic biological world: a GO vocabulary plus proteins grouped
+/// into sequence-similarity families with correlated functions. All
+/// downstream sources (sources/) derive their records deterministically
+/// from this universe, so a (seed, options) pair pins every experiment.
+class ProteinUniverse {
+ public:
+  static ProteinUniverse Generate(const UniverseOptions& options = {});
+
+  const UniverseOptions& options() const { return options_; }
+  const GoOntology& ontology() const { return ontology_; }
+
+  int num_proteins() const { return static_cast<int>(proteins_.size()); }
+  const Protein& protein(int index) const { return proteins_[index]; }
+  const std::vector<Protein>& proteins() const { return proteins_; }
+
+  /// Protein indices belonging to `family`.
+  const std::vector<int>& FamilyMembers(int family) const;
+
+  int num_families() const { return static_cast<int>(families_.size()); }
+
+  /// Lookup by gene symbol or accession (both unique). NotFound if absent.
+  Result<int> FindProtein(const std::string& symbol_or_accession) const;
+
+  /// Indices of the designated well-studied / hypothetical proteins, in
+  /// generation order (scenario construction uses these).
+  const std::vector<int>& well_studied() const { return well_studied_; }
+  const std::vector<int>& hypothetical() const { return hypothetical_; }
+
+ private:
+  UniverseOptions options_;
+  GoOntology ontology_;
+  std::vector<Protein> proteins_;
+  std::vector<std::vector<int>> families_;
+  std::vector<int> well_studied_;
+  std::vector<int> hypothetical_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+}  // namespace biorank
+
+#endif  // BIORANK_DATAGEN_PROTEIN_UNIVERSE_H_

@@ -1,0 +1,47 @@
+#include "datagen/scenario.h"
+
+namespace biorank {
+
+const char* ScenarioName(ScenarioId id) {
+  switch (id) {
+    case ScenarioId::kScenario1WellKnown:
+      return "Scenario 1: well-known functions, well-studied proteins";
+    case ScenarioId::kScenario2LessKnown:
+      return "Scenario 2: less-known functions, well-studied proteins";
+    case ScenarioId::kScenario3Hypothetical:
+      return "Scenario 3: unknown functions, less-studied proteins";
+  }
+  return "?";
+}
+
+std::vector<ScenarioCase> BuildScenarioCases(const ProteinUniverse& universe,
+                                             ScenarioId id) {
+  std::vector<ScenarioCase> cases;
+  switch (id) {
+    case ScenarioId::kScenario1WellKnown:
+      for (int index : universe.well_studied()) {
+        const Protein& protein = universe.protein(index);
+        cases.push_back(
+            {index, protein.gene_symbol, protein.curated_functions});
+      }
+      break;
+    case ScenarioId::kScenario2LessKnown:
+      for (int index : universe.well_studied()) {
+        const Protein& protein = universe.protein(index);
+        if (protein.recent_functions.empty()) continue;
+        cases.push_back(
+            {index, protein.gene_symbol, protein.recent_functions});
+      }
+      break;
+    case ScenarioId::kScenario3Hypothetical:
+      for (int index : universe.hypothetical()) {
+        const Protein& protein = universe.protein(index);
+        cases.push_back(
+            {index, protein.gene_symbol, protein.expert_functions});
+      }
+      break;
+  }
+  return cases;
+}
+
+}  // namespace biorank

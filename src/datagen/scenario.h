@@ -1,0 +1,41 @@
+#ifndef BIORANK_DATAGEN_SCENARIO_H_
+#define BIORANK_DATAGEN_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/protein_universe.h"
+
+namespace biorank {
+
+/// The paper's three evaluation scenarios (Section 4).
+enum class ScenarioId {
+  kScenario1WellKnown,    ///< Well-known functions, well-studied proteins.
+  kScenario2LessKnown,    ///< Recently published functions, well-studied.
+  kScenario3Hypothetical, ///< Unknown functions, hypothetical proteins.
+};
+
+const char* ScenarioName(ScenarioId id);
+
+/// One query of a scenario: the protein to look up and the functions the
+/// gold standard marks relevant among the returned answers.
+struct ScenarioCase {
+  int protein_index = 0;
+  std::string gene_symbol;
+  /// GO term indices (into the universe's ontology) that count as
+  /// relevant when scoring the ranking.
+  std::vector<int> gold_functions;
+};
+
+/// Derives the scenario's query set from the universe's designated
+/// proteins:
+///   scenario 1 -> all well-studied proteins, gold = curated functions;
+///   scenario 2 -> the well-studied proteins that carry recent functions,
+///                 gold = those recent functions only;
+///   scenario 3 -> all hypothetical proteins, gold = expert functions.
+std::vector<ScenarioCase> BuildScenarioCases(const ProteinUniverse& universe,
+                                             ScenarioId id);
+
+}  // namespace biorank
+
+#endif  // BIORANK_DATAGEN_SCENARIO_H_

@@ -1,0 +1,33 @@
+#include "eval/average_precision.h"
+
+namespace biorank {
+
+Result<double> AveragePrecision(const std::vector<bool>& relevance) {
+  int relevant_total = 0;
+  for (bool r : relevance) relevant_total += r ? 1 : 0;
+  if (relevant_total == 0) {
+    return Status::InvalidArgument(
+        "average precision undefined: no relevant items");
+  }
+  double sum = 0.0;
+  int relevant_so_far = 0;
+  for (size_t i = 0; i < relevance.size(); ++i) {
+    if (relevance[i]) {
+      ++relevant_so_far;
+      sum += static_cast<double>(relevant_so_far) /
+             static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(relevant_total);
+}
+
+Result<double> PrecisionAt(const std::vector<bool>& relevance, int i) {
+  if (i < 1 || static_cast<size_t>(i) > relevance.size()) {
+    return Status::OutOfRange("precision cut out of range");
+  }
+  int relevant = 0;
+  for (int j = 0; j < i; ++j) relevant += relevance[j] ? 1 : 0;
+  return static_cast<double>(relevant) / static_cast<double>(i);
+}
+
+}  // namespace biorank

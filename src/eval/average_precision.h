@@ -1,0 +1,23 @@
+#ifndef BIORANK_EVAL_AVERAGE_PRECISION_H_
+#define BIORANK_EVAL_AVERAGE_PRECISION_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace biorank {
+
+/// Average precision of a strictly-ordered binary relevance list
+/// (Section 4, "Measuring Ranking Performance"):
+///   AP = (1/k) * sum_i P@i * rel_i
+/// where k is the number of relevant items and P@i the precision at cut
+/// i. Computed at 100% recall like the paper. Fails if the list contains
+/// no relevant item (AP is undefined then).
+Result<double> AveragePrecision(const std::vector<bool>& relevance);
+
+/// Precision at cut `i` (1-based) of a binary relevance list.
+Result<double> PrecisionAt(const std::vector<bool>& relevance, int i);
+
+}  // namespace biorank
+
+#endif  // BIORANK_EVAL_AVERAGE_PRECISION_H_

@@ -1,0 +1,26 @@
+#include "eval/experiment_stats.h"
+
+namespace biorank {
+
+void ApExperiment::Record(const std::string& condition, double ap) {
+  auto [it, inserted] = samples_.try_emplace(condition);
+  if (inserted) order_.push_back(condition);
+  it->second.push_back(ap);
+}
+
+SampleStats ApExperiment::Summary(const std::string& condition) const {
+  auto it = samples_.find(condition);
+  if (it == samples_.end()) return SampleStats{};
+  return ComputeStats(it->second);
+}
+
+std::vector<double> ApExperiment::Samples(
+    const std::string& condition) const {
+  auto it = samples_.find(condition);
+  if (it == samples_.end()) return {};
+  return it->second;
+}
+
+std::vector<std::string> ApExperiment::Conditions() const { return order_; }
+
+}  // namespace biorank

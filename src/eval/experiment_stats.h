@@ -1,0 +1,37 @@
+#ifndef BIORANK_EVAL_EXPERIMENT_STATS_H_
+#define BIORANK_EVAL_EXPERIMENT_STATS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace biorank {
+
+/// Accumulates one AP sample per (condition, repetition) cell and reports
+/// the mean/stdev bars that the paper's figures print. Conditions are
+/// string keys such as method names ("Rel", "Prop", ...) or sigma levels
+/// ("0.5", "1", "2", "3", "Random").
+class ApExperiment {
+ public:
+  /// Records one average-precision observation under `condition`.
+  void Record(const std::string& condition, double ap);
+
+  /// Mean/stdev/CI summary of a condition; zeroed stats if unseen.
+  SampleStats Summary(const std::string& condition) const;
+
+  /// All observations of one condition (insertion order).
+  std::vector<double> Samples(const std::string& condition) const;
+
+  /// All condition keys in insertion order of first appearance.
+  std::vector<std::string> Conditions() const;
+
+ private:
+  std::map<std::string, std::vector<double>> samples_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace biorank
+
+#endif  // BIORANK_EVAL_EXPERIMENT_STATS_H_

@@ -1,0 +1,34 @@
+#include "eval/perturbation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace biorank {
+
+double LogOdds(double p) { return std::log(p / (1.0 - p)); }
+
+double InverseLogOdds(double lo) { return 1.0 / (1.0 + std::exp(-lo)); }
+
+double PerturbProbabilityLogOdds(double p, const PerturbationOptions& options,
+                                 Rng& rng) {
+  double clamped =
+      std::min(1.0 - options.clamp, std::max(options.clamp, p));
+  double noisy = LogOdds(clamped) + rng.NextGaussian(0.0, options.sigma);
+  return InverseLogOdds(noisy);
+}
+
+void PerturbQueryGraph(QueryGraph& query_graph,
+                       const PerturbationOptions& options, Rng& rng) {
+  ProbabilisticEntityGraph& graph = query_graph.graph;
+  for (NodeId i : graph.AliveNodes()) {
+    if (options.skip_source && i == query_graph.source) continue;
+    graph.SetNodeProb(
+        i, PerturbProbabilityLogOdds(graph.node(i).p, options, rng));
+  }
+  for (EdgeId e : graph.AliveEdges()) {
+    graph.SetEdgeProb(
+        e, PerturbProbabilityLogOdds(graph.edge(e).q, options, rng));
+  }
+}
+
+}  // namespace biorank

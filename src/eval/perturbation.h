@@ -1,0 +1,45 @@
+#ifndef BIORANK_EVAL_PERTURBATION_H_
+#define BIORANK_EVAL_PERTURBATION_H_
+
+#include "core/query_graph.h"
+#include "util/rng.h"
+
+namespace biorank {
+
+/// Options for the multi-way sensitivity analysis of Section 4.
+struct PerturbationOptions {
+  /// Standard deviation of the Gaussian noise added in log-odds space
+  /// (the paper sweeps sigma in {0.5, 1, 2, 3}).
+  double sigma = 1.0;
+  /// Probabilities are clamped into [clamp, 1 - clamp] before the
+  /// log-odds transform so that the boundary values 0 and 1 stay finite
+  /// (Henrion et al.'s construction assumes interior probabilities).
+  double clamp = 1e-3;
+  /// Leave the query node untouched (it is an artifact of the mediator,
+  /// not a data item).
+  bool skip_source = true;
+};
+
+/// One perturbed probability by the log-odds method of Henrion et al.
+/// (UAI 1996) used in the paper:
+///   p' = Lo^-1( Lo(p) + Normal(0, sigma) )
+/// "avoids the need for range checks and enables control over the amount
+/// of noise added."
+double PerturbProbabilityLogOdds(double p, const PerturbationOptions& options,
+                                 Rng& rng);
+
+/// Perturbs every node probability p and edge probability q of the query
+/// graph in place (simultaneous multi-way perturbation, representative of
+/// all parameters being imprecise at once).
+void PerturbQueryGraph(QueryGraph& query_graph,
+                       const PerturbationOptions& options, Rng& rng);
+
+/// Log-odds of p (p must be in (0,1)); exposed for tests.
+double LogOdds(double p);
+
+/// Inverse log-odds (the logistic function); exposed for tests.
+double InverseLogOdds(double lo);
+
+}  // namespace biorank
+
+#endif  // BIORANK_EVAL_PERTURBATION_H_

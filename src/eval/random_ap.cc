@@ -1,0 +1,19 @@
+#include "eval/random_ap.h"
+
+namespace biorank {
+
+Result<double> RandomAveragePrecision(int k, int n) {
+  if (n < 1) return Status::InvalidArgument("n must be >= 1");
+  if (k < 1 || k > n) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+  if (n == 1) return 1.0;  // The single item is relevant.
+  double sum = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    sum += (static_cast<double>(k - 1) * (i - 1) + (n - 1)) /
+           (static_cast<double>(i) * (n - 1) * n);
+  }
+  return sum;
+}
+
+}  // namespace biorank

@@ -1,0 +1,19 @@
+#ifndef BIORANK_EVAL_RANDOM_AP_H_
+#define BIORANK_EVAL_RANDOM_AP_H_
+
+#include "util/status.h"
+
+namespace biorank {
+
+/// Definition 4.1: the expected average precision of an arbitrarily
+/// (uniformly randomly) ordered list of n items of which k are relevant:
+///
+///   APrand(k, n) = sum_{i=1..n} [(k-1)(i-1) + (n-1)] / [i (n-1) n]
+///
+/// This is the "Random" baseline bar of Figures 5 and 6, and equals
+/// ExpectedApWithTies on a single all-tied group. Requires 1 <= k <= n.
+Result<double> RandomAveragePrecision(int k, int n);
+
+}  // namespace biorank
+
+#endif  // BIORANK_EVAL_RANDOM_AP_H_

@@ -1,0 +1,71 @@
+#include "eval/rank_correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace biorank {
+
+Result<double> KendallTauB(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("kendall tau: size mismatch");
+  }
+  size_t n = a.size();
+  if (n < 2) {
+    return Status::InvalidArgument("kendall tau: need at least two items");
+  }
+  // O(n^2) pair scan; answer sets are at most a few hundred items.
+  int64_t concordant = 0, discordant = 0;
+  int64_t ties_a = 0, ties_b = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double da = a[i] - a[j];
+      double db = b[i] - b[j];
+      if (da == 0.0 && db == 0.0) {
+        ++ties_a;
+        ++ties_b;
+      } else if (da == 0.0) {
+        ++ties_a;
+      } else if (db == 0.0) {
+        ++ties_b;
+      } else if ((da > 0.0) == (db > 0.0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  int64_t total = static_cast<int64_t>(n) * (n - 1) / 2;
+  double denom = std::sqrt(static_cast<double>(total - ties_a)) *
+                 std::sqrt(static_cast<double>(total - ties_b));
+  if (denom == 0.0) {
+    // One side is entirely tied: correlation is undefined; report 0.
+    return 0.0;
+  }
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+Result<double> RankingKendallTau(const std::vector<RankedAnswer>& a,
+                                 const std::vector<RankedAnswer>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("ranking tau: size mismatch");
+  }
+  std::map<NodeId, double> scores_b;
+  for (const RankedAnswer& answer : b) scores_b[answer.node] = answer.score;
+  std::vector<double> va, vb;
+  va.reserve(a.size());
+  vb.reserve(a.size());
+  for (const RankedAnswer& answer : a) {
+    auto it = scores_b.find(answer.node);
+    if (it == scores_b.end()) {
+      return Status::InvalidArgument(
+          "ranking tau: rankings cover different answer sets");
+    }
+    va.push_back(answer.score);
+    vb.push_back(it->second);
+  }
+  return KendallTauB(va, vb);
+}
+
+}  // namespace biorank

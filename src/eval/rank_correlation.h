@@ -1,0 +1,30 @@
+#ifndef BIORANK_EVAL_RANK_CORRELATION_H_
+#define BIORANK_EVAL_RANK_CORRELATION_H_
+
+#include <vector>
+
+#include "core/ranking.h"
+#include "util/status.h"
+
+namespace biorank {
+
+/// Kendall's tau-b rank correlation between two score assignments over
+/// the same item set. 1 = identical order, -1 = reversed, 0 = unrelated;
+/// tau-b corrects for ties on either side (ubiquitous here: deterministic
+/// scores tie heavily).
+///
+/// The sensitivity literature the paper cites (Kiersztok & Wang; Pradhan
+/// et al.) frames robustness as the absence of rank-order swaps; this
+/// measures exactly that, complementing the AP-based Figure 6 analysis.
+/// Fails when sizes differ or fewer than two items are given.
+Result<double> KendallTauB(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/// Tau-b between two rankings of the same answer set (matched by node
+/// id). Fails if the rankings cover different node sets.
+Result<double> RankingKendallTau(const std::vector<RankedAnswer>& a,
+                                 const std::vector<RankedAnswer>& b);
+
+}  // namespace biorank
+
+#endif  // BIORANK_EVAL_RANK_CORRELATION_H_

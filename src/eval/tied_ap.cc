@@ -1,0 +1,100 @@
+#include "eval/tied_ap.h"
+
+#include <algorithm>
+
+#include "eval/average_precision.h"
+
+namespace biorank {
+
+Result<double> ExpectedApWithTies(const std::vector<TiedGroup>& groups) {
+  int total_relevant = 0;
+  for (const TiedGroup& g : groups) {
+    if (g.size < 0 || g.relevant < 0 || g.relevant > g.size) {
+      return Status::InvalidArgument("tied group with inconsistent counts");
+    }
+    total_relevant += g.relevant;
+  }
+  if (total_relevant == 0) {
+    return Status::InvalidArgument(
+        "expected AP undefined: no relevant items");
+  }
+
+  double expectation = 0.0;
+  int items_before = 0;     // s_g
+  int relevant_before = 0;  // K_g
+  for (const TiedGroup& g : groups) {
+    if (g.relevant > 0) {
+      double spread_coeff =
+          g.size > 1 ? static_cast<double>(g.relevant - 1) /
+                           static_cast<double>(g.size - 1)
+                     : 0.0;
+      double inner = 0.0;
+      for (int j = 1; j <= g.size; ++j) {
+        double expected_relevant_at_or_before =
+            relevant_before + 1.0 + spread_coeff * (j - 1);
+        inner += expected_relevant_at_or_before /
+                 static_cast<double>(items_before + j);
+      }
+      // Each of the g.relevant relevant items contributes the same
+      // j-average.
+      expectation += g.relevant * inner / static_cast<double>(g.size);
+    }
+    items_before += g.size;
+    relevant_before += g.relevant;
+  }
+  return expectation / static_cast<double>(total_relevant);
+}
+
+std::vector<TiedGroup> GroupsFromRanking(
+    const std::vector<RankedAnswer>& ranking,
+    const std::unordered_set<NodeId>& relevant) {
+  std::vector<TiedGroup> groups;
+  size_t i = 0;
+  while (i < ranking.size()) {
+    // Items in one tie group share the same rank interval.
+    int lo = ranking[i].rank_lo;
+    TiedGroup group;
+    while (i < ranking.size() && ranking[i].rank_lo == lo) {
+      ++group.size;
+      if (relevant.count(ranking[i].node) > 0) ++group.relevant;
+      ++i;
+    }
+    groups.push_back(group);
+  }
+  return groups;
+}
+
+Result<double> ApForRanking(const std::vector<RankedAnswer>& ranking,
+                            const std::unordered_set<NodeId>& relevant) {
+  return ExpectedApWithTies(GroupsFromRanking(ranking, relevant));
+}
+
+Result<double> SampleApOverPermutations(const std::vector<TiedGroup>& groups,
+                                        Rng& rng, int samples) {
+  if (samples <= 0) {
+    return Status::InvalidArgument("samples must be positive");
+  }
+  int total_relevant = 0;
+  for (const TiedGroup& g : groups) total_relevant += g.relevant;
+  if (total_relevant == 0) {
+    return Status::InvalidArgument("sampled AP undefined: no relevant items");
+  }
+
+  double sum = 0.0;
+  std::vector<bool> relevance;
+  for (int s = 0; s < samples; ++s) {
+    relevance.clear();
+    for (const TiedGroup& g : groups) {
+      std::vector<bool> block(g.size, false);
+      std::fill(block.begin(), block.begin() + g.relevant, true);
+      rng.Shuffle(block);
+      relevance.insert(relevance.end(), block.begin(), block.end());
+    }
+    Result<double> ap = AveragePrecision(relevance);
+    if (!ap.ok()) return ap.status();
+    sum += ap.value();
+  }
+  return sum / samples;
+}
+
+}  // namespace biorank

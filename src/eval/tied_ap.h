@@ -1,0 +1,53 @@
+#ifndef BIORANK_EVAL_TIED_AP_H_
+#define BIORANK_EVAL_TIED_AP_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/ranking.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace biorank {
+
+/// One maximal run of equal scores in a ranked list: `size` items of which
+/// `relevant` are relevant under the gold standard.
+struct TiedGroup {
+  int size = 0;
+  int relevant = 0;
+};
+
+/// Expected average precision over all within-group permutations of a tied
+/// ranking — the analytic method of McSherry & Najork (ECIR 2008) that the
+/// paper adopts for scoring functions with ties (Section 4).
+///
+/// Derivation: condition on a relevant item of group g landing at offset j
+/// (uniform over the group). The other relevant items of the group are
+/// exchangeable, so the expected number of relevant items at or before it
+/// is K_g + 1 + (k_g - 1)(j - 1)/(n_g - 1), where K_g counts relevant
+/// items in strictly earlier groups; the precision denominator s_g + j is
+/// deterministic given j. Averaging over j and summing over groups gives
+/// the exact expectation (Definition 4.1 is the one-group special case).
+///
+/// Fails if no group contains a relevant item or counts are inconsistent.
+Result<double> ExpectedApWithTies(const std::vector<TiedGroup>& groups);
+
+/// Builds tied groups from a tie-aware ranking (core/ranking.h) and the
+/// set of relevant nodes, in rank order.
+std::vector<TiedGroup> GroupsFromRanking(
+    const std::vector<RankedAnswer>& ranking,
+    const std::unordered_set<NodeId>& relevant);
+
+/// Convenience: expected tied AP of a ranking against a gold standard.
+Result<double> ApForRanking(const std::vector<RankedAnswer>& ranking,
+                            const std::unordered_set<NodeId>& relevant);
+
+/// Monte Carlo estimate of the same expectation by sampling uniform
+/// within-group permutations. Exists to property-test the analytic
+/// formula; quadratically slower.
+Result<double> SampleApOverPermutations(const std::vector<TiedGroup>& groups,
+                                        Rng& rng, int samples);
+
+}  // namespace biorank
+
+#endif  // BIORANK_EVAL_TIED_AP_H_

@@ -1,0 +1,14 @@
+#include "integrate/exploratory_query.h"
+
+namespace biorank {
+
+ExploratoryQuery MakeProteinFunctionQuery(const std::string& gene_symbol) {
+  ExploratoryQuery query;
+  query.entity_set = "EntrezProtein";
+  query.attribute = "name";
+  query.value = gene_symbol;
+  query.output_sets = {"AmiGO"};
+  return query;
+}
+
+}  // namespace biorank

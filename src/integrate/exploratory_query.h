@@ -1,0 +1,28 @@
+#ifndef BIORANK_INTEGRATE_EXPLORATORY_QUERY_H_
+#define BIORANK_INTEGRATE_EXPLORATORY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+namespace biorank {
+
+/// An exploratory query (Definition 2.2): match records of an input
+/// entity set on one attribute value, follow all links recursively, and
+/// return every reachable record of the output entity sets, ranked by a
+/// relevance function.
+///
+/// The paper's running example is
+///   (EntrezProtein.name = "ABCC8", {AmiGO}).
+struct ExploratoryQuery {
+  std::string entity_set = "EntrezProtein";
+  std::string attribute = "name";
+  std::string value;
+  std::vector<std::string> output_sets = {"AmiGO"};
+};
+
+/// Builds the paper's canonical query shape for a protein symbol.
+ExploratoryQuery MakeProteinFunctionQuery(const std::string& gene_symbol);
+
+}  // namespace biorank
+
+#endif  // BIORANK_INTEGRATE_EXPLORATORY_QUERY_H_

@@ -1,0 +1,59 @@
+#include "integrate/scenario_harness.h"
+
+#include "eval/random_ap.h"
+#include "eval/tied_ap.h"
+
+namespace biorank {
+
+ScenarioHarness::ScenarioHarness(HarnessOptions options)
+    : options_(options),
+      universe_(ProteinUniverse::Generate(options.universe)),
+      registry_(universe_, options.sources),
+      mediator_(registry_, options.mediator),
+      ranker_(options.ranker) {}
+
+Result<std::vector<ScenarioQuery>> ScenarioHarness::BuildQueries(
+    ScenarioId scenario) const {
+  std::vector<ScenarioQuery> queries;
+  for (const ScenarioCase& spec : BuildScenarioCases(universe_, scenario)) {
+    Result<ExploratoryQueryResult> run =
+        mediator_.Run(MakeProteinFunctionQuery(spec.gene_symbol));
+    if (!run.ok()) return run.status();
+    ScenarioQuery query;
+    query.spec = spec;
+    query.answer_count =
+        static_cast<int>(run.value().query_graph.answers.size());
+    query.gold_total = static_cast<int>(spec.gold_functions.size());
+    for (int go : spec.gold_functions) {
+      auto it = run.value().go_node.find(go);
+      if (it != run.value().go_node.end()) {
+        query.relevant.insert(it->second);
+        ++query.gold_retrieved;
+      }
+    }
+    query.graph = std::move(run.value().query_graph);
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+Result<double> ScenarioHarness::ApForQuery(const ScenarioQuery& query,
+                                           RankingMethod method) const {
+  return ApForGraph(query.graph, query.relevant, method);
+}
+
+Result<double> ScenarioHarness::ApForGraph(
+    const QueryGraph& graph, const std::unordered_set<NodeId>& relevant,
+    RankingMethod method) const {
+  Result<std::vector<RankedAnswer>> ranking = ranker_.Rank(graph, method);
+  if (!ranking.ok()) return ranking.status();
+  return ApForRanking(ranking.value(), relevant);
+}
+
+Result<double> ScenarioHarness::RandomBaselineAp(
+    const ScenarioQuery& query) const {
+  return RandomAveragePrecision(
+      static_cast<int>(query.relevant.size()), query.answer_count);
+}
+
+}  // namespace biorank

@@ -1,0 +1,76 @@
+#ifndef BIORANK_INTEGRATE_SCENARIO_HARNESS_H_
+#define BIORANK_INTEGRATE_SCENARIO_HARNESS_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/ranking.h"
+#include "datagen/scenario.h"
+#include "integrate/mediator.h"
+#include "sources/source_registry.h"
+#include "util/status.h"
+
+namespace biorank {
+
+/// One fully materialized scenario query: the probabilistic query graph,
+/// and the gold standard expressed as graph node ids.
+struct ScenarioQuery {
+  ScenarioCase spec;
+  QueryGraph graph;
+  /// Answer nodes the gold standard marks relevant.
+  std::unordered_set<NodeId> relevant;
+  int answer_count = 0;   ///< |answer set| ("# BioRank Functions").
+  int gold_total = 0;     ///< |gold standard| for this case.
+  int gold_retrieved = 0; ///< Gold functions present in the answer set.
+};
+
+/// Everything the experiments need, bundled.
+struct HarnessOptions {
+  UniverseOptions universe;
+  SourceRegistryOptions sources;
+  MediatorOptions mediator;
+  RankerOptions ranker;
+};
+
+/// End-to-end experiment driver: generates the universe, instantiates the
+/// sources and the mediator, materializes scenario queries, and scores
+/// rankings. Every bench binary goes through this class, so the paper's
+/// tables and figures all share one world per seed.
+class ScenarioHarness {
+ public:
+  explicit ScenarioHarness(HarnessOptions options = {});
+
+  const ProteinUniverse& universe() const { return universe_; }
+  const SourceRegistry& sources() const { return registry_; }
+  const Mediator& mediator() const { return mediator_; }
+  const Ranker& ranker() const { return ranker_; }
+
+  /// Materializes every query of a scenario.
+  Result<std::vector<ScenarioQuery>> BuildQueries(ScenarioId scenario) const;
+
+  /// Tied average precision of `method` on one query.
+  Result<double> ApForQuery(const ScenarioQuery& query,
+                            RankingMethod method) const;
+
+  /// Tied AP of `method` on a pre-built (possibly perturbed) graph,
+  /// scored against `query`'s gold standard.
+  Result<double> ApForGraph(const QueryGraph& graph,
+                            const std::unordered_set<NodeId>& relevant,
+                            RankingMethod method) const;
+
+  /// Definition 4.1 baseline for one query: APrand(k, n) with k the
+  /// retrieved gold functions and n the answer-set size.
+  Result<double> RandomBaselineAp(const ScenarioQuery& query) const;
+
+ private:
+  HarnessOptions options_;
+  ProteinUniverse universe_;
+  SourceRegistry registry_;
+  Mediator mediator_;
+  Ranker ranker_;
+};
+
+}  // namespace biorank
+
+#endif  // BIORANK_INTEGRATE_SCENARIO_HARNESS_H_

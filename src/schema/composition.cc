@@ -1,0 +1,31 @@
+#include "schema/composition.h"
+
+namespace biorank {
+
+Cardinality Compose(Cardinality first, Cardinality second) {
+  if (first == Cardinality::kOneToOne) return second;
+  if (second == Cardinality::kOneToOne) return first;
+  if (first == Cardinality::kManyToMany ||
+      second == Cardinality::kManyToMany) {
+    return Cardinality::kManyToMany;
+  }
+  if (first == second) return first;  // [1:n]o[1:n] or [n:1]o[n:1].
+  // Mixed [1:n] o [n:1] (or the reverse): ambiguous without domain
+  // knowledge; the safe answer is [m:n].
+  return Cardinality::kManyToMany;
+}
+
+void CompositionOracle::Declare(const std::string& first_rel,
+                                const std::string& second_rel,
+                                Cardinality result) {
+  overrides_[{first_rel, second_rel}] = result;
+}
+
+Cardinality CompositionOracle::Resolve(const RelationshipDef& first,
+                                       const RelationshipDef& second) const {
+  auto it = overrides_.find({first.name, second.name});
+  if (it != overrides_.end()) return it->second;
+  return Compose(first.cardinality, second.cardinality);
+}
+
+}  // namespace biorank

@@ -1,0 +1,47 @@
+#ifndef BIORANK_SCHEMA_COMPOSITION_H_
+#define BIORANK_SCHEMA_COMPOSITION_H_
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "schema/er_schema.h"
+
+namespace biorank {
+
+/// Composition algebra on relationship cardinalities (Section 3.1):
+///   [1:1] o X = X,  X o [1:1] = X
+///   [1:n] o [1:n] = [1:n]
+///   [n:1] o [n:1] = [n:1]
+///   anything o [m:n] = [m:n] o anything = [m:n]
+///   [1:n] o [n:1] and [n:1] o [1:n] = [m:n] in general ("but with domain
+///   knowledge we can often determine the type of the composed
+///   relationship" — see CompositionOracle).
+Cardinality Compose(Cardinality first, Cardinality second);
+
+/// Domain-knowledge overrides for otherwise-ambiguous compositions.
+/// Theorem 3.2's reducibility check needs to know when a [1:n] o [n:1]
+/// composition happens to be [1:n], [n:1], or [1:1] at the data level;
+/// experts register those facts here keyed by the two relationship names.
+class CompositionOracle {
+ public:
+  /// Declares that composing `first_rel` then `second_rel` has the given
+  /// cardinality.
+  void Declare(const std::string& first_rel, const std::string& second_rel,
+               Cardinality result);
+
+  /// Resulting cardinality of first_rel o second_rel: the declared
+  /// override if any, otherwise the generic algebra on the two
+  /// relationships' own cardinalities.
+  Cardinality Resolve(const RelationshipDef& first,
+                      const RelationshipDef& second) const;
+
+  size_t size() const { return overrides_.size(); }
+
+ private:
+  std::map<std::pair<std::string, std::string>, Cardinality> overrides_;
+};
+
+}  // namespace biorank
+
+#endif  // BIORANK_SCHEMA_COMPOSITION_H_

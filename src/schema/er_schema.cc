@@ -1,0 +1,129 @@
+#include "schema/er_schema.h"
+
+namespace biorank {
+
+const char* CardinalityToString(Cardinality c) {
+  switch (c) {
+    case Cardinality::kOneToOne:
+      return "[1:1]";
+    case Cardinality::kOneToMany:
+      return "[1:n]";
+    case Cardinality::kManyToOne:
+      return "[n:1]";
+    case Cardinality::kManyToMany:
+      return "[m:n]";
+  }
+  return "[?]";
+}
+
+Status ErSchema::AddEntitySet(EntitySetDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("entity set name must be non-empty");
+  }
+  if (def.ps < 0.0 || def.ps > 1.0) {
+    return Status::InvalidArgument("entity set ps must be in [0,1]: " +
+                                   def.name);
+  }
+  if (HasEntitySet(def.name)) {
+    return Status::InvalidArgument("duplicate entity set: " + def.name);
+  }
+  entity_sets_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Status ErSchema::AddRelationship(RelationshipDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("relationship name must be non-empty");
+  }
+  if (def.qs < 0.0 || def.qs > 1.0) {
+    return Status::InvalidArgument("relationship qs must be in [0,1]: " +
+                                   def.name);
+  }
+  if (!HasEntitySet(def.from)) {
+    return Status::NotFound("relationship " + def.name +
+                            ": unknown entity set " + def.from);
+  }
+  if (!HasEntitySet(def.to)) {
+    return Status::NotFound("relationship " + def.name +
+                            ": unknown entity set " + def.to);
+  }
+  for (const RelationshipDef& existing : relationships_) {
+    if (existing.name == def.name) {
+      return Status::InvalidArgument("duplicate relationship: " + def.name);
+    }
+  }
+  relationships_.push_back(std::move(def));
+  return Status::OK();
+}
+
+bool ErSchema::HasEntitySet(const std::string& name) const {
+  for (const EntitySetDef& def : entity_sets_) {
+    if (def.name == name) return true;
+  }
+  return false;
+}
+
+Result<EntitySetDef> ErSchema::GetEntitySet(const std::string& name) const {
+  for (const EntitySetDef& def : entity_sets_) {
+    if (def.name == name) return def;
+  }
+  return Status::NotFound("entity set: " + name);
+}
+
+Result<RelationshipDef> ErSchema::GetRelationship(
+    const std::string& name) const {
+  for (const RelationshipDef& def : relationships_) {
+    if (def.name == name) return def;
+  }
+  return Status::NotFound("relationship: " + name);
+}
+
+std::vector<std::string> ErSchema::OutgoingRelationships(
+    const std::string& entity_set) const {
+  std::vector<std::string> names;
+  for (const RelationshipDef& def : relationships_) {
+    if (def.from == entity_set) names.push_back(def.name);
+  }
+  return names;
+}
+
+std::vector<std::string> ErSchema::IncomingRelationships(
+    const std::string& entity_set) const {
+  std::vector<std::string> names;
+  for (const RelationshipDef& def : relationships_) {
+    if (def.to == entity_set) names.push_back(def.name);
+  }
+  return names;
+}
+
+ErSchema MakeFigure1Schema() {
+  ErSchema schema;
+  // Entity sets; ps values are the BioRank defaults (user-tunable).
+  schema.AddEntitySet({"EntrezProtein", {"name", "seq"}, 0.95});
+  schema.AddEntitySet({"NCBIBlastHit", {"seq2", "e-value"}, 0.70});
+  schema.AddEntitySet({"EntrezGene", {"StatusCode"}, 0.90});
+  schema.AddEntitySet({"PfamDomain", {"e-value"}, 0.75});
+  schema.AddEntitySet({"TigrFamModel", {"e-value"}, 0.80});
+  schema.AddEntitySet({"AmiGO", {"EvidenceCode"}, 0.90});
+
+  // Relationships; the cardinalities of Figure 1.
+  schema.AddRelationship({"NCBIBlast1", "EntrezProtein", "NCBIBlastHit",
+                          Cardinality::kOneToMany, 0.65});
+  schema.AddRelationship({"NCBIBlast2", "NCBIBlastHit", "EntrezGene",
+                          Cardinality::kManyToOne, 1.0});
+  schema.AddRelationship({"Pfam1", "EntrezProtein", "PfamDomain",
+                          Cardinality::kOneToMany, 0.80});
+  schema.AddRelationship({"TigrFam1", "EntrezProtein", "TigrFamModel",
+                          Cardinality::kOneToMany, 0.85});
+  schema.AddRelationship({"EntrezGene1", "EntrezProtein", "EntrezGene",
+                          Cardinality::kManyToOne, 1.0});
+  schema.AddRelationship({"EntrezGene2GO", "EntrezGene", "AmiGO",
+                          Cardinality::kManyToMany, 0.90});
+  schema.AddRelationship({"Pfam2GO", "PfamDomain", "AmiGO",
+                          Cardinality::kManyToMany, 0.75});
+  schema.AddRelationship({"TigrFam2GO", "TigrFamModel", "AmiGO",
+                          Cardinality::kManyToMany, 0.80});
+  return schema;
+}
+
+}  // namespace biorank

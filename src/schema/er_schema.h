@@ -1,0 +1,83 @@
+#ifndef BIORANK_SCHEMA_ER_SCHEMA_H_
+#define BIORANK_SCHEMA_ER_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace biorank {
+
+/// Cardinality type of a mediated-schema relationship (Section 3.1,
+/// "Tractable closed solution"). [1:1] is folded into [1:n] or [n:1] by
+/// the paper; we keep it distinct and treat it as both.
+enum class Cardinality {
+  kOneToOne,    ///< [1:1]
+  kOneToMany,   ///< [1:n]
+  kManyToOne,   ///< [n:1]
+  kManyToMany,  ///< [m:n]
+};
+
+/// Display form: "[1:1]", "[1:n]", "[n:1]", "[m:n]".
+const char* CardinalityToString(Cardinality c);
+
+/// An entity set of the mediated E/R schema, P(id, a1, a2, ...).
+struct EntitySetDef {
+  std::string name;                     ///< e.g. "EntrezGene".
+  std::vector<std::string> attributes;  ///< Attribute names beyond the key.
+  double ps = 1.0;                      ///< Set-level confidence (Sect 2).
+};
+
+/// A relationship of the mediated E/R schema, Q(id, id', b1, ...), linking
+/// `from` to `to` entity sets with a given cardinality type.
+struct RelationshipDef {
+  std::string name;   ///< e.g. "NCBIBlast1".
+  std::string from;   ///< Source entity set name.
+  std::string to;     ///< Target entity set name.
+  Cardinality cardinality = Cardinality::kManyToMany;
+  double qs = 1.0;    ///< Relationship-level confidence (Sect 2).
+};
+
+/// The mediated Entity-Relationship schema (Section 2, "Schema
+/// integration"): a directed multigraph of entity sets and relationships.
+class ErSchema {
+ public:
+  /// Adds an entity set; fails on duplicate names or ps outside [0,1].
+  Status AddEntitySet(EntitySetDef def);
+
+  /// Adds a relationship; fails if either endpoint is unknown, the name
+  /// duplicates, or qs is outside [0,1].
+  Status AddRelationship(RelationshipDef def);
+
+  bool HasEntitySet(const std::string& name) const;
+
+  Result<EntitySetDef> GetEntitySet(const std::string& name) const;
+  Result<RelationshipDef> GetRelationship(const std::string& name) const;
+
+  const std::vector<EntitySetDef>& entity_sets() const {
+    return entity_sets_;
+  }
+  const std::vector<RelationshipDef>& relationships() const {
+    return relationships_;
+  }
+
+  /// Names of relationships leaving / entering `entity_set`.
+  std::vector<std::string> OutgoingRelationships(
+      const std::string& entity_set) const;
+  std::vector<std::string> IncomingRelationships(
+      const std::string& entity_set) const;
+
+ private:
+  std::vector<EntitySetDef> entity_sets_;
+  std::vector<RelationshipDef> relationships_;
+};
+
+/// The subset of the BioRank mediated schema relevant to the paper's
+/// exploratory query (Figure 1): EntrezProtein fans out through NCBIBlast,
+/// Pfam, and TigrFam toward AmiGO GO-term records, plus the direct
+/// EntrezGene route.
+ErSchema MakeFigure1Schema();
+
+}  // namespace biorank
+
+#endif  // BIORANK_SCHEMA_ER_SCHEMA_H_

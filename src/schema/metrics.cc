@@ -1,0 +1,64 @@
+#include "schema/metrics.h"
+
+#include <algorithm>
+
+namespace biorank {
+
+namespace {
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+}  // namespace
+
+ProbabilisticMetrics ProbabilisticMetrics::FromSchema(const ErSchema& schema) {
+  ProbabilisticMetrics metrics;
+  for (const EntitySetDef& e : schema.entity_sets()) {
+    metrics.ps_[e.name] = e.ps;
+  }
+  for (const RelationshipDef& r : schema.relationships()) {
+    metrics.qs_[r.name] = r.qs;
+  }
+  return metrics;
+}
+
+Status ProbabilisticMetrics::SetSourceConfidence(
+    const std::string& entity_set, double ps) {
+  if (ps < 0.0 || ps > 1.0) {
+    return Status::InvalidArgument("ps must be in [0,1]: " + entity_set);
+  }
+  ps_[entity_set] = ps;
+  return Status::OK();
+}
+
+Status ProbabilisticMetrics::SetRelationshipConfidence(
+    const std::string& relationship, double qs) {
+  if (qs < 0.0 || qs > 1.0) {
+    return Status::InvalidArgument("qs must be in [0,1]: " + relationship);
+  }
+  qs_[relationship] = qs;
+  return Status::OK();
+}
+
+double ProbabilisticMetrics::SourceConfidence(
+    const std::string& entity_set) const {
+  auto it = ps_.find(entity_set);
+  return it == ps_.end() ? 1.0 : it->second;
+}
+
+double ProbabilisticMetrics::RelationshipConfidence(
+    const std::string& relationship) const {
+  auto it = qs_.find(relationship);
+  return it == qs_.end() ? 1.0 : it->second;
+}
+
+double ProbabilisticMetrics::NodeProbability(const std::string& entity_set,
+                                             double pr) const {
+  return SourceConfidence(entity_set) * Clamp01(pr);
+}
+
+double ProbabilisticMetrics::EdgeProbability(const std::string& relationship,
+                                             double qr) const {
+  return RelationshipConfidence(relationship) * Clamp01(qr);
+}
+
+}  // namespace biorank

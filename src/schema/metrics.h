@@ -1,0 +1,53 @@
+#ifndef BIORANK_SCHEMA_METRICS_H_
+#define BIORANK_SCHEMA_METRICS_H_
+
+#include <map>
+#include <string>
+
+#include "schema/er_schema.h"
+#include "util/status.h"
+
+namespace biorank {
+
+/// The four probabilistic metrics of Section 2 glued together:
+/// set-level confidences ps (per entity set) and qs (per relationship) are
+/// user-tunable parameters stored here; record-level pr and qr come from
+/// the attribute transforms and are passed in at graph-construction time.
+/// Node and edge probabilities are their products:
+///   p(i)   = ps(i) * pr(i)
+///   q(i,j) = qs(i,j) * qr(i,j)
+class ProbabilisticMetrics {
+ public:
+  ProbabilisticMetrics() = default;
+
+  /// Seeds ps/qs from the defaults recorded in the schema definitions.
+  static ProbabilisticMetrics FromSchema(const ErSchema& schema);
+
+  /// Overrides the set-level confidence of one entity set ("biologists
+  /// generally have more confidence in some sources than others").
+  Status SetSourceConfidence(const std::string& entity_set, double ps);
+
+  /// Overrides the set-level confidence of one relationship.
+  Status SetRelationshipConfidence(const std::string& relationship,
+                                   double qs);
+
+  /// ps of an entity set; 1.0 if never registered.
+  double SourceConfidence(const std::string& entity_set) const;
+
+  /// qs of a relationship; 1.0 if never registered.
+  double RelationshipConfidence(const std::string& relationship) const;
+
+  /// Final node probability p = ps * pr (pr clamped to [0,1]).
+  double NodeProbability(const std::string& entity_set, double pr) const;
+
+  /// Final edge probability q = qs * qr (qr clamped to [0,1]).
+  double EdgeProbability(const std::string& relationship, double qr) const;
+
+ private:
+  std::map<std::string, double> ps_;
+  std::map<std::string, double> qs_;
+};
+
+}  // namespace biorank
+
+#endif  // BIORANK_SCHEMA_METRICS_H_

@@ -1,0 +1,150 @@
+#include "schema/reducibility.h"
+
+#include <map>
+#include <set>
+
+namespace biorank {
+
+namespace {
+
+bool IsDownwardType(Cardinality c) {
+  return c == Cardinality::kOneToMany || c == Cardinality::kOneToOne;
+}
+
+bool IsUpwardType(Cardinality c) {
+  return c == Cardinality::kManyToOne || c == Cardinality::kOneToOne;
+}
+
+/// Detects a directed cycle among the given relationships.
+bool HasDirectedCycle(const std::vector<RelationshipDef>& rels) {
+  std::map<std::string, std::vector<std::string>> adjacency;
+  std::set<std::string> nodes;
+  for (const RelationshipDef& r : rels) {
+    adjacency[r.from].push_back(r.to);
+    nodes.insert(r.from);
+    nodes.insert(r.to);
+  }
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black.
+  // Iterative DFS per component.
+  for (const std::string& start : nodes) {
+    if (color[start] != 0) continue;
+    std::vector<std::pair<std::string, size_t>> stack = {{start, 0}};
+    color[start] = 1;
+    while (!stack.empty()) {
+      auto& [node, cursor] = stack.back();
+      auto& next_nodes = adjacency[node];
+      if (cursor >= next_nodes.size()) {
+        color[node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const std::string& next = next_nodes[cursor++];
+      if (color[next] == 1) return true;
+      if (color[next] == 0) {
+        color[next] = 1;
+        stack.emplace_back(next, 0);
+      }
+    }
+  }
+  return false;
+}
+
+bool IsForest(const std::vector<RelationshipDef>& rels) {
+  std::map<std::string, int> in_degree;
+  for (const RelationshipDef& r : rels) {
+    if (++in_degree[r.to] > 1) return false;
+  }
+  return !HasDirectedCycle(rels);
+}
+
+}  // namespace
+
+bool IsOneToManyForest(const ErSchema& schema) {
+  for (const RelationshipDef& r : schema.relationships()) {
+    if (!IsDownwardType(r.cardinality)) return false;
+  }
+  return IsForest(schema.relationships());
+}
+
+ReducibilityResult CheckSchemaReducibility(const ErSchema& schema,
+                                           const CompositionOracle& oracle) {
+  ReducibilityResult result;
+  // Mutable working copy of the relationship multigraph.
+  std::vector<RelationshipDef> rels = schema.relationships();
+  std::set<std::string> removed_sets;
+
+  auto is_tree_base_case = [&]() {
+    for (const RelationshipDef& r : rels) {
+      if (!IsDownwardType(r.cardinality)) return false;
+    }
+    return IsForest(rels);
+  };
+
+  int guard = static_cast<int>(schema.entity_sets().size()) + 1;
+  while (guard-- > 0) {
+    if (is_tree_base_case()) {
+      result.reducible = true;
+      result.trace.push_back("base case: [1:n] forest");
+      return result;
+    }
+    // Look for a contractible entity set P (Theorem 3.2 part B).
+    bool contracted = false;
+    for (const EntitySetDef& entity : schema.entity_sets()) {
+      const std::string& name = entity.name;
+      if (removed_sets.count(name) > 0) continue;
+      const RelationshipDef* incoming = nullptr;
+      const RelationshipDef* outgoing = nullptr;
+      int in_count = 0, out_count = 0;
+      bool self_loop = false;
+      for (const RelationshipDef& r : rels) {
+        if (r.from == name && r.to == name) self_loop = true;
+        if (r.to == name) {
+          ++in_count;
+          incoming = &r;
+        }
+        if (r.from == name) {
+          ++out_count;
+          outgoing = &r;
+        }
+      }
+      if (self_loop || in_count != 1 || out_count != 1) continue;
+      if (!IsDownwardType(incoming->cardinality)) continue;
+      if (!IsUpwardType(outgoing->cardinality)) continue;
+      Cardinality composed = oracle.Resolve(*incoming, *outgoing);
+      if (composed == Cardinality::kManyToMany) continue;
+
+      // Contract: remove P with its two relationships, add Q o Q'.
+      RelationshipDef fused;
+      fused.name = incoming->name + "*" + outgoing->name;
+      fused.from = incoming->from;
+      fused.to = outgoing->to;
+      fused.cardinality = composed;
+      fused.qs = incoming->qs * outgoing->qs;
+      result.trace.push_back("contract " + name + ": " + incoming->name +
+                             " o " + outgoing->name + " = " +
+                             CardinalityToString(composed));
+      std::vector<RelationshipDef> next;
+      for (const RelationshipDef& r : rels) {
+        if (r.name != incoming->name && r.name != outgoing->name) {
+          next.push_back(r);
+        }
+      }
+      next.push_back(fused);
+      rels = std::move(next);
+      removed_sets.insert(name);
+      contracted = true;
+      break;
+    }
+    if (!contracted) {
+      result.reducible = false;
+      result.trace.push_back(
+          "stuck: no contractible entity set and not a [1:n] forest");
+      return result;
+    }
+  }
+  result.reducible = false;
+  result.trace.push_back("internal: contraction guard exhausted");
+  return result;
+}
+
+}  // namespace biorank

@@ -1,0 +1,42 @@
+#ifndef BIORANK_SCHEMA_REDUCIBILITY_H_
+#define BIORANK_SCHEMA_REDUCIBILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/composition.h"
+#include "schema/er_schema.h"
+
+namespace biorank {
+
+/// Outcome of the Theorem 3.2 decision procedure.
+struct ReducibilityResult {
+  /// True if the theorem proves every data instance of the schema fully
+  /// reducible by the Section 3.1 graph transformation rules. The theorem
+  /// is sufficient, not necessary: `false` means "not provably reducible"
+  /// (e.g. Figure 2d's benign [m:n] is out of the theorem's reach).
+  bool reducible = false;
+  /// Human-readable contraction steps / the reason the procedure stopped.
+  std::vector<std::string> trace;
+};
+
+/// Decides schema reducibility per Theorem 3.2:
+///   A) a rooted forest whose relationships are all [1:n] (or [1:1]) is
+///      reducible;
+///   B) if some entity set P has exactly one incoming relationship Q of
+///      type [1:n] and exactly one outgoing relationship Q' of type [n:1]
+///      (with [1:1] admissible as either), and Q o Q' resolves to [1:n] or
+///      [n:1] (not [m:n]), then S is reducible iff S with P contracted is.
+/// The oracle supplies domain knowledge for otherwise-ambiguous
+/// compositions (the key of part B-a).
+ReducibilityResult CheckSchemaReducibility(
+    const ErSchema& schema, const CompositionOracle& oracle = {});
+
+/// Part A's base case on its own: every relationship is [1:n] or [1:1],
+/// every entity set has at most one incoming relationship, and there is no
+/// directed cycle.
+bool IsOneToManyForest(const ErSchema& schema);
+
+}  // namespace biorank
+
+#endif  // BIORANK_SCHEMA_REDUCIBILITY_H_

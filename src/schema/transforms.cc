@@ -1,0 +1,148 @@
+#include "schema/transforms.h"
+
+#include <cmath>
+
+namespace biorank {
+
+const char* GeneStatusToString(GeneStatus status) {
+  switch (status) {
+    case GeneStatus::kReviewed:
+      return "Reviewed";
+    case GeneStatus::kValidated:
+      return "Validated";
+    case GeneStatus::kProvisional:
+      return "Provisional";
+    case GeneStatus::kPredicted:
+      return "Predicted";
+    case GeneStatus::kModel:
+      return "Model";
+    case GeneStatus::kInferred:
+      return "Inferred";
+  }
+  return "?";
+}
+
+const char* EvidenceCodeToString(EvidenceCode code) {
+  switch (code) {
+    case EvidenceCode::kIDA:
+      return "IDA";
+    case EvidenceCode::kTAS:
+      return "TAS";
+    case EvidenceCode::kIGI:
+      return "IGI";
+    case EvidenceCode::kIMP:
+      return "IMP";
+    case EvidenceCode::kIPI:
+      return "IPI";
+    case EvidenceCode::kIEP:
+      return "IEP";
+    case EvidenceCode::kISS:
+      return "ISS";
+    case EvidenceCode::kRCA:
+      return "RCA";
+    case EvidenceCode::kIC:
+      return "IC";
+    case EvidenceCode::kNAS:
+      return "NAS";
+    case EvidenceCode::kIEA:
+      return "IEA";
+    case EvidenceCode::kND:
+      return "ND";
+    case EvidenceCode::kNR:
+      return "NR";
+  }
+  return "?";
+}
+
+double GeneStatusToPr(GeneStatus status) {
+  switch (status) {
+    case GeneStatus::kReviewed:
+      return 1.0;
+    case GeneStatus::kValidated:
+      return 0.8;
+    case GeneStatus::kProvisional:
+      return 0.7;
+    case GeneStatus::kPredicted:
+      return 0.4;
+    case GeneStatus::kModel:
+      return 0.3;
+    case GeneStatus::kInferred:
+      return 0.2;
+  }
+  return 0.0;
+}
+
+double EvidenceCodeToPr(EvidenceCode code) {
+  switch (code) {
+    case EvidenceCode::kIDA:
+    case EvidenceCode::kTAS:
+      return 1.0;
+    case EvidenceCode::kIGI:
+    case EvidenceCode::kIMP:
+    case EvidenceCode::kIPI:
+      return 0.9;
+    case EvidenceCode::kIEP:
+    case EvidenceCode::kISS:
+    case EvidenceCode::kRCA:
+      return 0.7;
+    case EvidenceCode::kIC:
+      return 0.6;
+    case EvidenceCode::kNAS:
+      return 0.5;
+    case EvidenceCode::kIEA:
+      return 0.3;
+    case EvidenceCode::kND:
+    case EvidenceCode::kNR:
+      return 0.2;
+  }
+  return 0.0;
+}
+
+Result<double> GeneStatusStringToPr(std::string_view status) {
+  static constexpr struct {
+    const char* name;
+    GeneStatus status;
+  } kTable[] = {
+      {"Reviewed", GeneStatus::kReviewed},
+      {"Validated", GeneStatus::kValidated},
+      {"Provisional", GeneStatus::kProvisional},
+      {"Predicted", GeneStatus::kPredicted},
+      {"Model", GeneStatus::kModel},
+      {"Inferred", GeneStatus::kInferred},
+  };
+  for (const auto& entry : kTable) {
+    if (status == entry.name) return GeneStatusToPr(entry.status);
+  }
+  return Status::NotFound("unknown EntrezGene status code: " +
+                          std::string(status));
+}
+
+Result<double> EvidenceCodeStringToPr(std::string_view code) {
+  static constexpr struct {
+    const char* name;
+    EvidenceCode code;
+  } kTable[] = {
+      {"IDA", EvidenceCode::kIDA}, {"TAS", EvidenceCode::kTAS},
+      {"IGI", EvidenceCode::kIGI}, {"IMP", EvidenceCode::kIMP},
+      {"IPI", EvidenceCode::kIPI}, {"IEP", EvidenceCode::kIEP},
+      {"ISS", EvidenceCode::kISS}, {"RCA", EvidenceCode::kRCA},
+      {"IC", EvidenceCode::kIC},   {"NAS", EvidenceCode::kNAS},
+      {"IEA", EvidenceCode::kIEA}, {"ND", EvidenceCode::kND},
+      {"NR", EvidenceCode::kNR},
+  };
+  for (const auto& entry : kTable) {
+    if (code == entry.name) return EvidenceCodeToPr(entry.code);
+  }
+  return Status::NotFound("unknown GO evidence code: " + std::string(code));
+}
+
+double EValueToQr(double e_value) {
+  if (e_value <= 0.0) return 1.0;  // Better than any representable match.
+  if (e_value >= 1.0) return 0.0;
+  double qr = -std::log10(e_value) / 300.0;
+  if (qr > 1.0) return 1.0;
+  if (qr < 0.0) return 0.0;
+  return qr;
+}
+
+}  // namespace biorank

@@ -1,0 +1,65 @@
+#ifndef BIORANK_SCHEMA_TRANSFORMS_H_
+#define BIORANK_SCHEMA_TRANSFORMS_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace biorank {
+
+/// EntrezGene record status codes (Section 2's transformation table).
+enum class GeneStatus {
+  kReviewed,
+  kValidated,
+  kProvisional,
+  kPredicted,
+  kModel,
+  kInferred,
+};
+
+/// Gene Ontology evidence codes (AmiGO's transformation table). Codes with
+/// equal confidence share one enumerator group.
+enum class EvidenceCode {
+  kIDA,  ///< Inferred from Direct Assay.
+  kTAS,  ///< Traceable Author Statement.
+  kIGI,  ///< Inferred from Genetic Interaction.
+  kIMP,  ///< Inferred from Mutant Phenotype.
+  kIPI,  ///< Inferred from Physical Interaction.
+  kIEP,  ///< Inferred from Expression Pattern.
+  kISS,  ///< Inferred from Sequence Similarity.
+  kRCA,  ///< Reviewed Computational Analysis.
+  kIC,   ///< Inferred by Curator.
+  kNAS,  ///< Non-traceable Author Statement.
+  kIEA,  ///< Inferred from Electronic Annotation.
+  kND,   ///< No biological Data available.
+  kNR,   ///< Not Recorded.
+};
+
+const char* GeneStatusToString(GeneStatus status);
+const char* EvidenceCodeToString(EvidenceCode code);
+
+/// Record probability pr for an EntrezGene annotation by its status code,
+/// exactly the paper's table: Reviewed 1.0, Validated 0.8, Provisional
+/// 0.7, Predicted 0.4, Model 0.3, Inferred 0.2.
+double GeneStatusToPr(GeneStatus status);
+
+/// pr for an AmiGO annotation by its evidence code, exactly the paper's
+/// table: IDA/TAS 1.0, IGI/IMP/IPI 0.9, IEP/ISS/RCA 0.7, IC 0.6, NAS 0.5,
+/// IEA 0.3, ND/NR 0.2.
+double EvidenceCodeToPr(EvidenceCode code);
+
+/// String-keyed variants for the mediator, which sees attribute values as
+/// text. Unknown codes are an error (unmodeled uncertainty must not pass
+/// silently).
+Result<double> GeneStatusStringToPr(std::string_view status);
+Result<double> EvidenceCodeStringToPr(std::string_view code);
+
+/// The paper's e-value transform (Section 2):
+///   qr = -log10(e-value) / 300, clamped to [0, 1].
+/// An e-value of 1e-300 or better maps to 1; e-values >= 1 map to 0.
+double EValueToQr(double e_value);
+
+}  // namespace biorank
+
+#endif  // BIORANK_SCHEMA_TRANSFORMS_H_

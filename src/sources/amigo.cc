@@ -1,0 +1,77 @@
+#include "sources/amigo.h"
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace biorank {
+
+AmigoSource::AmigoSource(const ProteinUniverse& universe,
+                         const EvidenceModel& evidence,
+                         const AmigoOptions& options) {
+  Rng rng(universe.options().seed ^ 0xA3160ULL);
+  annotations_.resize(universe.num_proteins());
+  for (int i = 0; i < universe.num_proteins(); ++i) {
+    const Protein& protein = universe.protein(i);
+    std::set<int> recorded;
+    // Recently published functions (scenario 2) mostly have not
+    // propagated into curated stores yet; their primary evidence lives in
+    // TIGRFAM's freshly updated models. A minority already carry one
+    // fast-tracked experimental annotation.
+    for (int go : protein.recent_functions) {
+      if (!rng.NextBernoulli(options.recent_annotation_probability)) continue;
+      annotations_[i].push_back(
+          GoAnnotation{i, evidence.SampleStrongEvidence(rng), go});
+      recorded.insert(go);
+    }
+
+    if (protein.study_level != StudyLevel::kHypothetical) {
+      // Established annotations mirroring (most of) the curated set;
+      // background proteins carry weaker evidence codes.
+      bool background = protein.study_level == StudyLevel::kBackground;
+      for (int go : protein.curated_functions) {
+        if (!rng.NextBernoulli(options.curated_coverage)) continue;
+        EvidenceCode code = background
+                                ? evidence.SampleBackgroundEvidence(rng)
+                                : evidence.SampleCuratedEvidence(rng);
+        annotations_[i].push_back(GoAnnotation{i, code, go});
+        recorded.insert(go);
+      }
+      // Weak electronically-inferred rows for other true functions.
+      for (int go : protein.true_functions) {
+        if (recorded.count(go) > 0) continue;
+        if (rng.NextBernoulli(options.weak_leak_probability)) {
+          annotations_[i].push_back(
+              GoAnnotation{i, evidence.SampleWeakEvidence(rng), go});
+          recorded.insert(go);
+        }
+      }
+    }
+
+    // Spurious noise; mostly IEA, occasionally deceptively strong
+    // (curation disagreements).
+    int spurious = static_cast<int>(
+        rng.NextInt(options.min_spurious, options.max_spurious));
+    for (int s = 0; s < spurious; ++s) {
+      int go = static_cast<int>(rng.NextBounded(universe.ontology().size()));
+      if (recorded.count(go) > 0) continue;
+      EvidenceCode code =
+          rng.NextBernoulli(options.spurious_strong_fraction)
+              ? evidence.SampleStrongEvidence(rng)
+              : EvidenceCode::kIEA;
+      annotations_[i].push_back(GoAnnotation{i, code, go});
+      recorded.insert(go);
+    }
+    total_ += static_cast<int>(annotations_[i].size());
+  }
+}
+
+const std::vector<GoAnnotation>& AmigoSource::AnnotationsFor(
+    int gene_id) const {
+  if (gene_id < 0 || gene_id >= static_cast<int>(annotations_.size())) {
+    return empty_;
+  }
+  return annotations_[gene_id];
+}
+
+}  // namespace biorank

@@ -1,0 +1,6 @@
+#include "sources/data_source.h"
+
+// DataSource is a pure interface; this translation unit anchors its
+// vtable.
+
+namespace biorank {}  // namespace biorank

@@ -1,0 +1,29 @@
+#ifndef BIORANK_SOURCES_DATA_SOURCE_H_
+#define BIORANK_SOURCES_DATA_SOURCE_H_
+
+#include <string>
+
+namespace biorank {
+
+/// Base interface of a simulated biological data source. Each source owns
+/// records derived deterministically from a ProteinUniverse (the stand-in
+/// for the live 2007 web sources the paper integrated; see DESIGN.md's
+/// substitution table) and exposes typed query methods on its concrete
+/// class. The #E / #R counts mirror the paper's Section 2 source table.
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+
+  /// Source name as registered with the mediator, e.g. "NCBIBlast".
+  virtual std::string name() const = 0;
+
+  /// Number of entity sets this source exports (paper's #E column).
+  virtual int entity_set_count() const = 0;
+
+  /// Number of relationships this source exports (paper's #R column).
+  virtual int relationship_count() const = 0;
+};
+
+}  // namespace biorank
+
+#endif  // BIORANK_SOURCES_DATA_SOURCE_H_

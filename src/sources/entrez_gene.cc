@@ -1,0 +1,76 @@
+#include "sources/entrez_gene.h"
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace biorank {
+
+EntrezGeneSource::EntrezGeneSource(const ProteinUniverse& universe,
+                                   const EvidenceModel& evidence,
+                                   const EntrezGeneOptions& options) {
+  Rng rng(universe.options().seed ^ 0xE6E5EULL);
+  annotations_.resize(universe.num_proteins());
+  for (int i = 0; i < universe.num_proteins(); ++i) {
+    const Protein& protein = universe.protein(i);
+    std::set<int> recorded;
+
+    // Hypothetical proteins are "of unknown function": curation holds
+    // nothing for them (scenario 3's premise).
+    if (protein.study_level == StudyLevel::kHypothetical) continue;
+
+    // Curated rows at mixed statuses; coverage is incomplete, and
+    // less-studied background proteins get lower statuses.
+    bool background = protein.study_level == StudyLevel::kBackground;
+    for (int go : protein.curated_functions) {
+      if (!rng.NextBernoulli(options.curated_coverage)) continue;
+      GeneStatus status = background
+                              ? evidence.SampleBackgroundStatus(rng)
+                              : evidence.SampleCuratedStatus(rng);
+      annotations_[i].push_back(GeneAnnotation{i, status, go});
+      recorded.insert(go);
+    }
+    // True-but-uncurated functions leak as computational predictions —
+    // except recently published ones, which no curated source holds yet.
+    std::set<int> recent(protein.recent_functions.begin(),
+                         protein.recent_functions.end());
+    for (int go : protein.true_functions) {
+      if (recorded.count(go) > 0 || recent.count(go) > 0) continue;
+      if (rng.NextBernoulli(options.predicted_leak_probability)) {
+        annotations_[i].push_back(
+            GeneAnnotation{i, evidence.SamplePredictedStatus(rng), go});
+        recorded.insert(go);
+      }
+    }
+    // Spurious low-status rows.
+    int spurious = static_cast<int>(
+        rng.NextInt(options.min_spurious, options.max_spurious));
+    for (int s = 0; s < spurious; ++s) {
+      int go = static_cast<int>(rng.NextBounded(universe.ontology().size()));
+      if (recorded.count(go) > 0) continue;
+      GeneStatus status;
+      if (rng.NextBernoulli(options.spurious_strong_fraction)) {
+        double u = rng.NextDouble();
+        status = u < 0.25   ? GeneStatus::kReviewed
+                 : u < 0.65 ? GeneStatus::kValidated
+                            : GeneStatus::kProvisional;
+      } else {
+        status = rng.NextBernoulli(0.5) ? GeneStatus::kModel
+                                        : GeneStatus::kInferred;
+      }
+      annotations_[i].push_back(GeneAnnotation{i, status, go});
+      recorded.insert(go);
+    }
+    total_ += static_cast<int>(annotations_[i].size());
+  }
+}
+
+const std::vector<GeneAnnotation>& EntrezGeneSource::AnnotationsFor(
+    int gene_id) const {
+  if (gene_id < 0 || gene_id >= static_cast<int>(annotations_.size())) {
+    return empty_;
+  }
+  return annotations_[gene_id];
+}
+
+}  // namespace biorank

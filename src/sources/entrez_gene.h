@@ -1,0 +1,70 @@
+#ifndef BIORANK_SOURCES_ENTREZ_GENE_H_
+#define BIORANK_SOURCES_ENTREZ_GENE_H_
+
+#include <vector>
+
+#include "datagen/evidence_model.h"
+#include "datagen/protein_universe.h"
+#include "schema/transforms.h"
+#include "sources/data_source.h"
+
+namespace biorank {
+
+/// One EntrezGene annotation row, EntrezGene(idEG, StatusCode, idGO): gene
+/// `gene_id` is annotated with GO term `go_index` at curation status
+/// `status`. Each row becomes one node of the query graph with
+/// pr = GeneStatusToPr(status).
+struct GeneAnnotation {
+  int gene_id = 0;
+  GeneStatus status = GeneStatus::kInferred;
+  int go_index = 0;
+};
+
+/// Knobs for the simulated curated annotation tables.
+struct EntrezGeneOptions {
+  /// Fraction of a protein's well-known functions that actually have a
+  /// curated row (curation lags the literature; the rest surface only
+  /// through family transfer).
+  double curated_coverage = 0.70;
+  /// Probability that a true-but-uncurated function shows up as a
+  /// computational prediction.
+  double predicted_leak_probability = 0.7;
+  /// Spurious (false) annotations per gene.
+  int min_spurious = 1;
+  int max_spurious = 2;
+  /// Fraction of spurious rows carrying a deceptively high status code
+  /// (curation disagreements) — strong single-path noise that counting
+  /// measures shrug off but probabilistic scores must rank.
+  double spurious_strong_fraction = 0.6;
+};
+
+/// Simulated EntrezGene: the curated annotation database. Gene ids
+/// coincide with protein indices (one gene per protein). Holds curated
+/// rows for curated functions, Predicted/Model/Inferred rows for leaked
+/// true functions and noise — and deliberately nothing for recently
+/// published functions (they have not propagated into curation yet;
+/// that is the premise of scenario 2).
+class EntrezGeneSource : public DataSource {
+ public:
+  EntrezGeneSource(const ProteinUniverse& universe,
+                   const EvidenceModel& evidence,
+                   const EntrezGeneOptions& options = {});
+
+  std::string name() const override { return "EntrezGene"; }
+  int entity_set_count() const override { return 2; }
+  int relationship_count() const override { return 3; }
+
+  /// Annotation rows of one gene; empty for out-of-range ids.
+  const std::vector<GeneAnnotation>& AnnotationsFor(int gene_id) const;
+
+  int total_annotations() const { return total_; }
+
+ private:
+  std::vector<std::vector<GeneAnnotation>> annotations_;
+  std::vector<GeneAnnotation> empty_;
+  int total_ = 0;
+};
+
+}  // namespace biorank
+
+#endif  // BIORANK_SOURCES_ENTREZ_GENE_H_

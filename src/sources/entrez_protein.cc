@@ -1,0 +1,30 @@
+#include "sources/entrez_protein.h"
+
+namespace biorank {
+
+EntrezProteinSource::EntrezProteinSource(const ProteinUniverse& universe)
+    : universe_(universe) {
+  records_.reserve(universe.num_proteins());
+  for (int i = 0; i < universe.num_proteins(); ++i) {
+    const Protein& protein = universe.protein(i);
+    records_.push_back(
+        ProteinRecord{i, protein.accession, protein.gene_symbol, i});
+  }
+}
+
+std::vector<ProteinRecord> EntrezProteinSource::Lookup(
+    const std::string& query) const {
+  std::vector<ProteinRecord> matches;
+  Result<int> index = universe_.FindProtein(query);
+  if (index.ok()) matches.push_back(records_[index.value()]);
+  return matches;
+}
+
+const ProteinRecord* EntrezProteinSource::BySeqId(int seq_id) const {
+  if (seq_id < 0 || seq_id >= static_cast<int>(records_.size())) {
+    return nullptr;
+  }
+  return &records_[seq_id];
+}
+
+}  // namespace biorank

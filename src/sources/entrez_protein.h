@@ -1,0 +1,47 @@
+#ifndef BIORANK_SOURCES_ENTREZ_PROTEIN_H_
+#define BIORANK_SOURCES_ENTREZ_PROTEIN_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/protein_universe.h"
+#include "sources/data_source.h"
+
+namespace biorank {
+
+/// One EntrezProtein entry: EntrezProtein(name, seq). Sequences are
+/// abstracted to integer ids (the ranking pipeline only ever joins on
+/// them; actual residues would be dead weight).
+struct ProteinRecord {
+  int protein_index = 0;   ///< Index into the universe.
+  std::string accession;
+  std::string name;        ///< Gene symbol, the attribute queries match.
+  int seq_id = 0;          ///< Foreign key used by BLAST/Pfam/TIGRFAM.
+};
+
+/// Simulated EntrezProtein: the entry point of every exploratory query
+/// (Figure 1's input entity set).
+class EntrezProteinSource : public DataSource {
+ public:
+  explicit EntrezProteinSource(const ProteinUniverse& universe);
+
+  std::string name() const override { return "EntrezProtein"; }
+  int entity_set_count() const override { return 1; }
+  int relationship_count() const override { return 11; }
+
+  /// Records whose name or accession matches `query` exactly.
+  std::vector<ProteinRecord> Lookup(const std::string& query) const;
+
+  /// Record by sequence id; nullptr if out of range.
+  const ProteinRecord* BySeqId(int seq_id) const;
+
+  int record_count() const { return static_cast<int>(records_.size()); }
+
+ private:
+  const ProteinUniverse& universe_;
+  std::vector<ProteinRecord> records_;
+};
+
+}  // namespace biorank
+
+#endif  // BIORANK_SOURCES_ENTREZ_PROTEIN_H_

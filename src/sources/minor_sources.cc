@@ -1,0 +1,122 @@
+#include "sources/minor_sources.h"
+
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace biorank {
+
+namespace {
+
+ProfileDatabaseConfig PirsfConfig() {
+  ProfileDatabaseConfig config;
+  config.salt = 0x915FULL;
+  config.prefix = "PIRSF";
+  config.profiles_per_family = 1;
+  config.families_per_profile = 1;
+  config.go_min = 2;
+  config.go_max = 5;
+  config.member_hit_prob = 0.7;
+  config.spurious_hit_prob = 0.05;  // Accurate: little noise.
+  return config;
+}
+
+ProfileDatabaseConfig SuperFamilyConfig() {
+  ProfileDatabaseConfig config;
+  config.salt = 0x50F4ULL;
+  config.prefix = "SSF";
+  config.profiles_per_family = 1;
+  config.families_per_profile = 3;  // Coarse structural classes.
+  config.go_min = 4;
+  config.go_max = 10;
+  config.member_hit_prob = 0.75;
+  config.spurious_hit_prob = 0.1;
+  return config;
+}
+
+ProfileDatabaseConfig CddConfig() {
+  ProfileDatabaseConfig config;
+  config.salt = 0xCDD0ULL;
+  config.prefix = "CDD";
+  config.profiles_per_family = 2;
+  config.families_per_profile = 2;
+  config.go_min = 3;
+  config.go_max = 9;
+  config.member_hit_prob = 0.8;
+  config.spurious_hit_prob = 0.25;  // Broad but noisy.
+  return config;
+}
+
+}  // namespace
+
+PirsfSource::PirsfSource(const ProteinUniverse& universe,
+                         const EvidenceModel& evidence)
+    : db_(universe, evidence, PirsfConfig()) {}
+
+SuperFamilySource::SuperFamilySource(const ProteinUniverse& universe,
+                                     const EvidenceModel& evidence)
+    : db_(universe, evidence, SuperFamilyConfig()) {}
+
+CddSource::CddSource(const ProteinUniverse& universe,
+                     const EvidenceModel& evidence)
+    : db_(universe, evidence, CddConfig()) {}
+
+UniProtSource::UniProtSource(const ProteinUniverse& universe,
+                             const EvidenceModel& evidence) {
+  (void)evidence;
+  Rng rng(universe.options().seed ^ 0x0141ULL);
+  annotations_.resize(universe.num_proteins());
+  for (int i = 0; i < universe.num_proteins(); ++i) {
+    const Protein& protein = universe.protein(i);
+    if (protein.study_level == StudyLevel::kHypothetical) continue;
+    bool reviewed_entry =
+        protein.study_level == StudyLevel::kWellStudied
+            ? rng.NextBernoulli(0.9)
+            : rng.NextBernoulli(0.4);
+    for (int go : protein.curated_functions) {
+      if (!rng.NextBernoulli(0.55)) continue;  // Partial coverage.
+      annotations_[i].push_back(UniProtAnnotation{go, reviewed_entry});
+    }
+  }
+}
+
+const std::vector<UniProtAnnotation>& UniProtSource::AnnotationsFor(
+    int protein) const {
+  if (protein < 0 || protein >= static_cast<int>(annotations_.size())) {
+    return empty_;
+  }
+  return annotations_[protein];
+}
+
+PdbSource::PdbSource(const ProteinUniverse& universe,
+                     const EvidenceModel& evidence) {
+  (void)evidence;
+  Rng rng(universe.options().seed ^ 0x9DB0ULL);
+  structures_.resize(universe.num_proteins());
+  for (int i = 0; i < universe.num_proteins(); ++i) {
+    const Protein& protein = universe.protein(i);
+    // Only well-characterized proteins tend to have solved structures.
+    double coverage =
+        protein.study_level == StudyLevel::kWellStudied ? 0.6 : 0.1;
+    int count = rng.NextBernoulli(coverage)
+                    ? 1 + static_cast<int>(rng.NextBounded(2))
+                    : 0;
+    for (int s = 0; s < count; ++s) {
+      std::string id;
+      id += static_cast<char>('1' + rng.NextBounded(9));
+      for (int c = 0; c < 3; ++c) {
+        id += static_cast<char>('A' + rng.NextBounded(26));
+      }
+      structures_[i].push_back(std::move(id));
+    }
+  }
+}
+
+const std::vector<std::string>& PdbSource::StructuresFor(int protein) const {
+  if (protein < 0 || protein >= static_cast<int>(structures_.size())) {
+    return empty_;
+  }
+  return structures_[protein];
+}
+
+}  // namespace biorank

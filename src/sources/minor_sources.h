@@ -1,0 +1,103 @@
+#ifndef BIORANK_SOURCES_MINOR_SOURCES_H_
+#define BIORANK_SOURCES_MINOR_SOURCES_H_
+
+#include <string>
+#include <vector>
+
+#include "sources/data_source.h"
+#include "sources/profile_db.h"
+
+namespace biorank {
+
+/// The remaining registered sources of the paper's Section 2 table. The
+/// paper's quality study uses only Pfam/TIGRFAM/NCBIBlast/Entrez; these
+/// five are wired into the mediator behind an option and mainly enrich
+/// graph shapes (PDB contributes sink nodes, exercising the
+/// delete-inaccessible-nodes reduction rule).
+
+/// PIRSF: whole-protein family classification; regarded as more accurate
+/// than Pfam by the paper's collaborators, hence the higher default ps.
+class PirsfSource : public DataSource {
+ public:
+  PirsfSource(const ProteinUniverse& universe, const EvidenceModel& evidence);
+  std::string name() const override { return "PIRSF"; }
+  int entity_set_count() const override { return 2; }
+  int relationship_count() const override { return 2; }
+  const ProfileDatabase& db() const { return db_; }
+
+ private:
+  ProfileDatabase db_;
+};
+
+/// SuperFamily: structural (SCOP-derived) superfamily assignments;
+/// deliberately coarse (several sequence families per superfamily).
+class SuperFamilySource : public DataSource {
+ public:
+  SuperFamilySource(const ProteinUniverse& universe,
+                    const EvidenceModel& evidence);
+  std::string name() const override { return "SuperFamily"; }
+  int entity_set_count() const override { return 3; }
+  int relationship_count() const override { return 1; }
+  const ProfileDatabase& db() const { return db_; }
+
+ private:
+  ProfileDatabase db_;
+};
+
+/// CDD: NCBI conserved domains; broad but noisy.
+class CddSource : public DataSource {
+ public:
+  CddSource(const ProteinUniverse& universe, const EvidenceModel& evidence);
+  std::string name() const override { return "CDD"; }
+  int entity_set_count() const override { return 3; }
+  int relationship_count() const override { return 1; }
+  const ProfileDatabase& db() const { return db_; }
+
+ private:
+  ProfileDatabase db_;
+};
+
+/// One UniProt GO annotation row (mirrors a curated subset).
+struct UniProtAnnotation {
+  int go_index = 0;
+  bool reviewed = false;  ///< Swiss-Prot (reviewed) vs TrEMBL.
+};
+
+/// UniProt: curated protein knowledge base keyed 1:1 by protein.
+class UniProtSource : public DataSource {
+ public:
+  UniProtSource(const ProteinUniverse& universe,
+                const EvidenceModel& evidence);
+  std::string name() const override { return "UniProt"; }
+  int entity_set_count() const override { return 2; }
+  int relationship_count() const override { return 2; }
+
+  /// Annotation rows of one protein; empty when uncovered.
+  const std::vector<UniProtAnnotation>& AnnotationsFor(int protein) const;
+
+ private:
+  std::vector<std::vector<UniProtAnnotation>> annotations_;
+  std::vector<UniProtAnnotation> empty_;
+};
+
+/// PDB: experimental structure depositions. Exports one entity set and no
+/// relationships (#R = 0 in the paper's table): structure records are
+/// terminal nodes of the query graph.
+class PdbSource : public DataSource {
+ public:
+  PdbSource(const ProteinUniverse& universe, const EvidenceModel& evidence);
+  std::string name() const override { return "PDB"; }
+  int entity_set_count() const override { return 1; }
+  int relationship_count() const override { return 0; }
+
+  /// PDB ids ("1ABC"-style) deposited for one protein; often empty.
+  const std::vector<std::string>& StructuresFor(int protein) const;
+
+ private:
+  std::vector<std::vector<std::string>> structures_;
+  std::vector<std::string> empty_;
+};
+
+}  // namespace biorank
+
+#endif  // BIORANK_SOURCES_MINOR_SOURCES_H_

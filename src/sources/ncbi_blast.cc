@@ -1,0 +1,37 @@
+#include "sources/ncbi_blast.h"
+
+#include "util/rng.h"
+
+namespace biorank {
+
+NcbiBlastSource::NcbiBlastSource(const ProteinUniverse& universe,
+                                 const EvidenceModel& evidence,
+                                 const NcbiBlastOptions& options) {
+  Rng rng(universe.options().seed ^ 0xB1A57ULL);
+  hits_.resize(universe.num_proteins());
+  for (int i = 0; i < universe.num_proteins(); ++i) {
+    const Protein& protein = universe.protein(i);
+    // Genuine homologues: the other members of the protein's family.
+    for (int member : universe.FamilyMembers(protein.family)) {
+      if (member == i) continue;
+      hits_[i].push_back(
+          BlastHit{member, member, evidence.SampleTrueHitEValue(rng)});
+    }
+    // Spurious hits against random other proteins.
+    int noise = static_cast<int>(
+        rng.NextInt(options.min_noise_hits, options.max_noise_hits));
+    for (int hit = 0; hit < noise; ++hit) {
+      int other = static_cast<int>(rng.NextBounded(universe.num_proteins()));
+      if (other == i) continue;
+      hits_[i].push_back(
+          BlastHit{other, other, evidence.SampleWeakHitEValue(rng)});
+    }
+  }
+}
+
+const std::vector<BlastHit>& NcbiBlastSource::Similar(int seq_id) const {
+  if (seq_id < 0 || seq_id >= static_cast<int>(hits_.size())) return empty_;
+  return hits_[seq_id];
+}
+
+}  // namespace biorank

@@ -1,0 +1,53 @@
+#ifndef BIORANK_SOURCES_NCBI_BLAST_H_
+#define BIORANK_SOURCES_NCBI_BLAST_H_
+
+#include <vector>
+
+#include "datagen/evidence_model.h"
+#include "datagen/protein_universe.h"
+#include "sources/data_source.h"
+
+namespace biorank {
+
+/// One BLAST similarity hit: the paper's ternary relationship
+/// NCBIBlast(seq1, seq2, idEG, e-value), split into NCBIBlast1 (the
+/// similarity with its e-value) and NCBIBlast2 (the certain foreign key
+/// from seq2 into EntrezGene).
+struct BlastHit {
+  int seq2 = 0;        ///< Similar sequence (= protein index).
+  int gene_id = 0;     ///< Foreign key into EntrezGene (qr = 1).
+  double e_value = 1.0;
+};
+
+/// Tuning knobs for the simulated BLAST neighbourhood.
+struct NcbiBlastOptions {
+  /// Spurious cross-family hits appended to every hit list (weak
+  /// e-values). The noise that makes exploratory answers imprecise.
+  int min_noise_hits = 0;
+  int max_noise_hits = 1;
+};
+
+/// Simulated NCBIBlast: returns same-family proteins with genuine-homology
+/// e-values plus a few spurious cross-family hits. Hit lists are generated
+/// once, deterministically from the universe seed.
+class NcbiBlastSource : public DataSource {
+ public:
+  NcbiBlastSource(const ProteinUniverse& universe,
+                  const EvidenceModel& evidence,
+                  const NcbiBlastOptions& options = {});
+
+  std::string name() const override { return "NCBIBlast"; }
+  int entity_set_count() const override { return 2; }
+  int relationship_count() const override { return 3; }
+
+  /// Hits for a query sequence; empty for out-of-range ids.
+  const std::vector<BlastHit>& Similar(int seq_id) const;
+
+ private:
+  std::vector<std::vector<BlastHit>> hits_;
+  std::vector<BlastHit> empty_;
+};
+
+}  // namespace biorank
+
+#endif  // BIORANK_SOURCES_NCBI_BLAST_H_

@@ -1,0 +1,42 @@
+#include "sources/pfam.h"
+
+namespace biorank {
+
+ProfileDatabaseConfig PfamSource::Config() {
+  ProfileDatabaseConfig config;
+  config.salt = 0x9FA3ULL;
+  config.prefix = "PF";
+  config.profiles_per_family = 2;
+  config.families_per_profile = 1;
+  config.go_min = 3;
+  config.go_max = 8;
+  config.member_hit_prob = 0.9;
+  config.spurious_hit_prob = 0.2;
+  config.dedicated_hypothetical_profiles = true;
+  return config;
+}
+
+PfamSource::PfamSource(const ProteinUniverse& universe,
+                       const EvidenceModel& evidence)
+    : db_(universe, evidence, Config()) {}
+
+ProfileDatabaseConfig TigrFamSource::Config() {
+  ProfileDatabaseConfig config;
+  config.salt = 0x7163ULL;
+  config.prefix = "TIGR";
+  config.profiles_per_family = 1;
+  config.families_per_profile = 1;
+  config.go_min = 2;
+  config.go_max = 6;
+  config.member_hit_prob = 0.8;
+  config.spurious_hit_prob = 0.1;
+  config.dedicated_hypothetical_profiles = true;
+  config.dedicated_recent_profiles = true;
+  return config;
+}
+
+TigrFamSource::TigrFamSource(const ProteinUniverse& universe,
+                             const EvidenceModel& evidence)
+    : db_(universe, evidence, Config()) {}
+
+}  // namespace biorank

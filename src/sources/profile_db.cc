@@ -1,0 +1,142 @@
+#include "sources/profile_db.h"
+
+#include <cstdio>
+#include <set>
+
+#include "util/rng.h"
+
+namespace biorank {
+
+ProfileDatabase::ProfileDatabase(const ProteinUniverse& universe,
+                                 const EvidenceModel& evidence,
+                                 const ProfileDatabaseConfig& config)
+    : prefix_(config.prefix), go_mapping_qr_(config.go_mapping_qr) {
+  Rng rng(universe.options().seed ^ config.salt);
+  hits_.resize(universe.num_proteins());
+
+  // Union of true functions per family: the biology a family profile can
+  // be annotated with.
+  int num_families = universe.num_families();
+  std::vector<std::vector<int>> family_functions(num_families);
+  for (int f = 0; f < num_families; ++f) {
+    std::set<int> pool;
+    for (int member : universe.FamilyMembers(f)) {
+      const Protein& protein = universe.protein(member);
+      pool.insert(protein.true_functions.begin(),
+                  protein.true_functions.end());
+    }
+    family_functions[f].assign(pool.begin(), pool.end());
+  }
+
+  // Profile libraries per family group.
+  int group_size = std::max(1, config.families_per_profile);
+  std::vector<std::vector<int>> family_profiles(num_families);
+  for (int group_start = 0; group_start < num_families;
+       group_start += group_size) {
+    for (int p = 0; p < config.profiles_per_family; ++p) {
+      int profile_id = num_profiles();
+      // GO terms sampled from the union of the group's family pools.
+      std::vector<int> group_pool;
+      for (int f = group_start;
+           f < std::min(group_start + group_size, num_families); ++f) {
+        group_pool.insert(group_pool.end(), family_functions[f].begin(),
+                          family_functions[f].end());
+      }
+      std::set<int> terms;
+      int wanted = static_cast<int>(rng.NextInt(config.go_min, config.go_max));
+      for (int tries = 0;
+           static_cast<int>(terms.size()) < wanted && tries < 200 &&
+           !group_pool.empty();
+           ++tries) {
+        terms.insert(group_pool[rng.NextBounded(group_pool.size())]);
+      }
+      profile_go_.emplace_back(terms.begin(), terms.end());
+      profile_dedicated_.push_back(false);
+      for (int f = group_start;
+           f < std::min(group_start + group_size, num_families); ++f) {
+        family_profiles[f].push_back(profile_id);
+      }
+    }
+  }
+
+  // Dedicated profiles carrying the expert functions of hypothetical
+  // proteins (plus some family biology for cover).
+  std::vector<int> dedicated_profile(universe.num_proteins(), -1);
+  if (config.dedicated_hypothetical_profiles) {
+    for (int index : universe.hypothetical()) {
+      const Protein& protein = universe.protein(index);
+      std::set<int> terms(protein.expert_functions.begin(),
+                          protein.expert_functions.end());
+      const std::vector<int>& pool = family_functions[protein.family];
+      for (int tries = 0; static_cast<int>(terms.size()) < 4 && tries < 50 &&
+                          !pool.empty();
+           ++tries) {
+        terms.insert(pool[rng.NextBounded(pool.size())]);
+      }
+      dedicated_profile[index] = num_profiles();
+      profile_go_.emplace_back(terms.begin(), terms.end());
+      profile_dedicated_.push_back(true);
+    }
+  }
+
+  // Freshly-updated profiles mapped to recently published functions.
+  std::vector<int> recent_profile(universe.num_proteins(), -1);
+  if (config.dedicated_recent_profiles) {
+    for (int i = 0; i < universe.num_proteins(); ++i) {
+      const Protein& protein = universe.protein(i);
+      if (protein.recent_functions.empty()) continue;
+      recent_profile[i] = num_profiles();
+      profile_go_.push_back(protein.recent_functions);
+      profile_dedicated_.push_back(true);
+    }
+  }
+
+  // Hit lists.
+  for (int i = 0; i < universe.num_proteins(); ++i) {
+    const Protein& protein = universe.protein(i);
+    for (int profile : family_profiles[protein.family]) {
+      if (rng.NextBernoulli(config.member_hit_prob)) {
+        hits_[i].push_back(
+            ProfileHit{profile, evidence.SampleTrueHitEValue(rng)});
+      }
+    }
+    if (dedicated_profile[i] >= 0) {
+      hits_[i].push_back(ProfileHit{dedicated_profile[i],
+                                    evidence.SampleStrongHitEValue(rng)});
+    }
+    if (recent_profile[i] >= 0) {
+      hits_[i].push_back(ProfileHit{recent_profile[i],
+                                    evidence.SampleStrongHitEValue(rng)});
+    }
+    if (rng.NextBernoulli(config.spurious_hit_prob) && num_profiles() > 0) {
+      hits_[i].push_back(
+          ProfileHit{static_cast<int>(rng.NextBounded(num_profiles())),
+                     evidence.SampleWeakHitEValue(rng)});
+    }
+  }
+}
+
+std::string ProfileDatabase::ProfileName(int profile_id) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%05d", prefix_.c_str(), profile_id);
+  return buf;
+}
+
+const std::vector<ProfileHit>& ProfileDatabase::HitsFor(int seq_id) const {
+  if (seq_id < 0 || seq_id >= static_cast<int>(hits_.size())) {
+    return empty_hits_;
+  }
+  return hits_[seq_id];
+}
+
+const std::vector<int>& ProfileDatabase::GoTermsFor(int profile_id) const {
+  if (profile_id < 0 || profile_id >= num_profiles()) return empty_go_;
+  return profile_go_[profile_id];
+}
+
+double ProfileDatabase::MappingQr(int profile_id) const {
+  if (profile_id < 0 || profile_id >= num_profiles()) return 0.0;
+  return profile_dedicated_[profile_id] ? 1.0 : go_mapping_qr_;
+}
+
+}  // namespace biorank

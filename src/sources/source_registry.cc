@@ -1,0 +1,26 @@
+#include "sources/source_registry.h"
+
+namespace biorank {
+
+SourceRegistry::SourceRegistry(const ProteinUniverse& universe,
+                               const SourceRegistryOptions& options)
+    : universe_(universe),
+      entrez_protein_(universe),
+      ncbi_blast_(universe, options.evidence, options.blast),
+      entrez_gene_(universe, options.evidence, options.entrez_gene),
+      amigo_(universe, options.evidence, options.amigo),
+      pfam_(universe, options.evidence),
+      tigrfam_(universe, options.evidence),
+      pirsf_(universe, options.evidence),
+      superfamily_(universe, options.evidence),
+      cdd_(universe, options.evidence),
+      uniprot_(universe, options.evidence),
+      pdb_(universe, options.evidence) {}
+
+std::vector<const DataSource*> SourceRegistry::AllSources() const {
+  return {&amigo_,   &ncbi_blast_, &cdd_,     &entrez_gene_,
+          &entrez_protein_, &pdb_,  &pfam_,    &pirsf_,
+          &uniprot_, &superfamily_, &tigrfam_};
+}
+
+}  // namespace biorank

@@ -1,0 +1,68 @@
+#ifndef BIORANK_SOURCES_SOURCE_REGISTRY_H_
+#define BIORANK_SOURCES_SOURCE_REGISTRY_H_
+
+#include <memory>
+#include <vector>
+
+#include "datagen/evidence_model.h"
+#include "datagen/protein_universe.h"
+#include "sources/amigo.h"
+#include "sources/entrez_gene.h"
+#include "sources/entrez_protein.h"
+#include "sources/minor_sources.h"
+#include "sources/ncbi_blast.h"
+#include "sources/pfam.h"
+
+namespace biorank {
+
+/// Generation knobs for every source, bundled.
+struct SourceRegistryOptions {
+  EvidenceModel evidence;
+  NcbiBlastOptions blast;
+  EntrezGeneOptions entrez_gene;
+  AmigoOptions amigo;
+};
+
+/// Owns the 11 simulated sources of the paper's Section 2 table, all
+/// generated deterministically from one universe. The mediator queries
+/// sources through this registry.
+class SourceRegistry {
+ public:
+  explicit SourceRegistry(const ProteinUniverse& universe,
+                          const SourceRegistryOptions& options = {});
+
+  const ProteinUniverse& universe() const { return universe_; }
+
+  const EntrezProteinSource& entrez_protein() const { return entrez_protein_; }
+  const NcbiBlastSource& ncbi_blast() const { return ncbi_blast_; }
+  const EntrezGeneSource& entrez_gene() const { return entrez_gene_; }
+  const AmigoSource& amigo() const { return amigo_; }
+  const PfamSource& pfam() const { return pfam_; }
+  const TigrFamSource& tigrfam() const { return tigrfam_; }
+  const PirsfSource& pirsf() const { return pirsf_; }
+  const SuperFamilySource& superfamily() const { return superfamily_; }
+  const CddSource& cdd() const { return cdd_; }
+  const UniProtSource& uniprot() const { return uniprot_; }
+  const PdbSource& pdb() const { return pdb_; }
+
+  /// All 11 sources (paper's table order).
+  std::vector<const DataSource*> AllSources() const;
+
+ private:
+  const ProteinUniverse& universe_;
+  EntrezProteinSource entrez_protein_;
+  NcbiBlastSource ncbi_blast_;
+  EntrezGeneSource entrez_gene_;
+  AmigoSource amigo_;
+  PfamSource pfam_;
+  TigrFamSource tigrfam_;
+  PirsfSource pirsf_;
+  SuperFamilySource superfamily_;
+  CddSource cdd_;
+  UniProtSource uniprot_;
+  PdbSource pdb_;
+};
+
+}  // namespace biorank
+
+#endif  // BIORANK_SOURCES_SOURCE_REGISTRY_H_

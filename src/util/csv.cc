@@ -1,0 +1,57 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+namespace biorank {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvEscape(const std::string& cell) {
+  bool needs_quotes = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+void AppendRow(std::string& out, const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out += ',';
+    out += CsvEscape(cells[i]);
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  AppendRow(out, headers_);
+  for (const auto& row : rows_) AppendRow(out, row);
+  return out;
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return Status::InvalidArgument("cannot open file for writing: " + path);
+  }
+  file << ToString();
+  if (!file) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace biorank

@@ -1,0 +1,42 @@
+#ifndef BIORANK_UTIL_CSV_H_
+#define BIORANK_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace biorank {
+
+/// Accumulates rows and writes RFC-4180-style CSV. Benchmark binaries use
+/// this to emit machine-readable copies of each reproduced table/figure
+/// (set the BIORANK_CSV_DIR environment variable to enable).
+class CsvWriter {
+ public:
+  /// Creates a writer with the given column headers.
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  /// Appends one row. Cells containing commas, quotes, or newlines are
+  /// quoted on output.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the full document (header + rows).
+  std::string ToString() const;
+
+  /// Writes the document to `path`, overwriting any existing file.
+  Status WriteToFile(const std::string& path) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes one CSV cell per RFC 4180 (quotes doubled; field quoted when it
+/// contains a comma, quote, or newline).
+std::string CsvEscape(const std::string& cell);
+
+}  // namespace biorank
+
+#endif  // BIORANK_UTIL_CSV_H_

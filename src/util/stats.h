@@ -1,0 +1,65 @@
+#ifndef BIORANK_UTIL_STATS_H_
+#define BIORANK_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace biorank {
+
+/// Descriptive statistics of a sample, as reported in the paper's
+/// experiment figures (mean, standard deviation, 95% confidence interval).
+struct SampleStats {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;      ///< Sample standard deviation (n-1 denominator).
+  double min = 0.0;
+  double max = 0.0;
+  double ci95_half_width = 0.0;  ///< Half-width of the normal-approx 95% CI.
+};
+
+/// Computes descriptive statistics over `values`. Empty input yields a
+/// zero-initialized result with count == 0.
+SampleStats ComputeStats(const std::vector<double>& values);
+
+/// Arithmetic mean; 0.0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1 denominator); 0.0 for size < 2.
+double StdDev(const std::vector<double>& values);
+
+/// The p-th percentile (p in [0,100]) using linear interpolation between
+/// order statistics. Input need not be sorted. Empty input returns 0.0.
+double Percentile(std::vector<double> values, double p);
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Returns 0.0 if either sample has zero variance or sizes mismatch.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Welford online accumulator, for streaming statistics without storing
+/// the whole sample (used by long benchmark loops).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+
+  /// Sample variance (n-1); 0.0 for count < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace biorank
+
+#endif  // BIORANK_UTIL_STATS_H_

@@ -1,0 +1,70 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace biorank {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::AddSeparator() { rows_.push_back({kSeparatorMarker}); }
+
+void TextTable::Print(std::ostream& os) const {
+  size_t columns = headers_.size();
+  for (const auto& row : rows_) {
+    if (!(row.size() == 1 && row[0] == kSeparatorMarker)) {
+      columns = std::max(columns, row.size());
+    }
+  }
+  std::vector<size_t> widths(columns, 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = std::max(widths[c], headers_[c].size());
+  }
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorMarker) continue;
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_rule = [&]() {
+    for (size_t c = 0; c < columns; ++c) {
+      os << std::string(widths[c] + 2, '-');
+      if (c + 1 < columns) os << "+";
+    }
+    os << "\n";
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < columns; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << " " << PadRight(cell, widths[c]) << " ";
+      if (c + 1 < columns) os << "|";
+    }
+    os << "\n";
+  };
+
+  print_cells(headers_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorMarker) {
+      print_rule();
+    } else {
+      print_cells(row);
+    }
+  }
+}
+
+std::string TextTable::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+}  // namespace biorank

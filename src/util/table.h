@@ -1,0 +1,46 @@
+#ifndef BIORANK_UTIL_TABLE_H_
+#define BIORANK_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace biorank {
+
+/// Plain-text table printer used by the benchmark harnesses to emit the
+/// paper's tables and figure series in a stable, diffable format.
+///
+/// Example:
+///   TextTable t({"Method", "Mean AP", "Stdv"});
+///   t.AddRow({"Rel", "0.84", "0.09"});
+///   t.Print(std::cout);
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are kept and
+  /// widen the table.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line at this position.
+  void AddSeparator();
+
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with aligned columns and a header rule.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string (convenience for tests).
+  std::string ToString() const;
+
+ private:
+  static constexpr const char* kSeparatorMarker = "\x01--";
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace biorank
+
+#endif  // BIORANK_UTIL_TABLE_H_

@@ -1,0 +1,117 @@
+#include "core/closed_form.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query_graph.h"
+#include "core/reliability_exact.h"
+
+namespace biorank {
+namespace {
+
+TEST(ClosedFormTest, SingleEdge) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(0.8, "t");
+  b.Edge(b.Source(), t, 0.5);
+  QueryGraph g = std::move(b).Build({t});
+  Result<double> r = ClosedFormReliability(g, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 0.4, 1e-12);
+}
+
+TEST(ClosedFormTest, Fig4aReduces) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  Result<double> r = ClosedFormReliability(g, g.answers[0]);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 0.5, 1e-12);
+}
+
+TEST(ClosedFormTest, WheatstoneBridgeIsIrreducible) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  Result<double> r = ClosedFormReliability(g, g.answers[0]);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ClosedFormTest, UnreachableTargetIsZero) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(0.9, "t");
+  QueryGraph g = std::move(b).Build({t});
+  Result<double> r = ClosedFormReliability(g, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
+}
+
+TEST(ClosedFormTest, DiamondMatchesExact) {
+  QueryGraphBuilder b;
+  NodeId a = b.Node(0.9, "a");
+  NodeId bb = b.Node(0.8, "b");
+  NodeId t = b.Node(0.95, "t");
+  b.Edge(b.Source(), a, 0.7);
+  b.Edge(a, t, 0.6);
+  b.Edge(b.Source(), bb, 0.5);
+  b.Edge(bb, t, 0.4);
+  QueryGraph g = std::move(b).Build({t});
+  Result<double> closed = ClosedFormReliability(g, t);
+  Result<double> exact = ExactReliabilityBruteForce(g, t);
+  ASSERT_TRUE(closed.ok()) << closed.status();
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(closed.value(), exact.value(), 1e-12);
+}
+
+TEST(ClosedFormTest, PerTargetSubgraphsReduceEvenWhenWholeGraphDoesNot) {
+  // The paper's key observation (Sect 4, "Efficiency"): an [n:m] final
+  // relationship makes the *whole* graph irreducible, but each individual
+  // answer's subgraph reduces. Two answers sharing a middle layer:
+  //   s -> m1 -> t1, s -> m1 -> t2, s -> m2 -> t1, s -> m2 -> t2.
+  // Per-target restriction yields a diamond, which reduces fully.
+  QueryGraphBuilder b;
+  NodeId m1 = b.Node(0.9, "m1");
+  NodeId m2 = b.Node(0.8, "m2");
+  NodeId t1 = b.Node(1.0, "t1");
+  NodeId t2 = b.Node(1.0, "t2");
+  b.Edge(b.Source(), m1, 0.7);
+  b.Edge(b.Source(), m2, 0.6);
+  b.Edge(m1, t1, 0.5);
+  b.Edge(m1, t2, 0.4);
+  b.Edge(m2, t1, 0.3);
+  b.Edge(m2, t2, 0.2);
+  QueryGraph g = std::move(b).Build({t1, t2});
+
+  Result<std::vector<double>> all = ClosedFormReliabilityAllAnswers(g);
+  ASSERT_TRUE(all.ok()) << all.status();
+  Result<double> e1 = ExactReliabilityBruteForce(g, t1);
+  Result<double> e2 = ExactReliabilityBruteForce(g, t2);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  EXPECT_NEAR(all.value()[0], e1.value(), 1e-12);
+  EXPECT_NEAR(all.value()[1], e2.value(), 1e-12);
+}
+
+TEST(ClosedFormTest, AllAnswersFailsIfAnyIrreducible) {
+  // Bridge target plus a trivially reachable second answer.
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  QueryGraphBuilder b;
+  // Rebuild with an extra answer branch.
+  NodeId a = b.Node(1.0, "a");
+  NodeId bb = b.Node(1.0, "b");
+  NodeId u = b.Node(1.0, "u");
+  NodeId easy = b.Node(1.0, "easy");
+  b.Edge(b.Source(), a, 0.5);
+  b.Edge(b.Source(), bb, 0.5);
+  b.Edge(a, bb, 0.5);
+  b.Edge(a, u, 0.5);
+  b.Edge(bb, u, 0.5);
+  b.Edge(b.Source(), easy, 0.9);
+  QueryGraph g2 = std::move(b).Build({u, easy});
+  Result<std::vector<double>> all = ClosedFormReliabilityAllAnswers(g2);
+  EXPECT_FALSE(all.ok());
+  (void)g;
+}
+
+TEST(ClosedFormTest, InvalidTargetRejected) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  EXPECT_FALSE(ClosedFormReliability(g, 999).ok());
+}
+
+}  // namespace
+}  // namespace biorank

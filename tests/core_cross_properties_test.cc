@@ -1,0 +1,162 @@
+// Second-round cross-algorithm properties covering the extension modules
+// and cyclic inputs (the first round, core_properties_test.cc, covers the
+// DAG core).
+
+#include <gtest/gtest.h>
+
+#include "core/graph_io.h"
+#include "core/ranking.h"
+#include "core/reduction.h"
+#include "core/reliability_bounds.h"
+#include "core/reliability_exact.h"
+#include "core/topk_mc.h"
+#include "testing/random_graphs.h"
+#include "util/rng.h"
+
+namespace biorank {
+namespace {
+
+class CyclicGraphProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CyclicGraphProperty, ReductionPreservesReliabilityWithCycles) {
+  // The Section 3.1 rules must stay sound on arbitrary digraphs, not just
+  // the workflow DAGs the mediator produces.
+  Rng rng(9100 + GetParam());
+  QueryGraph g =
+      testing::MakeRandomDigraph(rng, /*num_nodes=*/5, /*edge_density=*/0.35,
+                                 /*num_answers=*/2);
+  std::vector<double> before;
+  bool feasible = true;
+  for (NodeId t : g.answers) {
+    Result<double> r = ExactReliabilityBruteForce(g, t, 24);
+    if (!r.ok()) {
+      feasible = false;  // Too many uncertain elements this seed.
+      break;
+    }
+    before.push_back(r.value());
+  }
+  if (!feasible) GTEST_SKIP() << "seed produced too many uncertain elements";
+  ReduceQueryGraph(g);
+  for (size_t i = 0; i < g.answers.size(); ++i) {
+    Result<double> r = ExactReliabilityBruteForce(g, g.answers[i], 24);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_NEAR(before[i], r.value(), 1e-10) << "answer " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CyclicGraphProperty, ::testing::Range(0, 8));
+
+class TopKProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopKProperty, AdaptiveTopKAgreesWithExactOrdering) {
+  Rng rng(9200 + GetParam());
+  testing::RandomDagOptions options;
+  options.layers = 2;
+  options.nodes_per_layer = 3;
+  options.answers = 4;
+  options.edge_density = 0.5;
+  QueryGraph g = testing::MakeRandomLayeredDag(rng, options);
+
+  Result<std::vector<double>> exact = ExactReliabilityAllAnswers(g);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  // Find the exact best answer; skip seeds where the top two are within
+  // MC resolution.
+  size_t best = 0;
+  double best_score = -1.0, second = -1.0;
+  for (size_t i = 0; i < exact.value().size(); ++i) {
+    if (exact.value()[i] > best_score) {
+      second = best_score;
+      best_score = exact.value()[i];
+      best = i;
+    } else if (exact.value()[i] > second) {
+      second = exact.value()[i];
+    }
+  }
+  if (best_score - second < 0.05) {
+    GTEST_SKIP() << "top answers too close for a cheap MC check";
+  }
+
+  TopKOptions topk;
+  topk.k = 1;
+  topk.seed = 9200 + GetParam();
+  topk.max_trials = 100000;
+  Result<TopKResult> result = RankTopKAdaptive(g, topk);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().separated);
+  EXPECT_EQ(result.value().ranking[0].node, g.answers[best]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopKProperty, ::testing::Range(0, 8));
+
+class GraphIoProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphIoProperty, RoundTripPreservesAllFiveRankings) {
+  Rng rng(9300 + GetParam());
+  testing::RandomDagOptions options;
+  options.layers = 2;
+  options.nodes_per_layer = 3;
+  options.answers = 3;
+  QueryGraph g = testing::MakeRandomLayeredDag(rng, options);
+  Result<QueryGraph> parsed = ParseQueryGraph(SerializeQueryGraph(g));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  RankerOptions ranker_options;
+  ranker_options.mc.seed = 9300 + GetParam();
+  Ranker ranker(ranker_options);
+  for (RankingMethod method : AllRankingMethods()) {
+    Result<std::vector<RankedAnswer>> a = ranker.Rank(g, method);
+    Result<std::vector<RankedAnswer>> b =
+        ranker.Rank(parsed.value(), method);
+    ASSERT_TRUE(a.ok()) << RankingMethodName(method);
+    ASSERT_TRUE(b.ok()) << RankingMethodName(method);
+    ASSERT_EQ(a.value().size(), b.value().size());
+    for (size_t i = 0; i < a.value().size(); ++i) {
+      // Same scores in the same rank positions (node ids are renumbered).
+      EXPECT_NEAR(a.value()[i].score, b.value()[i].score, 1e-9)
+          << RankingMethodName(method) << " position " << i;
+      EXPECT_EQ(a.value()[i].rank_lo, b.value()[i].rank_lo);
+      EXPECT_EQ(a.value()[i].rank_hi, b.value()[i].rank_hi);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphIoProperty, ::testing::Range(0, 6));
+
+class BoundsVsTopKProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundsVsTopKProperty, BoundsCertifySeparationsWithoutSimulation) {
+  // If the lower bound of answer A exceeds the upper bound of answer B,
+  // then A's true reliability exceeds B's — the deterministic fast path
+  // for ranking decisions. Verify the certificate against exact scores.
+  Rng rng(9400 + GetParam());
+  testing::RandomDagOptions options;
+  options.layers = 2;
+  options.nodes_per_layer = 3;
+  options.answers = 3;
+  QueryGraph g = testing::MakeRandomLayeredDag(rng, options);
+  std::vector<ReliabilityBounds> bounds;
+  std::vector<double> exact;
+  for (NodeId t : g.answers) {
+    Result<ReliabilityBounds> b = BoundReliability(g, t);
+    ASSERT_TRUE(b.ok()) << b.status();
+    bounds.push_back(b.value());
+    Result<double> e = ExactReliabilityFactoring(g, t);
+    ASSERT_TRUE(e.ok());
+    exact.push_back(e.value());
+  }
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    for (size_t j = 0; j < bounds.size(); ++j) {
+      if (i == j) continue;
+      if (bounds[i].lower > bounds[j].upper) {
+        EXPECT_GT(exact[i], exact[j])
+            << "bounds certified a false separation";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsVsTopKProperty,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace biorank

@@ -1,0 +1,128 @@
+#include "core/graph_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/query_graph.h"
+#include "core/reliability_exact.h"
+#include "testing/random_graphs.h"
+#include "util/rng.h"
+
+namespace biorank {
+namespace {
+
+void ExpectGraphsEquivalent(const QueryGraph& a, const QueryGraph& b) {
+  ASSERT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  ASSERT_EQ(a.answers.size(), b.answers.size());
+  // Semantically equivalent: identical reliability per answer.
+  for (size_t i = 0; i < a.answers.size(); ++i) {
+    Result<double> ra = ExactReliabilityFactoring(a, a.answers[i]);
+    Result<double> rb = ExactReliabilityFactoring(b, b.answers[i]);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_NEAR(ra.value(), rb.value(), 1e-12);
+  }
+}
+
+TEST(GraphIoTest, RoundTripsCanonicalGraphs) {
+  for (QueryGraph g :
+       {MakeFig4aSerialParallel(), MakeFig4bWheatstoneBridge()}) {
+    std::string text = SerializeQueryGraph(g);
+    Result<QueryGraph> parsed = ParseQueryGraph(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    ExpectGraphsEquivalent(g, parsed.value());
+  }
+}
+
+TEST(GraphIoTest, RoundTripsRandomGraphs) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 5; ++trial) {
+    testing::RandomDagOptions options;
+    options.layers = 2;
+    options.nodes_per_layer = 3;
+    options.answers = 2;
+    QueryGraph g = testing::MakeRandomLayeredDag(rng, options);
+    Result<QueryGraph> parsed = ParseQueryGraph(SerializeQueryGraph(g));
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    ExpectGraphsEquivalent(g, parsed.value());
+  }
+}
+
+TEST(GraphIoTest, PreservesLabelsWithSpaces) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(0.5, "potassium ion conductance", "AmiGO");
+  b.Edge(b.Source(), t, 0.25);
+  QueryGraph g = std::move(b).Build({t});
+  Result<QueryGraph> parsed = ParseQueryGraph(SerializeQueryGraph(g));
+  ASSERT_TRUE(parsed.ok());
+  const GraphNode& node = parsed.value().graph.node(parsed.value().answers[0]);
+  EXPECT_EQ(node.label, "potassium ion conductance");
+  EXPECT_EQ(node.entity_set, "AmiGO");
+  EXPECT_DOUBLE_EQ(node.p, 0.5);
+}
+
+TEST(GraphIoTest, CompactsTombstonedElements) {
+  QueryGraphBuilder b;
+  NodeId dead = b.Node(0.9, "dead");
+  NodeId t = b.Node(0.8, "t");
+  b.Edge(b.Source(), dead, 0.5);
+  b.Edge(b.Source(), t, 0.5);
+  QueryGraph g = std::move(b).Build({t});
+  g.graph.RemoveNode(dead);
+  Result<QueryGraph> parsed = ParseQueryGraph(SerializeQueryGraph(g));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().graph.num_nodes(), 2);
+  EXPECT_EQ(parsed.value().graph.num_edges(), 1);
+}
+
+TEST(GraphIoTest, ExactProbabilityRoundTrip) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(1.0 / 3.0, "t");
+  b.Edge(b.Source(), t, 0.1234567890123456789);
+  QueryGraph g = std::move(b).Build({t});
+  Result<QueryGraph> parsed = ParseQueryGraph(SerializeQueryGraph(g));
+  ASSERT_TRUE(parsed.ok());
+  NodeId pt = parsed.value().answers[0];
+  EXPECT_DOUBLE_EQ(parsed.value().graph.node(pt).p, 1.0 / 3.0);
+  std::vector<EdgeId> in = parsed.value().graph.InEdges(pt);
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed.value().graph.edge(in[0]).q,
+                   g.graph.edge(0).q);
+}
+
+TEST(GraphIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseQueryGraph("").ok());
+  EXPECT_FALSE(ParseQueryGraph("not-a-graph\n").ok());
+  EXPECT_FALSE(
+      ParseQueryGraph("biorank-graph 1\nnode 5 0.5 -\nsource 0\n").ok());
+  EXPECT_FALSE(
+      ParseQueryGraph("biorank-graph 1\nnode 0 0.5 -\nedge 0 9 0.5\n"
+                      "source 0\n")
+          .ok());
+  EXPECT_FALSE(
+      ParseQueryGraph("biorank-graph 1\nnode 0 0.5 -\nfrobnicate 1\n").ok());
+  // Missing source.
+  EXPECT_FALSE(ParseQueryGraph("biorank-graph 1\nnode 0 0.5 -\n").ok());
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  std::string path = ::testing::TempDir() + "/biorank_graph_io_test.bg";
+  ASSERT_TRUE(WriteQueryGraphFile(g, path).ok());
+  Result<QueryGraph> parsed = ReadQueryGraphFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ExpectGraphsEquivalent(g, parsed.value());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileIsNotFound) {
+  Result<QueryGraph> parsed =
+      ReadQueryGraphFile("/nonexistent_zzz/graph.bg");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace biorank

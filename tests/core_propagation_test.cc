@@ -1,0 +1,126 @@
+#include "core/propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query_graph.h"
+
+namespace biorank {
+namespace {
+
+TEST(PropagationTest, SourceIsPinnedAtOne) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  Result<IterativeScores> r = Propagate(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().scores[g.source], 1.0);
+}
+
+TEST(PropagationTest, Fig4aMatchesPaper) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  Result<IterativeScores> r = Propagate(g);
+  ASSERT_TRUE(r.ok());
+  // Two "independent" 0.5 paths: 1 - 0.5^2 = 0.75 (Figure 4a).
+  EXPECT_NEAR(r.value().scores[g.answers[0]], 0.75, 1e-9);
+  EXPECT_TRUE(r.value().converged);
+}
+
+TEST(PropagationTest, WheatstoneBridgeMatchesPaper) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  Result<IterativeScores> r = Propagate(g);
+  ASSERT_TRUE(r.ok());
+  // r(a)=0.5, r(b)=1-(1-0.25)(1-0.5*0.5)... = 0.625,
+  // r(u)=1-(1-0.25)(1-0.3125) = 0.484375 (Figure 4b).
+  EXPECT_NEAR(r.value().scores[g.answers[0]], 0.484375, 1e-9);
+}
+
+TEST(PropagationTest, ChainMultipliesProbabilities) {
+  QueryGraphBuilder b;
+  NodeId m = b.Node(0.5, "m");
+  NodeId t = b.Node(0.8, "t");
+  b.Edge(b.Source(), m, 0.9);
+  b.Edge(m, t, 0.7);
+  QueryGraph g = std::move(b).Build({t});
+  Result<IterativeScores> r = Propagate(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().scores[t], 0.9 * 0.5 * 0.7 * 0.8, 1e-9);
+}
+
+TEST(PropagationTest, NodeProbabilityScalesScore) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(0.25, "t");
+  b.Edge(b.Source(), t, 1.0);
+  QueryGraph g = std::move(b).Build({t});
+  Result<IterativeScores> r = Propagate(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().scores[t], 0.25, 1e-9);
+}
+
+TEST(PropagationTest, UnreachableNodeScoresZero) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(0.9, "t");
+  NodeId island = b.Node(0.9, "island");
+  b.Edge(b.Source(), t, 0.5);
+  QueryGraph g = std::move(b).Build({t, island});
+  Result<IterativeScores> r = Propagate(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().scores[island], 0.0);
+}
+
+TEST(PropagationTest, ConvergesOnCycleWithDamping) {
+  // Cycle a <-> b below the source; scores must converge geometrically.
+  QueryGraphBuilder b;
+  NodeId a = b.Node(1.0, "a");
+  NodeId bb = b.Node(1.0, "b");
+  b.Edge(b.Source(), a, 0.5);
+  b.Edge(a, bb, 0.8);
+  b.Edge(bb, a, 0.8);
+  QueryGraph g = std::move(b).Build({a, bb});
+  Result<IterativeScores> r = Propagate(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().converged);
+  // The cycle boosts a above its single-path value 0.5 (the paper's noted
+  // artifact of treating cyclic paths as independent).
+  EXPECT_GT(r.value().scores[a], 0.5);
+  EXPECT_LE(r.value().scores[a], 1.0);
+}
+
+TEST(PropagationTest, IterationCapRespected) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  PropagationOptions options;
+  options.max_iterations = 1;
+  Result<IterativeScores> r = Propagate(g, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().iterations, 1);
+  // After one synchronous step only direct children of s have scores.
+  EXPECT_DOUBLE_EQ(r.value().scores[g.answers[0]], 0.0);
+}
+
+TEST(PropagationTest, DagConvergesWithinLongestPathPlusOne) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  Result<IterativeScores> r = Propagate(g);
+  ASSERT_TRUE(r.ok());
+  // Longest path s->a->b->u has 3 edges; one extra pass detects the
+  // fixpoint.
+  EXPECT_LE(r.value().iterations, 5);
+}
+
+TEST(PropagationTest, RejectsBadOptions) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  PropagationOptions options;
+  options.max_iterations = 0;
+  EXPECT_FALSE(Propagate(g, options).ok());
+}
+
+TEST(PropagationTest, ScoreIsMonotoneInEdgeProbability) {
+  for (double q : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    QueryGraphBuilder b;
+    NodeId t = b.Node(1.0, "t");
+    b.Edge(b.Source(), t, q);
+    QueryGraph g = std::move(b).Build({t});
+    Result<IterativeScores> r = Propagate(g);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NEAR(r.value().scores[t], q, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace biorank

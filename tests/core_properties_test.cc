@@ -1,0 +1,172 @@
+// Cross-algorithm property tests on randomly generated graphs. These pin
+// the paper's structural claims:
+//   - Proposition 3.1: reliability == propagation on trees.
+//   - Propagation dominates reliability on every graph (Sect 3.2).
+//   - The Section 3.1 reduction rules preserve source-target reliability.
+//   - Factoring, brute force, Monte Carlo, and (where applicable) closed
+//     form all agree.
+
+#include <gtest/gtest.h>
+
+#include "core/closed_form.h"
+#include "core/propagation.h"
+#include "core/reduction.h"
+#include "core/reliability_exact.h"
+#include "core/reliability_mc.h"
+#include "testing/random_graphs.h"
+#include "util/rng.h"
+
+namespace biorank {
+namespace {
+
+class RandomDagProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDagProperty, FactoringMatchesBruteForce) {
+  Rng rng(1000 + GetParam());
+  testing::RandomDagOptions options;
+  options.layers = 2;
+  options.nodes_per_layer = 2;
+  options.answers = 2;
+  options.edge_density = 0.5;
+  QueryGraph g = testing::MakeRandomLayeredDag(rng, options);
+  for (NodeId t : g.answers) {
+    Result<double> brute = ExactReliabilityBruteForce(g, t, 24);
+    Result<double> factored = ExactReliabilityFactoring(g, t);
+    ASSERT_TRUE(brute.ok()) << brute.status();
+    ASSERT_TRUE(factored.ok()) << factored.status();
+    EXPECT_NEAR(brute.value(), factored.value(), 1e-10);
+  }
+}
+
+TEST_P(RandomDagProperty, ReductionPreservesReliability) {
+  Rng rng(2000 + GetParam());
+  testing::RandomDagOptions options;
+  options.layers = 2;
+  options.nodes_per_layer = 2;
+  options.answers = 2;
+  options.edge_density = 0.5;
+  QueryGraph g = testing::MakeRandomLayeredDag(rng, options);
+
+  std::vector<double> before;
+  for (NodeId t : g.answers) {
+    Result<double> r = ExactReliabilityBruteForce(g, t, 24);
+    ASSERT_TRUE(r.ok()) << r.status();
+    before.push_back(r.value());
+  }
+  ReduceQueryGraph(g);
+  for (size_t i = 0; i < g.answers.size(); ++i) {
+    Result<double> r = ExactReliabilityBruteForce(g, g.answers[i], 24);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_NEAR(before[i], r.value(), 1e-10) << "answer " << i;
+  }
+}
+
+TEST_P(RandomDagProperty, PropagationDominatesReliability) {
+  Rng rng(3000 + GetParam());
+  testing::RandomDagOptions options;
+  options.layers = 2;
+  options.nodes_per_layer = 3;
+  options.answers = 2;
+  options.edge_density = 0.5;
+  QueryGraph g = testing::MakeRandomLayeredDag(rng, options);
+  Result<IterativeScores> prop = Propagate(g);
+  ASSERT_TRUE(prop.ok());
+  for (NodeId t : g.answers) {
+    Result<double> rel = ExactReliabilityFactoring(g, t);
+    ASSERT_TRUE(rel.ok()) << rel.status();
+    EXPECT_GE(prop.value().scores[t] + 1e-9, rel.value()) << "answer " << t;
+  }
+}
+
+TEST_P(RandomDagProperty, McConvergesToFactoring) {
+  Rng rng(4000 + GetParam());
+  testing::RandomDagOptions options;
+  options.layers = 2;
+  options.nodes_per_layer = 2;
+  options.answers = 1;
+  options.edge_density = 0.6;
+  QueryGraph g = testing::MakeRandomLayeredDag(rng, options);
+  NodeId t = g.answers[0];
+  Result<double> exact = ExactReliabilityFactoring(g, t);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  McOptions mc;
+  mc.trials = 100000;
+  mc.seed = 4000 + GetParam();
+  Result<McEstimate> estimate = EstimateReliabilityMc(g, mc);
+  ASSERT_TRUE(estimate.ok());
+  // 100k trials: standard error <= 0.0016; 5 sigma margin.
+  EXPECT_NEAR(estimate.value().scores[t], exact.value(), 0.01);
+}
+
+TEST_P(RandomDagProperty, ClosedFormMatchesFactoringWhenItApplies) {
+  Rng rng(5000 + GetParam());
+  testing::RandomDagOptions options;
+  options.layers = 2;
+  options.nodes_per_layer = 3;
+  options.answers = 2;
+  options.edge_density = 0.4;
+  QueryGraph g = testing::MakeRandomLayeredDag(rng, options);
+  for (NodeId t : g.answers) {
+    Result<double> closed = ClosedFormReliability(g, t);
+    if (!closed.ok()) continue;  // Irreducible target: nothing to check.
+    Result<double> exact = ExactReliabilityFactoring(g, t);
+    ASSERT_TRUE(exact.ok()) << exact.status();
+    EXPECT_NEAR(closed.value(), exact.value(), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagProperty, ::testing::Range(0, 12));
+
+class RandomTreeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTreeProperty, Proposition31ReliabilityEqualsPropagation) {
+  Rng rng(6000 + GetParam());
+  QueryGraph g = testing::MakeRandomTree(rng, /*depth=*/3, /*branching=*/2,
+                                         /*certain_nodes=*/false);
+  Result<IterativeScores> prop = Propagate(g);
+  ASSERT_TRUE(prop.ok());
+  for (NodeId t : g.answers) {
+    Result<double> rel = ExactReliabilityFactoring(g, t);
+    ASSERT_TRUE(rel.ok()) << rel.status();
+    EXPECT_NEAR(prop.value().scores[t], rel.value(), 1e-9) << "leaf " << t;
+  }
+}
+
+TEST_P(RandomTreeProperty, TreesAreFullyReducible) {
+  // Theorem 3.2 part A specializes to data trees: reductions always give a
+  // closed solution.
+  Rng rng(7000 + GetParam());
+  QueryGraph g = testing::MakeRandomTree(rng, /*depth=*/3, /*branching=*/2,
+                                         /*certain_nodes=*/false);
+  for (NodeId t : g.answers) {
+    Result<double> closed = ClosedFormReliability(g, t);
+    EXPECT_TRUE(closed.ok()) << closed.status();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeProperty, ::testing::Range(0, 8));
+
+class RandomDigraphProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDigraphProperty, McMatchesBruteForceEvenWithCycles) {
+  Rng rng(8000 + GetParam());
+  QueryGraph g =
+      testing::MakeRandomDigraph(rng, /*num_nodes=*/5, /*edge_density=*/0.4,
+                                 /*num_answers=*/2);
+  for (NodeId t : g.answers) {
+    Result<double> brute = ExactReliabilityBruteForce(g, t, 24);
+    if (!brute.ok()) continue;  // Too many uncertain elements this seed.
+    McOptions mc;
+    mc.trials = 60000;
+    mc.seed = 8000 + GetParam();
+    Result<McEstimate> estimate = EstimateReliabilityMc(g, mc);
+    ASSERT_TRUE(estimate.ok());
+    EXPECT_NEAR(estimate.value().scores[t], brute.value(), 0.015);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDigraphProperty,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace biorank

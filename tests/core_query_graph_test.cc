@@ -1,0 +1,76 @@
+#include "core/query_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace biorank {
+namespace {
+
+TEST(QueryGraphTest, BuilderProducesValidGraph) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(0.5, "t");
+  b.Edge(b.Source(), t, 0.7);
+  QueryGraph g = std::move(b).Build({t});
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.graph.num_nodes(), 2);
+  EXPECT_EQ(g.graph.num_edges(), 1);
+}
+
+TEST(QueryGraphTest, SourceHasProbabilityOne) {
+  QueryGraphBuilder b;
+  QueryGraph g = std::move(b).Build({});
+  EXPECT_DOUBLE_EQ(g.graph.node(g.source).p, 1.0);
+}
+
+TEST(QueryGraphTest, ValidateRejectsDeadSource) {
+  QueryGraphBuilder b;
+  QueryGraph g = std::move(b).Build({});
+  g.graph.RemoveNode(g.source);
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(QueryGraphTest, ValidateRejectsDeadAnswer) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(0.5);
+  QueryGraph g = std::move(b).Build({t});
+  g.graph.RemoveNode(t);
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(QueryGraphTest, ValidateRejectsDuplicateAnswers) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(0.5);
+  QueryGraph g = std::move(b).Build({t, t});
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(QueryGraphTest, ValidateRejectsSourceAsAnswer) {
+  QueryGraphBuilder b;
+  NodeId s = b.Source();
+  QueryGraph g = std::move(b).Build({s});
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(Fig4aTest, HasDocumentedShape) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.graph.num_nodes(), 5);
+  EXPECT_EQ(g.graph.num_edges(), 5);
+  ASSERT_EQ(g.answers.size(), 1u);
+  EXPECT_EQ(g.graph.InDegree(g.answers[0]), 2);
+}
+
+TEST(Fig4bTest, HasDocumentedShape) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.graph.num_nodes(), 4);
+  EXPECT_EQ(g.graph.num_edges(), 5);
+  ASSERT_EQ(g.answers.size(), 1u);
+  EXPECT_EQ(g.graph.InDegree(g.answers[0]), 2);
+  // All edges carry probability 0.5.
+  for (EdgeId e : g.graph.AliveEdges()) {
+    EXPECT_DOUBLE_EQ(g.graph.edge(e).q, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace biorank

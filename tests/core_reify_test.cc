@@ -1,0 +1,102 @@
+#include "core/reify.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reliability_exact.h"
+#include "testing/random_graphs.h"
+#include "util/rng.h"
+
+namespace biorank {
+namespace {
+
+TEST(ReifyTest, CertainNodesStaySingle) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(1.0, "t");
+  b.Edge(b.Source(), t, 0.5);
+  QueryGraph g = std::move(b).Build({t});
+  ReifiedGraph reified = ReifyNodeFailures(g);
+  EXPECT_EQ(reified.query_graph.graph.num_nodes(), 2);
+  EXPECT_EQ(reified.query_graph.graph.num_edges(), 1);
+  EXPECT_EQ(reified.in_node[t], reified.out_node[t]);
+}
+
+TEST(ReifyTest, UncertainNodeSplitsIntoPair) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(0.6, "t");
+  b.Edge(b.Source(), t, 0.5);
+  QueryGraph g = std::move(b).Build({t});
+  ReifiedGraph reified = ReifyNodeFailures(g);
+  // s stays single; t splits: 3 nodes, 2 edges.
+  EXPECT_EQ(reified.query_graph.graph.num_nodes(), 3);
+  EXPECT_EQ(reified.query_graph.graph.num_edges(), 2);
+  EXPECT_NE(reified.in_node[t], reified.out_node[t]);
+  // All reified node probabilities are 1.
+  for (NodeId i : reified.query_graph.graph.AliveNodes()) {
+    EXPECT_DOUBLE_EQ(reified.query_graph.graph.node(i).p, 1.0);
+  }
+}
+
+TEST(ReifyTest, SplitEdgeCarriesNodeProbability) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(0.6, "t");
+  b.Edge(b.Source(), t, 0.5);
+  QueryGraph g = std::move(b).Build({t});
+  ReifiedGraph reified = ReifyNodeFailures(g);
+  std::vector<EdgeId> in =
+      reified.query_graph.graph.InEdges(reified.out_node[t]);
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_DOUBLE_EQ(reified.query_graph.graph.edge(in[0]).q, 0.6);
+}
+
+TEST(ReifyTest, AnswersMapToOutSide) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(0.6, "t");
+  b.Edge(b.Source(), t, 0.5);
+  QueryGraph g = std::move(b).Build({t});
+  ReifiedGraph reified = ReifyNodeFailures(g);
+  ASSERT_EQ(reified.query_graph.answers.size(), 1u);
+  EXPECT_EQ(reified.query_graph.answers[0], reified.out_node[t]);
+  EXPECT_TRUE(reified.query_graph.Validate().ok());
+}
+
+TEST(ReifyTest, EdgesRewireThroughSplitNodes) {
+  QueryGraphBuilder b;
+  NodeId mid = b.Node(0.5, "mid");
+  NodeId t = b.Node(1.0, "t");
+  b.Edge(b.Source(), mid, 0.7);
+  b.Edge(mid, t, 0.9);
+  QueryGraph g = std::move(b).Build({t});
+  ReifiedGraph reified = ReifyNodeFailures(g);
+  const ProbabilisticEntityGraph& rg = reified.query_graph.graph;
+  // In-edge of mid lands on mid/in; out-edge of mid leaves from mid/out.
+  std::vector<EdgeId> into_mid_in = rg.InEdges(reified.in_node[mid]);
+  ASSERT_EQ(into_mid_in.size(), 1u);
+  EXPECT_DOUBLE_EQ(rg.edge(into_mid_in[0]).q, 0.7);
+  std::vector<EdgeId> from_mid_out = rg.OutEdges(reified.out_node[mid]);
+  ASSERT_EQ(from_mid_out.size(), 1u);
+  EXPECT_DOUBLE_EQ(rg.edge(from_mid_out[0]).q, 0.9);
+}
+
+TEST(ReifyTest, PreservesReliabilityOnRandomGraphs) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 8; ++trial) {
+    testing::RandomDagOptions options;
+    options.layers = 2;
+    options.nodes_per_layer = 2;
+    options.answers = 1;
+    options.edge_density = 0.6;
+    QueryGraph g = testing::MakeRandomLayeredDag(rng, options);
+    Result<double> original =
+        ExactReliabilityBruteForce(g, g.answers[0], 22);
+    ASSERT_TRUE(original.ok()) << original.status();
+    ReifiedGraph reified = ReifyNodeFailures(g);
+    Result<double> after = ExactReliabilityBruteForce(
+        reified.query_graph, reified.query_graph.answers[0], 25);
+    ASSERT_TRUE(after.ok()) << after.status();
+    EXPECT_NEAR(original.value(), after.value(), 1e-12)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace biorank

@@ -1,0 +1,98 @@
+#include "core/reliability_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query_graph.h"
+#include "core/reliability_exact.h"
+#include "testing/random_graphs.h"
+#include "util/rng.h"
+
+namespace biorank {
+namespace {
+
+TEST(BoundsTest, SingleEdgeIsTight) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(0.8, "t");
+  b.Edge(b.Source(), t, 0.5);
+  QueryGraph g = std::move(b).Build({t});
+  Result<ReliabilityBounds> bounds = BoundReliability(g, t);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_NEAR(bounds.value().lower, 0.4, 1e-9);
+  EXPECT_NEAR(bounds.value().upper, 0.4, 1e-9);
+}
+
+TEST(BoundsTest, BracketsExactOnBridge) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  Result<ReliabilityBounds> bounds = BoundReliability(g, g.answers[0]);
+  ASSERT_TRUE(bounds.ok());
+  double exact = 15.0 / 32.0;
+  EXPECT_LE(bounds.value().lower, exact + 1e-9);
+  EXPECT_GE(bounds.value().upper, exact - 1e-9);
+  // With all 3 paths the lower bound IS the exact reliability.
+  EXPECT_NEAR(bounds.value().lower, exact, 1e-9);
+  // The upper bound is the propagation score.
+  EXPECT_NEAR(bounds.value().upper, 0.484375, 1e-9);
+}
+
+TEST(BoundsTest, UnreachableTargetHasZeroBounds) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(0.9, "t");
+  QueryGraph g = std::move(b).Build({t});
+  Result<ReliabilityBounds> bounds = BoundReliability(g, t);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_DOUBLE_EQ(bounds.value().lower, 0.0);
+  EXPECT_DOUBLE_EQ(bounds.value().upper, 0.0);
+  EXPECT_EQ(bounds.value().paths_used, 0);
+}
+
+TEST(BoundsTest, MorePathsTightenTheLowerBound) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  double previous = -1.0;
+  for (int k : {1, 2, 3}) {
+    ReliabilityBoundsOptions options;
+    options.max_paths = k;
+    Result<ReliabilityBounds> bounds =
+        BoundReliability(g, g.answers[0], options);
+    ASSERT_TRUE(bounds.ok());
+    EXPECT_GE(bounds.value().lower, previous - 1e-12);
+    previous = bounds.value().lower;
+  }
+  // k=1 gives exactly the single best path probability: 0.25.
+  ReliabilityBoundsOptions one;
+  one.max_paths = 1;
+  EXPECT_NEAR(BoundReliability(g, g.answers[0], one).value().lower, 0.25,
+              1e-9);
+}
+
+TEST(BoundsTest, RejectsBadArguments) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  EXPECT_FALSE(BoundReliability(g, 999).ok());
+  ReliabilityBoundsOptions options;
+  options.max_paths = 0;
+  EXPECT_FALSE(BoundReliability(g, g.answers[0], options).ok());
+}
+
+class BoundsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundsProperty, BracketsExactReliabilityOnRandomDags) {
+  Rng rng(4200 + GetParam());
+  testing::RandomDagOptions options;
+  options.layers = 2;
+  options.nodes_per_layer = 3;
+  options.answers = 2;
+  options.edge_density = 0.5;
+  QueryGraph g = testing::MakeRandomLayeredDag(rng, options);
+  for (NodeId t : g.answers) {
+    Result<double> exact = ExactReliabilityFactoring(g, t);
+    ASSERT_TRUE(exact.ok()) << exact.status();
+    Result<ReliabilityBounds> bounds = BoundReliability(g, t);
+    ASSERT_TRUE(bounds.ok()) << bounds.status();
+    EXPECT_LE(bounds.value().lower, exact.value() + 1e-9);
+    EXPECT_GE(bounds.value().upper, exact.value() - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace biorank

@@ -1,0 +1,193 @@
+#include "core/reliability_exact.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query_graph.h"
+
+namespace biorank {
+namespace {
+
+TEST(BruteForceTest, SingleEdge) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(0.8, "t");
+  b.Edge(b.Source(), t, 0.5);
+  QueryGraph g = std::move(b).Build({t});
+  Result<double> r = ExactReliabilityBruteForce(g, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 0.4, 1e-12);
+}
+
+TEST(BruteForceTest, SerialChain) {
+  QueryGraphBuilder b;
+  NodeId mid = b.Node(0.5, "mid");
+  NodeId t = b.Node(0.8, "t");
+  b.Edge(b.Source(), mid, 0.9);
+  b.Edge(mid, t, 0.7);
+  QueryGraph g = std::move(b).Build({t});
+  Result<double> r = ExactReliabilityBruteForce(g, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 0.9 * 0.5 * 0.7 * 0.8, 1e-12);
+}
+
+TEST(BruteForceTest, ParallelEdges) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(1.0, "t");
+  b.Edge(b.Source(), t, 0.5);
+  b.Edge(b.Source(), t, 0.5);
+  QueryGraph g = std::move(b).Build({t});
+  Result<double> r = ExactReliabilityBruteForce(g, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 0.75, 1e-12);
+}
+
+TEST(BruteForceTest, Fig4aIsHalf) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  Result<double> r = ExactReliabilityBruteForce(g, g.answers[0]);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 0.5, 1e-12);
+}
+
+TEST(BruteForceTest, WheatstoneBridgeMatchesPaper) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  Result<double> r = ExactReliabilityBruteForce(g, g.answers[0]);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 15.0 / 32.0, 1e-12);  // 0.469 in Figure 4b.
+}
+
+TEST(BruteForceTest, UnreachableTargetIsZero) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(0.9, "t");
+  QueryGraph g = std::move(b).Build({t});
+  Result<double> r = ExactReliabilityBruteForce(g, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
+}
+
+TEST(BruteForceTest, SourceIsItsOwnTargetWithProbOne) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(0.9, "t");
+  b.Edge(b.Source(), t, 0.5);
+  QueryGraph g = std::move(b).Build({t});
+  Result<double> r = ExactReliabilityBruteForce(g, g.source);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 1.0);
+}
+
+TEST(BruteForceTest, RefusesTooManyUncertainElements) {
+  QueryGraphBuilder b;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 30; ++i) {
+    NodeId n = b.Node(0.5);
+    b.Edge(b.Source(), n, 0.5);
+    nodes.push_back(n);
+  }
+  QueryGraph g = std::move(b).Build(nodes);
+  Result<double> r = ExactReliabilityBruteForce(g, nodes[0], 10);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BruteForceTest, ZeroProbabilityEdgeNeverConnects) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(1.0, "t");
+  b.Edge(b.Source(), t, 0.0);
+  QueryGraph g = std::move(b).Build({t});
+  Result<double> r = ExactReliabilityBruteForce(g, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
+}
+
+TEST(FactoringTest, MatchesBruteForceOnBridge) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  Result<double> r = ExactReliabilityFactoring(g, g.answers[0]);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 15.0 / 32.0, 1e-12);
+}
+
+TEST(FactoringTest, MatchesBruteForceOnFig4a) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  Result<double> r = ExactReliabilityFactoring(g, g.answers[0]);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 0.5, 1e-12);
+}
+
+TEST(FactoringTest, WorksWithoutReductions) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  FactoringOptions options;
+  options.use_reductions = false;
+  Result<double> r = ExactReliabilityFactoring(g, g.answers[0], options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 15.0 / 32.0, 1e-12);
+}
+
+TEST(FactoringTest, HandlesUncertainNodesViaReification) {
+  QueryGraphBuilder b;
+  NodeId mid = b.Node(0.5, "mid");
+  NodeId t = b.Node(0.8, "t");
+  b.Edge(b.Source(), mid, 0.9);
+  b.Edge(mid, t, 0.7);
+  QueryGraph g = std::move(b).Build({t});
+  Result<double> r = ExactReliabilityFactoring(g, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 0.9 * 0.5 * 0.7 * 0.8, 1e-12);
+}
+
+TEST(FactoringTest, UnreachableTargetIsZero) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(0.9, "t");
+  QueryGraph g = std::move(b).Build({t});
+  Result<double> r = ExactReliabilityFactoring(g, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
+}
+
+TEST(FactoringTest, BudgetExceededFails) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  FactoringOptions options;
+  options.use_reductions = false;
+  options.max_calls = 2;
+  Result<double> r = ExactReliabilityFactoring(g, g.answers[0], options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FactoringTest, AllAnswersVector) {
+  QueryGraphBuilder b;
+  NodeId t1 = b.Node(1.0, "t1");
+  NodeId t2 = b.Node(1.0, "t2");
+  b.Edge(b.Source(), t1, 0.5);
+  b.Edge(b.Source(), t2, 0.25);
+  QueryGraph g = std::move(b).Build({t1, t2});
+  Result<std::vector<double>> r = ExactReliabilityAllAnswers(g);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 2u);
+  EXPECT_NEAR(r.value()[0], 0.5, 1e-12);
+  EXPECT_NEAR(r.value()[1], 0.25, 1e-12);
+}
+
+TEST(FactoringTest, DoubleBridgeMatchesBruteForce) {
+  // Two Wheatstone bridges in series: irreducible beyond one conditioning.
+  QueryGraphBuilder b;
+  NodeId a1 = b.Node(1.0), b1 = b.Node(1.0), m = b.Node(1.0);
+  NodeId a2 = b.Node(1.0), b2 = b.Node(1.0), t = b.Node(1.0);
+  NodeId s = b.Source();
+  b.Edge(s, a1, 0.6);
+  b.Edge(s, b1, 0.7);
+  b.Edge(a1, b1, 0.5);
+  b.Edge(a1, m, 0.8);
+  b.Edge(b1, m, 0.4);
+  b.Edge(m, a2, 0.6);
+  b.Edge(m, b2, 0.7);
+  b.Edge(a2, b2, 0.5);
+  b.Edge(a2, t, 0.8);
+  b.Edge(b2, t, 0.4);
+  QueryGraph g = std::move(b).Build({t});
+  Result<double> brute = ExactReliabilityBruteForce(g, t);
+  Result<double> factored = ExactReliabilityFactoring(g, t);
+  ASSERT_TRUE(brute.ok());
+  ASSERT_TRUE(factored.ok());
+  EXPECT_NEAR(brute.value(), factored.value(), 1e-12);
+}
+
+}  // namespace
+}  // namespace biorank

@@ -1,0 +1,200 @@
+#include "core/reliability_mc.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query_graph.h"
+#include "core/trial_bound.h"
+
+namespace biorank {
+namespace {
+
+TEST(McTest, SingleCertainEdgeIsAlwaysReached) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(1.0, "t");
+  b.Edge(b.Source(), t, 1.0);
+  QueryGraph g = std::move(b).Build({t});
+  McOptions options;
+  options.trials = 100;
+  Result<McEstimate> r = EstimateReliabilityMc(g, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().scores[t], 1.0);
+  EXPECT_DOUBLE_EQ(r.value().scores[g.source], 1.0);
+}
+
+TEST(McTest, ZeroEdgeNeverReached) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(1.0, "t");
+  b.Edge(b.Source(), t, 0.0);
+  QueryGraph g = std::move(b).Build({t});
+  McOptions options;
+  options.trials = 100;
+  Result<McEstimate> r = EstimateReliabilityMc(g, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().scores[t], 0.0);
+}
+
+TEST(McTest, ConvergesToFig4aReliability) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  McOptions options;
+  options.trials = 200000;
+  options.seed = 7;
+  Result<McEstimate> r = EstimateReliabilityMc(g, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().scores[g.answers[0]], 0.5, 0.005);
+}
+
+TEST(McTest, ConvergesToBridgeReliability) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  McOptions options;
+  options.trials = 200000;
+  options.seed = 11;
+  Result<McEstimate> r = EstimateReliabilityMc(g, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().scores[g.answers[0]], 15.0 / 32.0, 0.005);
+}
+
+TEST(McTest, NaiveAndTraversalAgreeInDistribution) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  McOptions traversal;
+  traversal.trials = 100000;
+  traversal.seed = 13;
+  traversal.mode = McOptions::Mode::kTraversal;
+  McOptions naive = traversal;
+  naive.mode = McOptions::Mode::kNaive;
+  Result<McEstimate> rt = EstimateReliabilityMc(g, traversal);
+  Result<McEstimate> rn = EstimateReliabilityMc(g, naive);
+  ASSERT_TRUE(rt.ok());
+  ASSERT_TRUE(rn.ok());
+  EXPECT_NEAR(rt.value().scores[g.answers[0]],
+              rn.value().scores[g.answers[0]], 0.01);
+}
+
+TEST(McTest, UncertainTargetNodeCountsPresence) {
+  // r(t) = P[reachable AND present] = q * p = 0.5 * 0.6.
+  QueryGraphBuilder b;
+  NodeId t = b.Node(0.6, "t");
+  b.Edge(b.Source(), t, 0.5);
+  QueryGraph g = std::move(b).Build({t});
+  McOptions options;
+  options.trials = 200000;
+  options.seed = 17;
+  Result<McEstimate> r = EstimateReliabilityMc(g, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().scores[t], 0.3, 0.005);
+}
+
+TEST(McTest, DeterministicForFixedSeed) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  McOptions options;
+  options.trials = 5000;
+  options.seed = 99;
+  Result<McEstimate> r1 = EstimateReliabilityMc(g, options);
+  Result<McEstimate> r2 = EstimateReliabilityMc(g, options);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().scores, r2.value().scores);
+}
+
+TEST(McTest, DifferentSeedsDiffer) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  McOptions a;
+  a.trials = 5000;
+  a.seed = 1;
+  McOptions b = a;
+  b.seed = 2;
+  Result<McEstimate> r1 = EstimateReliabilityMc(g, a);
+  Result<McEstimate> r2 = EstimateReliabilityMc(g, b);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NE(r1.value().scores[g.answers[0]], r2.value().scores[g.answers[0]]);
+}
+
+TEST(McTest, MultithreadedMatchesAccuracy) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  McOptions options;
+  options.trials = 100000;
+  options.seed = 23;
+  options.num_threads = 4;
+  Result<McEstimate> r = EstimateReliabilityMc(g, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().scores[g.answers[0]], 15.0 / 32.0, 0.01);
+}
+
+TEST(McTest, MultithreadedIsDeterministicGivenThreadCount) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  McOptions options;
+  options.trials = 20000;
+  options.seed = 29;
+  options.num_threads = 3;
+  Result<McEstimate> r1 = EstimateReliabilityMc(g, options);
+  Result<McEstimate> r2 = EstimateReliabilityMc(g, options);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().scores, r2.value().scores);
+}
+
+TEST(McTest, RejectsNonPositiveTrials) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  McOptions options;
+  options.trials = 0;
+  EXPECT_FALSE(EstimateReliabilityMc(g, options).ok());
+}
+
+TEST(McTest, RejectsInvalidThreadCount) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  McOptions options;
+  options.num_threads = 0;
+  EXPECT_FALSE(EstimateReliabilityMc(g, options).ok());
+}
+
+TEST(McTest, RejectsInvalidQueryGraph) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(1.0);
+  QueryGraph g = std::move(b).Build({t, t});  // Duplicate answer.
+  EXPECT_FALSE(EstimateReliabilityMc(g).ok());
+}
+
+TEST(McTest, HandlesCyclesWithoutHanging) {
+  QueryGraphBuilder b;
+  NodeId a = b.Node(1.0, "a");
+  NodeId t = b.Node(1.0, "t");
+  b.Edge(b.Source(), a, 0.5);
+  b.Edge(a, t, 0.5);
+  b.Edge(t, a, 0.5);  // Cycle a <-> t.
+  QueryGraph g = std::move(b).Build({t});
+  McOptions options;
+  options.trials = 10000;
+  Result<McEstimate> r = EstimateReliabilityMc(g, options);
+  ASSERT_TRUE(r.ok());
+  // Reliability of t: edge(s,a) and edge(a,t) both present = 0.25. The
+  // cycle back-edge changes nothing.
+  EXPECT_NEAR(r.value().scores[t], 0.25, 0.02);
+}
+
+TEST(TrialBoundTest, PaperExampleRoundsBelowTenThousand) {
+  Result<int64_t> n = RequiredMcTrials(0.02, 0.05);
+  ASSERT_TRUE(n.ok());
+  // Appendix A with eps=.02, delta=.05 gives 7,896; the paper rounds to
+  // "10,000 trials should be enough".
+  EXPECT_EQ(n.value(), 7896);
+  EXPECT_LE(n.value(), 10000);
+}
+
+TEST(TrialBoundTest, MonotoneInEpsilonAndDelta) {
+  int64_t loose = RequiredMcTrials(0.05, 0.05).value();
+  int64_t tight_eps = RequiredMcTrials(0.01, 0.05).value();
+  int64_t tight_delta = RequiredMcTrials(0.05, 0.001).value();
+  EXPECT_GT(tight_eps, loose);
+  EXPECT_GT(tight_delta, loose);
+}
+
+TEST(TrialBoundTest, RejectsBadArguments) {
+  EXPECT_FALSE(RequiredMcTrials(0.0, 0.05).ok());
+  EXPECT_FALSE(RequiredMcTrials(-0.1, 0.05).ok());
+  EXPECT_FALSE(RequiredMcTrials(1.5, 0.05).ok());
+  EXPECT_FALSE(RequiredMcTrials(0.02, 0.0).ok());
+  EXPECT_FALSE(RequiredMcTrials(0.02, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace biorank

@@ -1,0 +1,146 @@
+#include "core/topk_mc.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query_graph.h"
+
+namespace biorank {
+namespace {
+
+QueryGraph WellSeparatedAnswers() {
+  QueryGraphBuilder b;
+  NodeId strong = b.Node(1.0, "strong");
+  NodeId mid = b.Node(1.0, "mid");
+  NodeId weak = b.Node(1.0, "weak");
+  b.Edge(b.Source(), strong, 0.9);
+  b.Edge(b.Source(), mid, 0.5);
+  b.Edge(b.Source(), weak, 0.1);
+  return std::move(b).Build({strong, mid, weak});
+}
+
+TEST(TopKTest, SeparatesClearBoundaryQuickly) {
+  QueryGraph g = WellSeparatedAnswers();
+  TopKOptions options;
+  options.k = 1;
+  options.batch_trials = 200;
+  options.max_trials = 50000;
+  Result<TopKResult> result = RankTopKAdaptive(g, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().separated);
+  EXPECT_LT(result.value().trials_used, 5000);  // 0.9 vs 0.5 is easy.
+  EXPECT_EQ(result.value().ranking[0].node, g.answers[0]);
+}
+
+TEST(TopKTest, OrderingMatchesTruth) {
+  QueryGraph g = WellSeparatedAnswers();
+  TopKOptions options;
+  options.k = 2;
+  Result<TopKResult> result = RankTopKAdaptive(g, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().ranking.size(), 3u);
+  EXPECT_EQ(result.value().ranking[0].node, g.answers[0]);
+  EXPECT_EQ(result.value().ranking[1].node, g.answers[1]);
+  EXPECT_EQ(result.value().ranking[2].node, g.answers[2]);
+  EXPECT_NEAR(result.value().ranking[0].score, 0.9, 0.05);
+}
+
+TEST(TopKTest, ExactTieExhaustsBudgetUnseparated) {
+  QueryGraphBuilder b;
+  NodeId a = b.Node(1.0, "a");
+  NodeId bb = b.Node(1.0, "b");
+  b.Edge(b.Source(), a, 0.5);
+  b.Edge(b.Source(), bb, 0.5);
+  QueryGraph g = std::move(b).Build({a, bb});
+  TopKOptions options;
+  options.k = 1;
+  options.batch_trials = 500;
+  options.max_trials = 4000;
+  Result<TopKResult> result = RankTopKAdaptive(g, options);
+  ASSERT_TRUE(result.ok());
+  // Equal true scores: with overwhelming probability the estimates stay
+  // within the confidence radius until the budget runs out.
+  EXPECT_EQ(result.value().trials_used, 4000);
+  EXPECT_FALSE(result.value().separated);
+}
+
+TEST(TopKTest, HarderBoundaryNeedsMoreTrials) {
+  QueryGraphBuilder b1;
+  NodeId a1 = b1.Node(1.0);
+  NodeId b1n = b1.Node(1.0);
+  b1.Edge(b1.Source(), a1, 0.9);
+  b1.Edge(b1.Source(), b1n, 0.2);
+  QueryGraph easy = std::move(b1).Build({a1, b1n});
+
+  QueryGraphBuilder b2;
+  NodeId a2 = b2.Node(1.0);
+  NodeId b2n = b2.Node(1.0);
+  b2.Edge(b2.Source(), a2, 0.55);
+  b2.Edge(b2.Source(), b2n, 0.45);
+  QueryGraph hard = std::move(b2).Build({a2, b2n});
+
+  TopKOptions options;
+  options.k = 1;
+  options.batch_trials = 100;
+  options.max_trials = 200000;
+  options.seed = 5;
+  int64_t easy_trials =
+      RankTopKAdaptive(easy, options).value().trials_used;
+  int64_t hard_trials =
+      RankTopKAdaptive(hard, options).value().trials_used;
+  EXPECT_LT(easy_trials, hard_trials);
+}
+
+TEST(TopKTest, KLargerThanAnswerSetSeparatesTrivially) {
+  QueryGraph g = WellSeparatedAnswers();
+  TopKOptions options;
+  options.k = 10;
+  options.batch_trials = 100;
+  Result<TopKResult> result = RankTopKAdaptive(g, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().separated);
+  EXPECT_EQ(result.value().trials_used, 100);  // One batch.
+}
+
+TEST(TopKTest, DeterministicForSeed) {
+  QueryGraph g = WellSeparatedAnswers();
+  TopKOptions options;
+  options.seed = 77;
+  Result<TopKResult> a = RankTopKAdaptive(g, options);
+  Result<TopKResult> b = RankTopKAdaptive(g, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().trials_used, b.value().trials_used);
+  ASSERT_EQ(a.value().ranking.size(), b.value().ranking.size());
+  for (size_t i = 0; i < a.value().ranking.size(); ++i) {
+    EXPECT_EQ(a.value().ranking[i].node, b.value().ranking[i].node);
+    EXPECT_DOUBLE_EQ(a.value().ranking[i].score,
+                     b.value().ranking[i].score);
+  }
+}
+
+TEST(TopKTest, WorksOnBridgeWithReductions) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  TopKOptions options;
+  options.k = 1;
+  options.max_trials = 50000;
+  Result<TopKResult> result = RankTopKAdaptive(g, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().ranking[0].score, 15.0 / 32.0, 0.05);
+}
+
+TEST(TopKTest, RejectsBadOptions) {
+  QueryGraph g = WellSeparatedAnswers();
+  TopKOptions bad_k;
+  bad_k.k = 0;
+  EXPECT_FALSE(RankTopKAdaptive(g, bad_k).ok());
+  TopKOptions bad_budget;
+  bad_budget.batch_trials = 1000;
+  bad_budget.max_trials = 10;
+  EXPECT_FALSE(RankTopKAdaptive(g, bad_budget).ok());
+  TopKOptions bad_confidence;
+  bad_confidence.confidence = 1.5;
+  EXPECT_FALSE(RankTopKAdaptive(g, bad_confidence).ok());
+}
+
+}  // namespace
+}  // namespace biorank

@@ -1,0 +1,149 @@
+#include "core/topological.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query_graph.h"
+
+namespace biorank {
+namespace {
+
+TEST(InEdgeTest, CountsIncomingEdges) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  Result<std::vector<double>> r = InEdgeScores(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value()[g.answers[0]], 2.0);  // Figure 4a: InEdge = 2.
+}
+
+TEST(InEdgeTest, BridgeAnswerHasTwo) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  Result<std::vector<double>> r = InEdgeScores(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value()[g.answers[0]], 2.0);
+}
+
+TEST(InEdgeTest, IgnoresProbabilitiesEntirely) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(0.001, "t");
+  b.Edge(b.Source(), t, 0.001);
+  b.Edge(b.Source(), t, 0.999);
+  QueryGraph g = std::move(b).Build({t});
+  Result<std::vector<double>> r = InEdgeScores(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value()[t], 2.0);
+}
+
+TEST(InEdgeTest, SourceHasZero) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  Result<std::vector<double>> r = InEdgeScores(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value()[g.source], 0.0);
+}
+
+TEST(InEdgeTest, WorksOnCyclicGraphs) {
+  QueryGraphBuilder b;
+  NodeId a = b.Node(1.0, "a");
+  NodeId t = b.Node(1.0, "t");
+  b.Edge(b.Source(), a, 0.5);
+  b.Edge(a, t, 0.5);
+  b.Edge(t, a, 0.5);
+  QueryGraph g = std::move(b).Build({t});
+  Result<std::vector<double>> r = InEdgeScores(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value()[t], 1.0);
+  EXPECT_DOUBLE_EQ(r.value()[a], 2.0);
+}
+
+TEST(PathCountTest, Fig4aHasTwoPaths) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  Result<std::vector<double>> r = PathCountScores(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value()[g.answers[0]], 2.0);  // Figure 4a: PathC = 2.
+}
+
+TEST(PathCountTest, BridgeHasThreePaths) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  Result<std::vector<double>> r = PathCountScores(g);
+  ASSERT_TRUE(r.ok());
+  // s->a->u, s->b->u, s->a->b->u (Figure 4b: PathC = 3).
+  EXPECT_DOUBLE_EQ(r.value()[g.answers[0]], 3.0);
+}
+
+TEST(PathCountTest, SourceCountsAsOnePath) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  Result<std::vector<double>> r = PathCountScores(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value()[g.source], 1.0);
+}
+
+TEST(PathCountTest, UnreachableNodeHasZeroPaths) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(1.0, "t");
+  NodeId island = b.Node(1.0, "island");
+  b.Edge(b.Source(), t, 0.5);
+  QueryGraph g = std::move(b).Build({t, island});
+  Result<std::vector<double>> r = PathCountScores(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value()[island], 0.0);
+}
+
+TEST(PathCountTest, ParallelEdgesCountSeparately) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(1.0, "t");
+  b.Edge(b.Source(), t, 0.5);
+  b.Edge(b.Source(), t, 0.5);
+  QueryGraph g = std::move(b).Build({t});
+  Result<std::vector<double>> r = PathCountScores(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value()[t], 2.0);
+}
+
+TEST(PathCountTest, CycleReachableFromSourceFails) {
+  QueryGraphBuilder b;
+  NodeId a = b.Node(1.0, "a");
+  NodeId t = b.Node(1.0, "t");
+  b.Edge(b.Source(), a, 0.5);
+  b.Edge(a, t, 0.5);
+  b.Edge(t, a, 0.5);
+  QueryGraph g = std::move(b).Build({t});
+  Result<std::vector<double>> r = PathCountScores(g);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PathCountTest, UnreachableCycleIsTolerated) {
+  QueryGraphBuilder b;
+  NodeId t = b.Node(1.0, "t");
+  NodeId c1 = b.Node(1.0, "c1");
+  NodeId c2 = b.Node(1.0, "c2");
+  b.Edge(b.Source(), t, 0.5);
+  b.Edge(c1, c2, 0.5);
+  b.Edge(c2, c1, 0.5);
+  QueryGraph g = std::move(b).Build({t});
+  Result<std::vector<double>> r = PathCountScores(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value()[t], 1.0);
+}
+
+TEST(PathCountTest, CombinatorialGrowth) {
+  // k diamond stages in series double the path count each stage.
+  QueryGraphBuilder b;
+  NodeId prev = b.Source();
+  const int stages = 10;
+  for (int i = 0; i < stages; ++i) {
+    NodeId top = b.Node(1.0);
+    NodeId bottom = b.Node(1.0);
+    NodeId join = b.Node(1.0);
+    b.Edge(prev, top, 0.5);
+    b.Edge(prev, bottom, 0.5);
+    b.Edge(top, join, 0.5);
+    b.Edge(bottom, join, 0.5);
+    prev = join;
+  }
+  QueryGraph g = std::move(b).Build({prev});
+  Result<std::vector<double>> r = PathCountScores(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value()[prev], 1024.0);  // 2^10.
+}
+
+}  // namespace
+}  // namespace biorank

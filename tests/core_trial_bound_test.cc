@@ -1,0 +1,81 @@
+#include "core/trial_bound.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace biorank {
+namespace {
+
+TEST(TrialBoundFormulaTest, MatchesAppendixAClosedForm) {
+  for (double eps : {0.01, 0.02, 0.05, 0.1, 0.5}) {
+    for (double delta : {0.01, 0.05, 0.2}) {
+      double expected = std::ceil(std::pow(1.0 + eps, 3) /
+                                  (eps * eps * (1.0 + eps / 3.0)) *
+                                  std::log(1.0 / delta));
+      Result<int64_t> n = RequiredMcTrials(eps, delta);
+      ASSERT_TRUE(n.ok());
+      EXPECT_EQ(n.value(), static_cast<int64_t>(expected));
+    }
+  }
+}
+
+TEST(TrialBoundFormulaTest, LargeEpsilonNeedsFewTrials) {
+  Result<int64_t> n = RequiredMcTrials(0.5, 0.05);
+  ASSERT_TRUE(n.ok());
+  EXPECT_LT(n.value(), 50);
+}
+
+// Empirical validation of Theorem 3.1: with n = RequiredMcTrials(eps,
+// delta) Bernoulli samples per node, two nodes whose true reliabilities
+// differ by eps are misranked with frequency at most delta. The bound is
+// conservative, so we verify the guarantee direction only.
+TEST(TrialBoundEmpiricalTest, MisrankingFrequencyIsWithinDelta) {
+  const double eps = 0.2;
+  const double delta = 0.1;
+  Result<int64_t> trials_needed = RequiredMcTrials(eps, delta);
+  ASSERT_TRUE(trials_needed.ok());
+  const int64_t n = trials_needed.value();
+
+  const double r_hi = 0.55;
+  const double r_lo = r_hi - eps;
+  Rng rng(7777);
+  const int repetitions = 400;
+  int misranked = 0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    int64_t hits_hi = 0, hits_lo = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (rng.NextBernoulli(r_hi)) ++hits_hi;
+      if (rng.NextBernoulli(r_lo)) ++hits_lo;
+    }
+    if (hits_lo >= hits_hi) ++misranked;
+  }
+  double frequency = static_cast<double>(misranked) / repetitions;
+  EXPECT_LE(frequency, delta);
+}
+
+// Sanity direction: far fewer trials than the bound demands do produce
+// misrankings at the same eps (i.e. the bound is not vacuous).
+TEST(TrialBoundEmpiricalTest, TooFewTrialsDoMisrank) {
+  const double eps = 0.05;
+  const double r_hi = 0.5;
+  const double r_lo = r_hi - eps;
+  Rng rng(8888);
+  const int repetitions = 300;
+  const int64_t tiny_n = 10;
+  int misranked = 0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    int64_t hits_hi = 0, hits_lo = 0;
+    for (int64_t i = 0; i < tiny_n; ++i) {
+      if (rng.NextBernoulli(r_hi)) ++hits_hi;
+      if (rng.NextBernoulli(r_lo)) ++hits_lo;
+    }
+    if (hits_lo >= hits_hi) ++misranked;
+  }
+  EXPECT_GT(misranked, 0);
+}
+
+}  // namespace
+}  // namespace biorank

@@ -1,0 +1,229 @@
+#include "datagen/protein_universe.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/evidence_model.h"
+#include "datagen/go_ontology.h"
+#include "datagen/scenario.h"
+#include "util/rng.h"
+
+namespace biorank {
+namespace {
+
+TEST(GoOntologyTest, GeneratesRequestedTermCount) {
+  Rng rng(1);
+  GoOntology ontology = GoOntology::Generate(50, rng);
+  EXPECT_EQ(ontology.size(), 50);
+}
+
+TEST(GoOntologyTest, IdsAreUniqueAndWellFormed) {
+  Rng rng(2);
+  GoOntology ontology = GoOntology::Generate(200, rng);
+  std::set<std::string> ids;
+  for (int i = 0; i < ontology.size(); ++i) {
+    const GoTerm& term = ontology.term(i);
+    EXPECT_EQ(term.id.size(), 10u);  // "GO:" + 7 digits.
+    EXPECT_EQ(term.id.substr(0, 3), "GO:");
+    EXPECT_TRUE(ids.insert(term.id).second) << term.id;
+    EXPECT_FALSE(term.name.empty());
+  }
+}
+
+TEST(GoOntologyTest, IndexOfRoundTrips) {
+  Rng rng(3);
+  GoOntology ontology = GoOntology::Generate(40, rng);
+  for (int i = 0; i < ontology.size(); ++i) {
+    Result<int> index = ontology.IndexOf(ontology.term(i).id);
+    ASSERT_TRUE(index.ok());
+    EXPECT_EQ(index.value(), i);
+  }
+  EXPECT_FALSE(ontology.IndexOf("GO:9999999").ok());
+}
+
+TEST(UniverseTest, DefaultsMatchPaperScale) {
+  ProteinUniverse universe = ProteinUniverse::Generate();
+  EXPECT_EQ(universe.well_studied().size(), 20u);   // Table 1.
+  EXPECT_EQ(universe.hypothetical().size(), 11u);   // Table 3.
+  EXPECT_GT(universe.num_proteins(), 100);
+}
+
+TEST(UniverseTest, DeterministicForSeed) {
+  ProteinUniverse a = ProteinUniverse::Generate();
+  ProteinUniverse b = ProteinUniverse::Generate();
+  ASSERT_EQ(a.num_proteins(), b.num_proteins());
+  for (int i = 0; i < a.num_proteins(); ++i) {
+    EXPECT_EQ(a.protein(i).gene_symbol, b.protein(i).gene_symbol);
+    EXPECT_EQ(a.protein(i).curated_functions,
+              b.protein(i).curated_functions);
+    EXPECT_EQ(a.protein(i).recent_functions, b.protein(i).recent_functions);
+  }
+}
+
+TEST(UniverseTest, DifferentSeedsDiffer) {
+  UniverseOptions options;
+  options.seed = 999;
+  ProteinUniverse a = ProteinUniverse::Generate();
+  ProteinUniverse b = ProteinUniverse::Generate(options);
+  bool any_difference = false;
+  for (int i = 0; i < std::min(a.num_proteins(), b.num_proteins()); ++i) {
+    if (a.protein(i).curated_functions != b.protein(i).curated_functions) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(UniverseTest, WellStudiedCuratedCountsInRange) {
+  ProteinUniverse universe = ProteinUniverse::Generate();
+  for (int index : universe.well_studied()) {
+    const Protein& protein = universe.protein(index);
+    EXPECT_GE(static_cast<int>(protein.curated_functions.size()),
+              universe.options().min_curated);
+    EXPECT_LE(static_cast<int>(protein.curated_functions.size()),
+              universe.options().max_curated);
+  }
+}
+
+TEST(UniverseTest, HypotheticalProteinsHaveNoCuratedFunctions) {
+  ProteinUniverse universe = ProteinUniverse::Generate();
+  for (int index : universe.hypothetical()) {
+    const Protein& protein = universe.protein(index);
+    EXPECT_TRUE(protein.curated_functions.empty());
+    EXPECT_EQ(protein.expert_functions.size(), 1u);  // "generally one".
+    EXPECT_EQ(protein.study_level, StudyLevel::kHypothetical);
+  }
+}
+
+TEST(UniverseTest, RecentFunctionCountsMatchPaper) {
+  // 3 proteins carrying 3 + 2 + 2 = 7 recently published functions.
+  ProteinUniverse universe = ProteinUniverse::Generate();
+  int holders = 0, total = 0;
+  for (int index : universe.well_studied()) {
+    const Protein& protein = universe.protein(index);
+    if (!protein.recent_functions.empty()) {
+      ++holders;
+      total += static_cast<int>(protein.recent_functions.size());
+    }
+  }
+  EXPECT_EQ(holders, 3);
+  EXPECT_EQ(total, 7);
+}
+
+TEST(UniverseTest, RecentFunctionsAreDisjointFromCuration) {
+  ProteinUniverse universe = ProteinUniverse::Generate();
+  for (int index : universe.well_studied()) {
+    const Protein& protein = universe.protein(index);
+    std::set<int> curated(protein.curated_functions.begin(),
+                          protein.curated_functions.end());
+    for (int go : protein.recent_functions) {
+      EXPECT_EQ(curated.count(go), 0u);
+    }
+  }
+}
+
+TEST(UniverseTest, TrueFunctionsSupersetCuratedAndRecent) {
+  ProteinUniverse universe = ProteinUniverse::Generate();
+  for (const Protein& protein : universe.proteins()) {
+    std::set<int> true_set(protein.true_functions.begin(),
+                           protein.true_functions.end());
+    for (int go : protein.curated_functions) {
+      EXPECT_EQ(true_set.count(go), 1u);
+    }
+    for (int go : protein.recent_functions) {
+      EXPECT_EQ(true_set.count(go), 1u);
+    }
+    for (int go : protein.expert_functions) {
+      EXPECT_EQ(true_set.count(go), 1u);
+    }
+  }
+}
+
+TEST(UniverseTest, FamilyMembersAreConsistent) {
+  ProteinUniverse universe = ProteinUniverse::Generate();
+  for (int f = 0; f < universe.num_families(); ++f) {
+    for (int member : universe.FamilyMembers(f)) {
+      EXPECT_EQ(universe.protein(member).family, f);
+    }
+  }
+}
+
+TEST(UniverseTest, LookupBySymbolAndAccession) {
+  ProteinUniverse universe = ProteinUniverse::Generate();
+  const Protein& protein = universe.protein(0);
+  EXPECT_EQ(universe.FindProtein(protein.gene_symbol).value(), 0);
+  EXPECT_EQ(universe.FindProtein(protein.accession).value(), 0);
+  EXPECT_FALSE(universe.FindProtein("NO_SUCH_PROTEIN").ok());
+}
+
+TEST(UniverseTest, GeneSymbolsAreUnique) {
+  ProteinUniverse universe = ProteinUniverse::Generate();
+  std::set<std::string> symbols;
+  for (const Protein& protein : universe.proteins()) {
+    EXPECT_TRUE(symbols.insert(protein.gene_symbol).second)
+        << protein.gene_symbol;
+  }
+}
+
+TEST(EvidenceModelTest, EValueRangesAreOrdered) {
+  EvidenceModel model;
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    double strong = model.SampleStrongHitEValue(rng);
+    double true_hit = model.SampleTrueHitEValue(rng);
+    double weak = model.SampleWeakHitEValue(rng);
+    EXPECT_LT(strong, true_hit);
+    EXPECT_LT(true_hit, weak);
+  }
+}
+
+TEST(EvidenceModelTest, BackgroundStatusesAreWeakerOnAverage) {
+  EvidenceModel model;
+  Rng rng(8);
+  double curated_sum = 0.0, background_sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    curated_sum += GeneStatusToPr(model.SampleCuratedStatus(rng));
+    background_sum += GeneStatusToPr(model.SampleBackgroundStatus(rng));
+  }
+  EXPECT_GT(curated_sum / n, background_sum / n + 0.2);
+}
+
+TEST(ScenarioTest, CaseCountsMatchPaper) {
+  ProteinUniverse universe = ProteinUniverse::Generate();
+  EXPECT_EQ(
+      BuildScenarioCases(universe, ScenarioId::kScenario1WellKnown).size(),
+      20u);
+  EXPECT_EQ(
+      BuildScenarioCases(universe, ScenarioId::kScenario2LessKnown).size(),
+      3u);
+  EXPECT_EQ(
+      BuildScenarioCases(universe, ScenarioId::kScenario3Hypothetical).size(),
+      11u);
+}
+
+TEST(ScenarioTest, GoldStandardsMatchProteinsGroundTruth) {
+  ProteinUniverse universe = ProteinUniverse::Generate();
+  for (const ScenarioCase& c :
+       BuildScenarioCases(universe, ScenarioId::kScenario2LessKnown)) {
+    EXPECT_EQ(c.gold_functions,
+              universe.protein(c.protein_index).recent_functions);
+  }
+  for (const ScenarioCase& c :
+       BuildScenarioCases(universe, ScenarioId::kScenario3Hypothetical)) {
+    EXPECT_EQ(c.gold_functions,
+              universe.protein(c.protein_index).expert_functions);
+  }
+}
+
+TEST(ScenarioTest, NamesAreDistinct) {
+  EXPECT_STRNE(ScenarioName(ScenarioId::kScenario1WellKnown),
+               ScenarioName(ScenarioId::kScenario2LessKnown));
+  EXPECT_STRNE(ScenarioName(ScenarioId::kScenario2LessKnown),
+               ScenarioName(ScenarioId::kScenario3Hypothetical));
+}
+
+}  // namespace
+}  // namespace biorank

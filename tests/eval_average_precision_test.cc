@@ -1,0 +1,64 @@
+#include "eval/average_precision.h"
+
+#include <gtest/gtest.h>
+
+namespace biorank {
+namespace {
+
+TEST(ApTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(
+      AveragePrecision({true, true, false, false}).value(), 1.0);
+}
+
+TEST(ApTest, SingleRelevantAtRankK) {
+  // One relevant item at rank 3 of 4: AP = 1/3.
+  Result<double> ap = AveragePrecision({false, false, true, false});
+  ASSERT_TRUE(ap.ok());
+  EXPECT_NEAR(ap.value(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ApTest, TextbookExample) {
+  // rel = 1,0,1,0,1: P@1=1, P@3=2/3, P@5=3/5 -> AP=(1+2/3+3/5)/3.
+  Result<double> ap = AveragePrecision({true, false, true, false, true});
+  ASSERT_TRUE(ap.ok());
+  EXPECT_NEAR(ap.value(), (1.0 + 2.0 / 3.0 + 3.0 / 5.0) / 3.0, 1e-12);
+}
+
+TEST(ApTest, WorstRankingOfKRelevant) {
+  // k relevant all at the bottom of n=5, k=2: P@4=1/4, P@5=2/5.
+  Result<double> ap =
+      AveragePrecision({false, false, false, true, true});
+  ASSERT_TRUE(ap.ok());
+  EXPECT_NEAR(ap.value(), (0.25 + 0.4) / 2.0, 1e-12);
+}
+
+TEST(ApTest, AllRelevantIsOne) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({true, true, true}).value(), 1.0);
+}
+
+TEST(ApTest, NoRelevantIsUndefined) {
+  Result<double> ap = AveragePrecision({false, false});
+  ASSERT_FALSE(ap.ok());
+  EXPECT_EQ(ap.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ApTest, EmptyListIsUndefined) {
+  EXPECT_FALSE(AveragePrecision({}).ok());
+}
+
+TEST(PrecisionAtTest, PrefixCounts) {
+  std::vector<bool> rel = {true, false, true, false};
+  EXPECT_DOUBLE_EQ(PrecisionAt(rel, 1).value(), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAt(rel, 2).value(), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAt(rel, 3).value(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(PrecisionAt(rel, 4).value(), 0.5);
+}
+
+TEST(PrecisionAtTest, OutOfRangeFails) {
+  std::vector<bool> rel = {true};
+  EXPECT_FALSE(PrecisionAt(rel, 0).ok());
+  EXPECT_FALSE(PrecisionAt(rel, 2).ok());
+}
+
+}  // namespace
+}  // namespace biorank

@@ -1,0 +1,124 @@
+#include "eval/perturbation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/query_graph.h"
+#include "util/stats.h"
+
+namespace biorank {
+namespace {
+
+TEST(LogOddsTest, RoundTrips) {
+  for (double p : {0.001, 0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(InverseLogOdds(LogOdds(p)), p, 1e-12);
+  }
+}
+
+TEST(LogOddsTest, HalfMapsToZero) {
+  EXPECT_NEAR(LogOdds(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(InverseLogOdds(0.0), 0.5, 1e-12);
+}
+
+TEST(PerturbTest, ZeroSigmaIsNearIdentity) {
+  Rng rng(1);
+  PerturbationOptions options;
+  options.sigma = 0.0;
+  for (double p : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(PerturbProbabilityLogOdds(p, options, rng), p, 1e-9);
+  }
+}
+
+TEST(PerturbTest, OutputStaysInUnitInterval) {
+  Rng rng(2);
+  PerturbationOptions options;
+  options.sigma = 3.0;
+  for (int i = 0; i < 10000; ++i) {
+    double p = rng.NextDouble();
+    double perturbed = PerturbProbabilityLogOdds(p, options, rng);
+    EXPECT_GT(perturbed, 0.0);
+    EXPECT_LT(perturbed, 1.0);
+  }
+}
+
+TEST(PerturbTest, BoundaryProbabilitiesStayFinite) {
+  Rng rng(3);
+  PerturbationOptions options;
+  options.sigma = 1.0;
+  for (int i = 0; i < 1000; ++i) {
+    double lo = PerturbProbabilityLogOdds(0.0, options, rng);
+    double hi = PerturbProbabilityLogOdds(1.0, options, rng);
+    EXPECT_TRUE(std::isfinite(lo));
+    EXPECT_TRUE(std::isfinite(hi));
+    EXPECT_GT(hi, 0.5);  // 1.0 stays high after clamping + noise (mostly).
+  }
+}
+
+TEST(PerturbTest, NoiseIsCenteredInLogOddsSpace) {
+  Rng rng(4);
+  PerturbationOptions options;
+  options.sigma = 1.0;
+  RunningStats log_odds_delta;
+  const double p = 0.3;
+  for (int i = 0; i < 50000; ++i) {
+    double perturbed = PerturbProbabilityLogOdds(p, options, rng);
+    log_odds_delta.Add(LogOdds(perturbed) - LogOdds(p));
+  }
+  EXPECT_NEAR(log_odds_delta.mean(), 0.0, 0.02);
+  EXPECT_NEAR(log_odds_delta.stddev(), 1.0, 0.02);
+}
+
+TEST(PerturbTest, LargerSigmaSpreadsMore) {
+  PerturbationOptions narrow;
+  narrow.sigma = 0.5;
+  PerturbationOptions wide;
+  wide.sigma = 3.0;
+  Rng rng_narrow(5), rng_wide(5);
+  RunningStats spread_narrow, spread_wide;
+  for (int i = 0; i < 20000; ++i) {
+    spread_narrow.Add(PerturbProbabilityLogOdds(0.5, narrow, rng_narrow));
+    spread_wide.Add(PerturbProbabilityLogOdds(0.5, wide, rng_wide));
+  }
+  EXPECT_LT(spread_narrow.stddev(), spread_wide.stddev());
+}
+
+TEST(PerturbGraphTest, SourceIsSkippedByDefault) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  Rng rng(6);
+  PerturbationOptions options;
+  options.sigma = 2.0;
+  PerturbQueryGraph(g, options, rng);
+  EXPECT_DOUBLE_EQ(g.graph.node(g.source).p, 1.0);
+}
+
+TEST(PerturbGraphTest, EdgesAndNodesChange) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  Rng rng(7);
+  PerturbationOptions options;
+  options.sigma = 1.0;
+  PerturbQueryGraph(g, options, rng);
+  bool some_edge_moved = false;
+  for (EdgeId e : g.graph.AliveEdges()) {
+    if (std::abs(g.graph.edge(e).q - 0.5) > 1e-6) some_edge_moved = true;
+    EXPECT_GT(g.graph.edge(e).q, 0.0);
+    EXPECT_LT(g.graph.edge(e).q, 1.0);
+  }
+  EXPECT_TRUE(some_edge_moved);
+}
+
+TEST(PerturbGraphTest, DeterministicGivenSeed) {
+  QueryGraph g1 = MakeFig4bWheatstoneBridge();
+  QueryGraph g2 = MakeFig4bWheatstoneBridge();
+  PerturbationOptions options;
+  options.sigma = 1.5;
+  Rng rng1(99), rng2(99);
+  PerturbQueryGraph(g1, options, rng1);
+  PerturbQueryGraph(g2, options, rng2);
+  for (EdgeId e : g1.graph.AliveEdges()) {
+    EXPECT_DOUBLE_EQ(g1.graph.edge(e).q, g2.graph.edge(e).q);
+  }
+}
+
+}  // namespace
+}  // namespace biorank

@@ -1,0 +1,91 @@
+#include "eval/rank_correlation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace biorank {
+namespace {
+
+TEST(KendallTauTest, IdenticalOrderIsOne) {
+  std::vector<double> a = {4, 3, 2, 1};
+  EXPECT_NEAR(KendallTauB(a, a).value(), 1.0, 1e-12);
+}
+
+TEST(KendallTauTest, ReversedOrderIsMinusOne) {
+  std::vector<double> a = {4, 3, 2, 1};
+  std::vector<double> b = {1, 2, 3, 4};
+  EXPECT_NEAR(KendallTauB(a, b).value(), -1.0, 1e-12);
+}
+
+TEST(KendallTauTest, MonotoneTransformIsInvariant) {
+  std::vector<double> a = {0.1, 0.9, 0.4, 0.7};
+  std::vector<double> b = {1, 81, 16, 49};  // Squared * 100: same order.
+  EXPECT_NEAR(KendallTauB(a, b).value(), 1.0, 1e-12);
+}
+
+TEST(KendallTauTest, KnownSmallExample) {
+  // a: 1,2,3,4 ; b: 1,3,2,4 — one discordant pair of six: tau = 4/6.
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {1, 3, 2, 4};
+  EXPECT_NEAR(KendallTauB(a, b).value(), 4.0 / 6.0, 1e-12);
+}
+
+TEST(KendallTauTest, TauBHandlesTies) {
+  // a has a tie; tau-b discounts the tied pair from the denominator.
+  std::vector<double> a = {1, 1, 2};
+  std::vector<double> b = {1, 2, 3};
+  // Pairs: (0,1) tied in a; (0,2) concordant; (1,2) concordant.
+  // tau-b = 2 / sqrt((3-1) * 3) = 0.8165.
+  EXPECT_NEAR(KendallTauB(a, b).value(), 2.0 / std::sqrt(6.0), 1e-12);
+}
+
+TEST(KendallTauTest, AllTiedSideGivesZero) {
+  std::vector<double> a = {5, 5, 5};
+  std::vector<double> b = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(KendallTauB(a, b).value(), 0.0);
+}
+
+TEST(KendallTauTest, IndependentRandomScoresNearZero) {
+  Rng rng(99);
+  std::vector<double> a(500), b(500);
+  for (int i = 0; i < 500; ++i) {
+    a[i] = rng.NextDouble();
+    b[i] = rng.NextDouble();
+  }
+  EXPECT_NEAR(KendallTauB(a, b).value(), 0.0, 0.1);
+}
+
+TEST(KendallTauTest, RejectsBadInput) {
+  EXPECT_FALSE(KendallTauB({1, 2}, {1}).ok());
+  EXPECT_FALSE(KendallTauB({1}, {1}).ok());
+  EXPECT_FALSE(KendallTauB({}, {}).ok());
+}
+
+TEST(RankingTauTest, MatchesByNodeId) {
+  std::vector<RankedAnswer> a = {
+      {10, 0.9, 1, 1}, {11, 0.5, 2, 2}, {12, 0.1, 3, 3}};
+  // Same order, different node order in the vector.
+  std::vector<RankedAnswer> b = {
+      {12, 0.2, 3, 3}, {10, 0.8, 1, 1}, {11, 0.6, 2, 2}};
+  EXPECT_NEAR(RankingKendallTau(a, b).value(), 1.0, 1e-12);
+}
+
+TEST(RankingTauTest, DetectsSwaps) {
+  std::vector<RankedAnswer> a = {
+      {10, 0.9, 1, 1}, {11, 0.5, 2, 2}, {12, 0.1, 3, 3}};
+  std::vector<RankedAnswer> b = {
+      {10, 0.1, 3, 3}, {11, 0.5, 2, 2}, {12, 0.9, 1, 1}};
+  EXPECT_NEAR(RankingKendallTau(a, b).value(), -1.0, 1e-12);
+}
+
+TEST(RankingTauTest, RejectsMismatchedAnswerSets) {
+  std::vector<RankedAnswer> a = {{10, 0.9, 1, 1}, {11, 0.5, 2, 2}};
+  std::vector<RankedAnswer> b = {{10, 0.9, 1, 1}, {99, 0.5, 2, 2}};
+  EXPECT_FALSE(RankingKendallTau(a, b).ok());
+}
+
+}  // namespace
+}  // namespace biorank

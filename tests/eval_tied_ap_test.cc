@@ -1,0 +1,145 @@
+#include "eval/tied_ap.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/average_precision.h"
+#include "eval/random_ap.h"
+#include "util/rng.h"
+
+namespace biorank {
+namespace {
+
+TEST(TiedApTest, NoTiesMatchesPlainAp) {
+  // Groups of size 1 degenerate to a strict ranking.
+  std::vector<TiedGroup> groups = {{1, 1}, {1, 0}, {1, 1}, {1, 0}, {1, 1}};
+  Result<double> tied = ExpectedApWithTies(groups);
+  Result<double> plain = AveragePrecision({true, false, true, false, true});
+  ASSERT_TRUE(tied.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_NEAR(tied.value(), plain.value(), 1e-12);
+}
+
+TEST(TiedApTest, SingleAllTiedGroupEqualsRandomAp) {
+  // Definition 4.1 is the one-group special case of the tied expectation.
+  for (int n : {1, 2, 5, 20, 97}) {
+    for (int k : {1, 2, 7}) {
+      if (k > n) continue;
+      Result<double> tied = ExpectedApWithTies({{n, k}});
+      Result<double> random = RandomAveragePrecision(k, n);
+      ASSERT_TRUE(tied.ok());
+      ASSERT_TRUE(random.ok());
+      EXPECT_NEAR(tied.value(), random.value(), 1e-12)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(TiedApTest, TwoItemTieAveragesBothOrders) {
+  // One relevant and one irrelevant item tied: AP is (1 + 1/2)/2 = 0.75.
+  Result<double> tied = ExpectedApWithTies({{2, 1}});
+  ASSERT_TRUE(tied.ok());
+  EXPECT_NEAR(tied.value(), 0.75, 1e-12);
+}
+
+TEST(TiedApTest, RelevantGroupBelowIrrelevantHead) {
+  // Head: 1 irrelevant; tail: tie of (1 relevant, 1 irrelevant).
+  // Orders: [0,1,0] AP=1/2; [0,0,1] AP=1/3; expectation 5/12.
+  Result<double> tied = ExpectedApWithTies({{1, 0}, {2, 1}});
+  ASSERT_TRUE(tied.ok());
+  EXPECT_NEAR(tied.value(), 5.0 / 12.0, 1e-12);
+}
+
+TEST(TiedApTest, InconsistentGroupRejected) {
+  EXPECT_FALSE(ExpectedApWithTies({{2, 3}}).ok());
+  EXPECT_FALSE(ExpectedApWithTies({{-1, 0}}).ok());
+}
+
+TEST(TiedApTest, NoRelevantRejected) {
+  EXPECT_FALSE(ExpectedApWithTies({{3, 0}, {2, 0}}).ok());
+}
+
+class TiedApPermutationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TiedApPermutationProperty, AnalyticMatchesSampledExpectation) {
+  Rng rng(42 + GetParam());
+  // Random group structure.
+  int num_groups = 1 + static_cast<int>(rng.NextBounded(5));
+  std::vector<TiedGroup> groups;
+  int total_relevant = 0;
+  for (int g = 0; g < num_groups; ++g) {
+    int size = 1 + static_cast<int>(rng.NextBounded(6));
+    int relevant = static_cast<int>(rng.NextBounded(size + 1));
+    total_relevant += relevant;
+    groups.push_back({size, relevant});
+  }
+  if (total_relevant == 0) groups[0].relevant = groups[0].size;
+
+  Result<double> analytic = ExpectedApWithTies(groups);
+  ASSERT_TRUE(analytic.ok());
+  Result<double> sampled = SampleApOverPermutations(groups, rng, 40000);
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_NEAR(analytic.value(), sampled.value(), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TiedApPermutationProperty,
+                         ::testing::Range(0, 10));
+
+TEST(GroupsFromRankingTest, SplitsOnRankIntervals) {
+  std::vector<RankedAnswer> ranking = {
+      {10, 0.9, 1, 1}, {11, 0.5, 2, 3}, {12, 0.5, 2, 3}, {13, 0.1, 4, 4}};
+  std::unordered_set<NodeId> relevant = {10, 12};
+  std::vector<TiedGroup> groups = GroupsFromRanking(ranking, relevant);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].size, 1);
+  EXPECT_EQ(groups[0].relevant, 1);
+  EXPECT_EQ(groups[1].size, 2);
+  EXPECT_EQ(groups[1].relevant, 1);
+  EXPECT_EQ(groups[2].size, 1);
+  EXPECT_EQ(groups[2].relevant, 0);
+}
+
+TEST(ApForRankingTest, EndToEnd) {
+  std::vector<RankedAnswer> ranking = {
+      {10, 0.9, 1, 1}, {11, 0.5, 2, 2}, {12, 0.3, 3, 3}};
+  std::unordered_set<NodeId> relevant = {10, 12};
+  Result<double> ap = ApForRanking(ranking, relevant);
+  ASSERT_TRUE(ap.ok());
+  EXPECT_NEAR(ap.value(), (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(RandomApTest, KnownSmallValues) {
+  // k=1, n=2: orders [1,0] AP=1, [0,1] AP=1/2 -> 0.75.
+  EXPECT_NEAR(RandomAveragePrecision(1, 2).value(), 0.75, 1e-12);
+  // k=n: always 1.
+  EXPECT_NEAR(RandomAveragePrecision(3, 3).value(), 1.0, 1e-12);
+  // n=1.
+  EXPECT_NEAR(RandomAveragePrecision(1, 1).value(), 1.0, 1e-12);
+}
+
+TEST(RandomApTest, ScenarioOneBaselineIsAboutPointFour) {
+  // The paper's scenario 1 random baseline is 0.42 with 306 relevant of
+  // 1036 answers overall; the per-protein ratio k/n ~ 0.37 puts the
+  // formula's value in that neighbourhood.
+  Result<double> ap = RandomAveragePrecision(13, 36);
+  ASSERT_TRUE(ap.ok());
+  EXPECT_GT(ap.value(), 0.3);
+  EXPECT_LT(ap.value(), 0.5);
+}
+
+TEST(RandomApTest, RejectsBadArguments) {
+  EXPECT_FALSE(RandomAveragePrecision(0, 5).ok());
+  EXPECT_FALSE(RandomAveragePrecision(6, 5).ok());
+  EXPECT_FALSE(RandomAveragePrecision(1, 0).ok());
+}
+
+TEST(RandomApTest, IncreasesWithRelevantFraction) {
+  double prev = 0.0;
+  for (int k = 1; k <= 10; ++k) {
+    double ap = RandomAveragePrecision(k, 10).value();
+    EXPECT_GT(ap, prev);
+    prev = ap;
+  }
+}
+
+}  // namespace
+}  // namespace biorank

@@ -1,0 +1,133 @@
+#include "integrate/scenario_harness.h"
+
+#include <gtest/gtest.h>
+
+#include "core/closed_form.h"
+#include "core/reliability_mc.h"
+#include "eval/perturbation.h"
+#include "util/rng.h"
+
+namespace biorank {
+namespace {
+
+// One harness for the whole file; construction crawls 34 queries.
+ScenarioHarness& Harness() {
+  static ScenarioHarness* harness = new ScenarioHarness();
+  return *harness;
+}
+
+TEST(HarnessTest, BuildsAllThreeScenarios) {
+  EXPECT_EQ(
+      Harness().BuildQueries(ScenarioId::kScenario1WellKnown).value().size(),
+      20u);
+  EXPECT_EQ(
+      Harness().BuildQueries(ScenarioId::kScenario2LessKnown).value().size(),
+      3u);
+  EXPECT_EQ(Harness()
+                .BuildQueries(ScenarioId::kScenario3Hypothetical)
+                .value()
+                .size(),
+            11u);
+}
+
+TEST(HarnessTest, GoldRetrievalIsComplete) {
+  for (ScenarioId scenario : {ScenarioId::kScenario2LessKnown,
+                              ScenarioId::kScenario3Hypothetical}) {
+    std::vector<ScenarioQuery> queries =
+        Harness().BuildQueries(scenario).value();
+    for (const ScenarioQuery& query : queries) {
+      // Scenario 2/3 gold is injected with guaranteed evidence paths.
+      EXPECT_EQ(query.gold_retrieved, query.gold_total)
+          << query.spec.gene_symbol;
+      EXPECT_EQ(query.relevant.size(),
+                static_cast<size_t>(query.gold_retrieved));
+    }
+  }
+}
+
+TEST(HarnessTest, ApValuesAreInUnitInterval) {
+  std::vector<ScenarioQuery> queries =
+      Harness().BuildQueries(ScenarioId::kScenario1WellKnown).value();
+  for (RankingMethod method : AllRankingMethods()) {
+    Result<double> ap = Harness().ApForQuery(queries[0], method);
+    ASSERT_TRUE(ap.ok()) << RankingMethodName(method);
+    EXPECT_GE(ap.value(), 0.0);
+    EXPECT_LE(ap.value(), 1.0);
+  }
+}
+
+TEST(HarnessTest, RandomBaselineMatchesDefinition41Bounds) {
+  std::vector<ScenarioQuery> queries =
+      Harness().BuildQueries(ScenarioId::kScenario1WellKnown).value();
+  for (const ScenarioQuery& query : queries) {
+    Result<double> random = Harness().RandomBaselineAp(query);
+    ASSERT_TRUE(random.ok());
+    double fraction = static_cast<double>(query.relevant.size()) /
+                      query.answer_count;
+    // APrand is at least the relevant fraction and at most 1.
+    EXPECT_GE(random.value(), fraction - 1e-9);
+    EXPECT_LE(random.value(), 1.0);
+  }
+}
+
+TEST(HarnessTest, AnswerCountsSpanTable1Range) {
+  std::vector<ScenarioQuery> queries =
+      Harness().BuildQueries(ScenarioId::kScenario1WellKnown).value();
+  int min_answers = 1 << 30, max_answers = 0;
+  for (const ScenarioQuery& query : queries) {
+    min_answers = std::min(min_answers, query.answer_count);
+    max_answers = std::max(max_answers, query.answer_count);
+  }
+  EXPECT_GE(min_answers, 10);
+  EXPECT_LE(max_answers, 140);
+  EXPECT_GT(max_answers, min_answers);  // Sizes vary per protein.
+}
+
+TEST(HarnessTest, ClosedFormCoversEveryScenario1Target) {
+  // The paper's efficiency observation: each individual answer subgraph
+  // reduces to a closed solution on Figure 1 query graphs.
+  std::vector<ScenarioQuery> queries =
+      Harness().BuildQueries(ScenarioId::kScenario1WellKnown).value();
+  const ScenarioQuery& query = queries[0];
+  Result<std::vector<double>> closed =
+      ClosedFormReliabilityAllAnswers(query.graph);
+  EXPECT_TRUE(closed.ok()) << closed.status();
+}
+
+TEST(HarnessTest, McAgreesWithClosedFormOnRealGraph) {
+  std::vector<ScenarioQuery> queries =
+      Harness().BuildQueries(ScenarioId::kScenario1WellKnown).value();
+  const ScenarioQuery& query = queries[1];
+  Result<std::vector<double>> closed =
+      ClosedFormReliabilityAllAnswers(query.graph);
+  ASSERT_TRUE(closed.ok());
+  McOptions mc;
+  mc.trials = 20000;
+  mc.seed = 77;
+  Result<McEstimate> estimate = EstimateReliabilityMc(query.graph, mc);
+  ASSERT_TRUE(estimate.ok());
+  for (size_t i = 0; i < query.graph.answers.size(); ++i) {
+    EXPECT_NEAR(estimate.value().scores[query.graph.answers[i]],
+                closed.value()[i], 0.02)
+        << "answer " << i;
+  }
+}
+
+TEST(HarnessTest, PerturbedGraphStillScores) {
+  std::vector<ScenarioQuery> queries =
+      Harness().BuildQueries(ScenarioId::kScenario3Hypothetical).value();
+  const ScenarioQuery& query = queries[0];
+  QueryGraph perturbed = query.graph;
+  Rng rng(5);
+  PerturbationOptions options;
+  options.sigma = 2.0;
+  PerturbQueryGraph(perturbed, options, rng);
+  Result<double> ap = Harness().ApForGraph(perturbed, query.relevant,
+                                           RankingMethod::kReliability);
+  ASSERT_TRUE(ap.ok()) << ap.status();
+  EXPECT_GE(ap.value(), 0.0);
+  EXPECT_LE(ap.value(), 1.0);
+}
+
+}  // namespace
+}  // namespace biorank

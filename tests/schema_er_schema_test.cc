@@ -1,0 +1,105 @@
+#include "schema/er_schema.h"
+
+#include <gtest/gtest.h>
+
+namespace biorank {
+namespace {
+
+TEST(ErSchemaTest, AddAndLookupEntitySet) {
+  ErSchema schema;
+  ASSERT_TRUE(schema.AddEntitySet({"EntrezGene", {"StatusCode"}, 0.9}).ok());
+  EXPECT_TRUE(schema.HasEntitySet("EntrezGene"));
+  Result<EntitySetDef> def = schema.GetEntitySet("EntrezGene");
+  ASSERT_TRUE(def.ok());
+  EXPECT_DOUBLE_EQ(def.value().ps, 0.9);
+  EXPECT_EQ(def.value().attributes.size(), 1u);
+}
+
+TEST(ErSchemaTest, RejectsDuplicateEntitySet) {
+  ErSchema schema;
+  ASSERT_TRUE(schema.AddEntitySet({"A", {}, 1.0}).ok());
+  EXPECT_FALSE(schema.AddEntitySet({"A", {}, 0.5}).ok());
+}
+
+TEST(ErSchemaTest, RejectsBadPs) {
+  ErSchema schema;
+  EXPECT_FALSE(schema.AddEntitySet({"A", {}, 1.5}).ok());
+  EXPECT_FALSE(schema.AddEntitySet({"B", {}, -0.1}).ok());
+}
+
+TEST(ErSchemaTest, RejectsEmptyName) {
+  ErSchema schema;
+  EXPECT_FALSE(schema.AddEntitySet({"", {}, 1.0}).ok());
+}
+
+TEST(ErSchemaTest, RelationshipNeedsBothEndpoints) {
+  ErSchema schema;
+  schema.AddEntitySet({"A", {}, 1.0});
+  EXPECT_FALSE(
+      schema.AddRelationship({"R", "A", "Missing", Cardinality::kOneToMany, 1.0})
+          .ok());
+  EXPECT_FALSE(
+      schema.AddRelationship({"R", "Missing", "A", Cardinality::kOneToMany, 1.0})
+          .ok());
+}
+
+TEST(ErSchemaTest, RejectsDuplicateRelationship) {
+  ErSchema schema;
+  schema.AddEntitySet({"A", {}, 1.0});
+  schema.AddEntitySet({"B", {}, 1.0});
+  ASSERT_TRUE(
+      schema.AddRelationship({"R", "A", "B", Cardinality::kOneToMany, 1.0})
+          .ok());
+  EXPECT_FALSE(
+      schema.AddRelationship({"R", "B", "A", Cardinality::kManyToOne, 1.0})
+          .ok());
+}
+
+TEST(ErSchemaTest, IncomingOutgoingQueries) {
+  ErSchema schema;
+  schema.AddEntitySet({"A", {}, 1.0});
+  schema.AddEntitySet({"B", {}, 1.0});
+  schema.AddEntitySet({"C", {}, 1.0});
+  schema.AddRelationship({"R1", "A", "B", Cardinality::kOneToMany, 1.0});
+  schema.AddRelationship({"R2", "B", "C", Cardinality::kManyToOne, 1.0});
+  schema.AddRelationship({"R3", "A", "C", Cardinality::kManyToMany, 1.0});
+  EXPECT_EQ(schema.OutgoingRelationships("A"),
+            (std::vector<std::string>{"R1", "R3"}));
+  EXPECT_EQ(schema.IncomingRelationships("C"),
+            (std::vector<std::string>{"R2", "R3"}));
+  EXPECT_TRUE(schema.OutgoingRelationships("C").empty());
+}
+
+TEST(ErSchemaTest, CardinalityNames) {
+  EXPECT_STREQ(CardinalityToString(Cardinality::kOneToOne), "[1:1]");
+  EXPECT_STREQ(CardinalityToString(Cardinality::kOneToMany), "[1:n]");
+  EXPECT_STREQ(CardinalityToString(Cardinality::kManyToOne), "[n:1]");
+  EXPECT_STREQ(CardinalityToString(Cardinality::kManyToMany), "[m:n]");
+}
+
+TEST(Figure1SchemaTest, HasTheSixEntitySets) {
+  ErSchema schema = MakeFigure1Schema();
+  EXPECT_EQ(schema.entity_sets().size(), 6u);
+  for (const char* name : {"EntrezProtein", "NCBIBlastHit", "EntrezGene",
+                           "PfamDomain", "TigrFamModel", "AmiGO"}) {
+    EXPECT_TRUE(schema.HasEntitySet(name)) << name;
+  }
+}
+
+TEST(Figure1SchemaTest, AllRoutesLeadToAmiGO) {
+  ErSchema schema = MakeFigure1Schema();
+  std::vector<std::string> into_go = schema.IncomingRelationships("AmiGO");
+  EXPECT_EQ(into_go.size(), 3u);  // EntrezGene2GO, Pfam2GO, TigrFam2GO.
+}
+
+TEST(Figure1SchemaTest, BlastForeignKeyIsCertain) {
+  // NCBIBlast2 carries a foreign key into EntrezGene: qs = 1 (Sect 2).
+  ErSchema schema = MakeFigure1Schema();
+  Result<RelationshipDef> rel = schema.GetRelationship("NCBIBlast2");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_DOUBLE_EQ(rel.value().qs, 1.0);
+  EXPECT_EQ(rel.value().cardinality, Cardinality::kManyToOne);
+}
+
+}  // namespace
+}  // namespace biorank

@@ -1,0 +1,172 @@
+#include "schema/reducibility.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/composition.h"
+
+namespace biorank {
+namespace {
+
+ErSchema ChainSchema(const std::vector<Cardinality>& types) {
+  ErSchema schema;
+  for (size_t i = 0; i <= types.size(); ++i) {
+    schema.AddEntitySet({"E" + std::to_string(i), {}, 1.0});
+  }
+  for (size_t i = 0; i < types.size(); ++i) {
+    schema.AddRelationship({"R" + std::to_string(i), "E" + std::to_string(i),
+                            "E" + std::to_string(i + 1), types[i], 1.0});
+  }
+  return schema;
+}
+
+TEST(CompositionTest, IdentityWithOneToOne) {
+  EXPECT_EQ(Compose(Cardinality::kOneToOne, Cardinality::kOneToMany),
+            Cardinality::kOneToMany);
+  EXPECT_EQ(Compose(Cardinality::kManyToOne, Cardinality::kOneToOne),
+            Cardinality::kManyToOne);
+  EXPECT_EQ(Compose(Cardinality::kOneToOne, Cardinality::kOneToOne),
+            Cardinality::kOneToOne);
+}
+
+TEST(CompositionTest, HomogeneousCompositionsArePreserved) {
+  // [1:n] o [1:n] = [1:n] and [n:1] o [n:1] = [n:1] (Section 3.1).
+  EXPECT_EQ(Compose(Cardinality::kOneToMany, Cardinality::kOneToMany),
+            Cardinality::kOneToMany);
+  EXPECT_EQ(Compose(Cardinality::kManyToOne, Cardinality::kManyToOne),
+            Cardinality::kManyToOne);
+}
+
+TEST(CompositionTest, ManyToManyAbsorbs) {
+  for (Cardinality c :
+       {Cardinality::kOneToOne, Cardinality::kOneToMany,
+        Cardinality::kManyToOne, Cardinality::kManyToMany}) {
+    EXPECT_EQ(Compose(Cardinality::kManyToMany, c), Cardinality::kManyToMany);
+    EXPECT_EQ(Compose(c, Cardinality::kManyToMany), Cardinality::kManyToMany);
+  }
+}
+
+TEST(CompositionTest, MixedDefaultsToManyToMany) {
+  EXPECT_EQ(Compose(Cardinality::kOneToMany, Cardinality::kManyToOne),
+            Cardinality::kManyToMany);
+  EXPECT_EQ(Compose(Cardinality::kManyToOne, Cardinality::kOneToMany),
+            Cardinality::kManyToMany);
+}
+
+TEST(CompositionOracleTest, OverrideWinsOverAlgebra) {
+  CompositionOracle oracle;
+  RelationshipDef q{"Q", "A", "B", Cardinality::kOneToMany, 1.0};
+  RelationshipDef qp{"Q'", "B", "C", Cardinality::kManyToOne, 1.0};
+  EXPECT_EQ(oracle.Resolve(q, qp), Cardinality::kManyToMany);
+  oracle.Declare("Q", "Q'", Cardinality::kOneToMany);
+  EXPECT_EQ(oracle.Resolve(q, qp), Cardinality::kOneToMany);
+}
+
+TEST(ForestTest, OneToManyChainIsForest) {
+  ErSchema schema = ChainSchema(
+      {Cardinality::kOneToMany, Cardinality::kOneToMany});
+  EXPECT_TRUE(IsOneToManyForest(schema));
+}
+
+TEST(ForestTest, ManyToOneBreaksIt) {
+  ErSchema schema = ChainSchema(
+      {Cardinality::kOneToMany, Cardinality::kManyToOne});
+  EXPECT_FALSE(IsOneToManyForest(schema));
+}
+
+TEST(ForestTest, ConvergingEdgesBreakIt) {
+  ErSchema schema;
+  schema.AddEntitySet({"A", {}, 1.0});
+  schema.AddEntitySet({"B", {}, 1.0});
+  schema.AddEntitySet({"C", {}, 1.0});
+  schema.AddRelationship({"R1", "A", "C", Cardinality::kOneToMany, 1.0});
+  schema.AddRelationship({"R2", "B", "C", Cardinality::kOneToMany, 1.0});
+  EXPECT_FALSE(IsOneToManyForest(schema));
+}
+
+TEST(ReducibilityTest, TheoremPartA_OneToManyTree) {
+  // A tree of [1:n] relationships is reducible (Theorem 3.2 A).
+  ErSchema schema;
+  schema.AddEntitySet({"Root", {}, 1.0});
+  schema.AddEntitySet({"L", {}, 1.0});
+  schema.AddEntitySet({"R", {}, 1.0});
+  schema.AddEntitySet({"LL", {}, 1.0});
+  schema.AddRelationship({"R1", "Root", "L", Cardinality::kOneToMany, 1.0});
+  schema.AddRelationship({"R2", "Root", "R", Cardinality::kOneToMany, 1.0});
+  schema.AddRelationship({"R3", "L", "LL", Cardinality::kOneToMany, 1.0});
+  EXPECT_TRUE(CheckSchemaReducibility(schema).reducible);
+}
+
+TEST(ReducibilityTest, Fig2a_ManyToManyInMiddleIsNotProvablyReducible) {
+  // Figure 2a: [1:n] [n:m] [n:1] — instances may contain Wheatstone
+  // bridges.
+  ErSchema schema = ChainSchema({Cardinality::kOneToMany,
+                                 Cardinality::kManyToMany,
+                                 Cardinality::kManyToOne});
+  EXPECT_FALSE(CheckSchemaReducibility(schema).reducible);
+}
+
+TEST(ReducibilityTest, Fig2b_AlternatingWithoutKnowledgeIsStuck) {
+  // Figure 2b: [1:n] [1:n] [n:1] [n:1] — still irreducible: the
+  // innermost composition [1:n] o [n:1] is unknown.
+  ErSchema schema =
+      ChainSchema({Cardinality::kOneToMany, Cardinality::kOneToMany,
+                   Cardinality::kManyToOne, Cardinality::kManyToOne});
+  EXPECT_FALSE(CheckSchemaReducibility(schema).reducible);
+}
+
+TEST(ReducibilityTest, Fig3a_KnowledgeMakesAlternatingChainReducible) {
+  // Figure 3a: the inner compositions are known to stay [1:n]/[n:1], so
+  // contraction cascades to a single relationship.
+  ErSchema schema =
+      ChainSchema({Cardinality::kOneToMany, Cardinality::kManyToOne,
+                   Cardinality::kOneToMany, Cardinality::kManyToOne});
+  CompositionOracle oracle;
+  oracle.Declare("R0", "R1", Cardinality::kOneToOne);   // E1 contracts.
+  oracle.Declare("R2", "R3", Cardinality::kOneToMany);  // E3 contracts.
+  // After the two contractions the residual chain is
+  // E0 -[1:1]-> E2 -[1:n]-> E4, a forest of downward relationships:
+  // Theorem 3.2 part A accepts it.
+  ReducibilityResult result = CheckSchemaReducibility(schema, oracle);
+  EXPECT_TRUE(result.reducible) << result.trace.back();
+}
+
+TEST(ReducibilityTest, Fig3b_ManyToManyCompositionBlocks) {
+  // Figure 3b: the first composition results in [m:n]; not reducible.
+  ErSchema schema =
+      ChainSchema({Cardinality::kOneToMany, Cardinality::kManyToOne,
+                   Cardinality::kOneToMany, Cardinality::kManyToOne});
+  CompositionOracle oracle;
+  oracle.Declare("R0", "R1", Cardinality::kManyToMany);
+  oracle.Declare("R2", "R3", Cardinality::kManyToMany);
+  ReducibilityResult result = CheckSchemaReducibility(schema, oracle);
+  EXPECT_FALSE(result.reducible);
+}
+
+TEST(ReducibilityTest, TraceRecordsContractions) {
+  ErSchema schema =
+      ChainSchema({Cardinality::kOneToMany, Cardinality::kManyToOne});
+  CompositionOracle oracle;
+  oracle.Declare("R0", "R1", Cardinality::kOneToMany);
+  ReducibilityResult result = CheckSchemaReducibility(schema, oracle);
+  EXPECT_TRUE(result.reducible);
+  ASSERT_GE(result.trace.size(), 2u);
+  EXPECT_NE(result.trace[0].find("contract E1"), std::string::npos);
+}
+
+TEST(ReducibilityTest, SelfLoopEntityIsNotContractible) {
+  ErSchema schema;
+  schema.AddEntitySet({"A", {}, 1.0});
+  schema.AddEntitySet({"B", {}, 1.0});
+  schema.AddRelationship({"R1", "A", "B", Cardinality::kOneToMany, 1.0});
+  schema.AddRelationship({"Rloop", "B", "B", Cardinality::kManyToOne, 1.0});
+  EXPECT_FALSE(CheckSchemaReducibility(schema).reducible);
+}
+
+TEST(ReducibilityTest, EmptySchemaIsTriviallyReducible) {
+  ErSchema schema;
+  schema.AddEntitySet({"A", {}, 1.0});
+  EXPECT_TRUE(CheckSchemaReducibility(schema).reducible);
+}
+
+}  // namespace
+}  // namespace biorank

@@ -1,0 +1,136 @@
+#include "schema/transforms.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "schema/metrics.h"
+
+namespace biorank {
+namespace {
+
+TEST(GeneStatusTest, TableMatchesPaperExactly) {
+  EXPECT_DOUBLE_EQ(GeneStatusToPr(GeneStatus::kReviewed), 1.0);
+  EXPECT_DOUBLE_EQ(GeneStatusToPr(GeneStatus::kValidated), 0.8);
+  EXPECT_DOUBLE_EQ(GeneStatusToPr(GeneStatus::kProvisional), 0.7);
+  EXPECT_DOUBLE_EQ(GeneStatusToPr(GeneStatus::kPredicted), 0.4);
+  EXPECT_DOUBLE_EQ(GeneStatusToPr(GeneStatus::kModel), 0.3);
+  EXPECT_DOUBLE_EQ(GeneStatusToPr(GeneStatus::kInferred), 0.2);
+}
+
+TEST(EvidenceCodeTest, TableMatchesPaperExactly) {
+  EXPECT_DOUBLE_EQ(EvidenceCodeToPr(EvidenceCode::kIDA), 1.0);
+  EXPECT_DOUBLE_EQ(EvidenceCodeToPr(EvidenceCode::kTAS), 1.0);
+  EXPECT_DOUBLE_EQ(EvidenceCodeToPr(EvidenceCode::kIGI), 0.9);
+  EXPECT_DOUBLE_EQ(EvidenceCodeToPr(EvidenceCode::kIMP), 0.9);
+  EXPECT_DOUBLE_EQ(EvidenceCodeToPr(EvidenceCode::kIPI), 0.9);
+  EXPECT_DOUBLE_EQ(EvidenceCodeToPr(EvidenceCode::kIEP), 0.7);
+  EXPECT_DOUBLE_EQ(EvidenceCodeToPr(EvidenceCode::kISS), 0.7);
+  EXPECT_DOUBLE_EQ(EvidenceCodeToPr(EvidenceCode::kRCA), 0.7);
+  EXPECT_DOUBLE_EQ(EvidenceCodeToPr(EvidenceCode::kIC), 0.6);
+  EXPECT_DOUBLE_EQ(EvidenceCodeToPr(EvidenceCode::kNAS), 0.5);
+  EXPECT_DOUBLE_EQ(EvidenceCodeToPr(EvidenceCode::kIEA), 0.3);
+  EXPECT_DOUBLE_EQ(EvidenceCodeToPr(EvidenceCode::kND), 0.2);
+  EXPECT_DOUBLE_EQ(EvidenceCodeToPr(EvidenceCode::kNR), 0.2);
+}
+
+TEST(StringLookupTest, RoundTripsThroughNames) {
+  for (GeneStatus s : {GeneStatus::kReviewed, GeneStatus::kValidated,
+                       GeneStatus::kProvisional, GeneStatus::kPredicted,
+                       GeneStatus::kModel, GeneStatus::kInferred}) {
+    Result<double> pr = GeneStatusStringToPr(GeneStatusToString(s));
+    ASSERT_TRUE(pr.ok());
+    EXPECT_DOUBLE_EQ(pr.value(), GeneStatusToPr(s));
+  }
+  for (EvidenceCode c :
+       {EvidenceCode::kIDA, EvidenceCode::kTAS, EvidenceCode::kIGI,
+        EvidenceCode::kIMP, EvidenceCode::kIPI, EvidenceCode::kIEP,
+        EvidenceCode::kISS, EvidenceCode::kRCA, EvidenceCode::kIC,
+        EvidenceCode::kNAS, EvidenceCode::kIEA, EvidenceCode::kND,
+        EvidenceCode::kNR}) {
+    Result<double> pr = EvidenceCodeStringToPr(EvidenceCodeToString(c));
+    ASSERT_TRUE(pr.ok());
+    EXPECT_DOUBLE_EQ(pr.value(), EvidenceCodeToPr(c));
+  }
+}
+
+TEST(StringLookupTest, UnknownCodesFail) {
+  EXPECT_FALSE(GeneStatusStringToPr("Bogus").ok());
+  EXPECT_FALSE(EvidenceCodeStringToPr("XYZ").ok());
+  EXPECT_FALSE(GeneStatusStringToPr("reviewed").ok());  // Case-sensitive.
+}
+
+TEST(EValueTest, TransformMatchesPaperFormula) {
+  // qr = -log10(e) / 300.
+  EXPECT_NEAR(EValueToQr(1e-30), 0.1, 1e-12);
+  EXPECT_NEAR(EValueToQr(1e-150), 0.5, 1e-12);
+  EXPECT_NEAR(EValueToQr(1e-300), 1.0, 1e-12);
+}
+
+TEST(EValueTest, ClampsToUnitInterval) {
+  EXPECT_DOUBLE_EQ(EValueToQr(0.0), 1.0);       // Perfect match.
+  EXPECT_DOUBLE_EQ(EValueToQr(-1.0), 1.0);      // Degenerate input.
+  EXPECT_DOUBLE_EQ(EValueToQr(1.0), 0.0);       // Chance-level hit.
+  EXPECT_DOUBLE_EQ(EValueToQr(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(EValueToQr(1e-320), 1.0);    // Beyond the scale.
+}
+
+TEST(EValueTest, StrongerHitsGetHigherConfidence) {
+  double prev = -1.0;
+  for (double exp10 : {-5.0, -20.0, -60.0, -120.0, -250.0}) {
+    double qr = EValueToQr(std::pow(10.0, exp10));
+    EXPECT_GT(qr, prev);  // Smaller e-value -> larger qr.
+    prev = qr;
+    // All interior values stay in (0,1].
+    EXPECT_GT(qr, 0.0);
+    EXPECT_LE(qr, 1.0);
+  }
+}
+
+TEST(MetricsTest, DefaultsAreOneWithoutRegistration) {
+  ProbabilisticMetrics metrics;
+  EXPECT_DOUBLE_EQ(metrics.SourceConfidence("Anything"), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.NodeProbability("Anything", 0.4), 0.4);
+}
+
+TEST(MetricsTest, FromSchemaPicksUpDefaults) {
+  ErSchema schema = MakeFigure1Schema();
+  ProbabilisticMetrics metrics = ProbabilisticMetrics::FromSchema(schema);
+  EXPECT_DOUBLE_EQ(metrics.SourceConfidence("EntrezGene"), 0.9);
+  EXPECT_DOUBLE_EQ(metrics.RelationshipConfidence("NCBIBlast2"), 1.0);
+}
+
+TEST(MetricsTest, NodeProbabilityIsProduct) {
+  ProbabilisticMetrics metrics;
+  metrics.SetSourceConfidence("EntrezGene", 0.9);
+  // p = ps * pr per Section 2.
+  EXPECT_NEAR(metrics.NodeProbability("EntrezGene", 0.8), 0.72, 1e-12);
+}
+
+TEST(MetricsTest, EdgeProbabilityIsProduct) {
+  ProbabilisticMetrics metrics;
+  metrics.SetRelationshipConfidence("NCBIBlast1", 0.65);
+  EXPECT_NEAR(metrics.EdgeProbability("NCBIBlast1", 0.5), 0.325, 1e-12);
+}
+
+TEST(MetricsTest, UserTuningOverridesDefaults) {
+  ErSchema schema = MakeFigure1Schema();
+  ProbabilisticMetrics metrics = ProbabilisticMetrics::FromSchema(schema);
+  ASSERT_TRUE(metrics.SetSourceConfidence("EntrezGene", 0.5).ok());
+  EXPECT_DOUBLE_EQ(metrics.SourceConfidence("EntrezGene"), 0.5);
+}
+
+TEST(MetricsTest, RejectsOutOfRangeConfidence) {
+  ProbabilisticMetrics metrics;
+  EXPECT_FALSE(metrics.SetSourceConfidence("A", 1.5).ok());
+  EXPECT_FALSE(metrics.SetRelationshipConfidence("R", -0.1).ok());
+}
+
+TEST(MetricsTest, RecordProbabilitiesAreClamped) {
+  ProbabilisticMetrics metrics;
+  EXPECT_DOUBLE_EQ(metrics.NodeProbability("A", 1.7), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.EdgeProbability("R", -0.4), 0.0);
+}
+
+}  // namespace
+}  // namespace biorank

@@ -1,0 +1,251 @@
+#include "sources/source_registry.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace biorank {
+namespace {
+
+class SourcesTest : public ::testing::Test {
+ protected:
+  SourcesTest() : universe_(ProteinUniverse::Generate()),
+                  registry_(universe_) {}
+
+  ProteinUniverse universe_;
+  SourceRegistry registry_;
+};
+
+TEST_F(SourcesTest, RegistryExposesElevenSources) {
+  std::vector<const DataSource*> all = registry_.AllSources();
+  EXPECT_EQ(all.size(), 11u);
+  std::set<std::string> names;
+  for (const DataSource* source : all) names.insert(source->name());
+  EXPECT_EQ(names.size(), 11u);
+}
+
+TEST_F(SourcesTest, EntityAndRelationshipCountsMatchPaperTable) {
+  // The Section 2 source table: name -> (#E, #R).
+  struct Expected {
+    const char* name;
+    int entities;
+    int relationships;
+  };
+  const Expected expected[] = {
+      {"AmiGO", 1, 4},      {"NCBIBlast", 2, 3}, {"CDD", 3, 1},
+      {"EntrezGene", 2, 3}, {"EntrezProtein", 1, 11}, {"PDB", 1, 0},
+      {"Pfam", 2, 2},       {"PIRSF", 2, 2},     {"UniProt", 2, 2},
+      {"SuperFamily", 3, 1}, {"TIGRFAM", 2, 2},
+  };
+  for (const Expected& e : expected) {
+    bool found = false;
+    for (const DataSource* source : registry_.AllSources()) {
+      if (source->name() == e.name) {
+        EXPECT_EQ(source->entity_set_count(), e.entities) << e.name;
+        EXPECT_EQ(source->relationship_count(), e.relationships) << e.name;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << e.name;
+  }
+}
+
+TEST_F(SourcesTest, EntrezProteinLookupBySymbolAndAccession) {
+  const Protein& protein = universe_.protein(3);
+  std::vector<ProteinRecord> by_symbol =
+      registry_.entrez_protein().Lookup(protein.gene_symbol);
+  ASSERT_EQ(by_symbol.size(), 1u);
+  EXPECT_EQ(by_symbol[0].protein_index, 3);
+  std::vector<ProteinRecord> by_accession =
+      registry_.entrez_protein().Lookup(protein.accession);
+  ASSERT_EQ(by_accession.size(), 1u);
+  EXPECT_EQ(by_accession[0].seq_id, 3);
+  EXPECT_TRUE(registry_.entrez_protein().Lookup("UNKNOWN").empty());
+}
+
+TEST_F(SourcesTest, EntrezProteinBySeqIdBounds) {
+  EXPECT_NE(registry_.entrez_protein().BySeqId(0), nullptr);
+  EXPECT_EQ(registry_.entrez_protein().BySeqId(-1), nullptr);
+  EXPECT_EQ(registry_.entrez_protein().BySeqId(1 << 20), nullptr);
+}
+
+TEST_F(SourcesTest, BlastReturnsFamilyMembers) {
+  int query = universe_.well_studied()[0];
+  const Protein& protein = universe_.protein(query);
+  std::set<int> family(universe_.FamilyMembers(protein.family).begin(),
+                       universe_.FamilyMembers(protein.family).end());
+  int family_hits = 0;
+  for (const BlastHit& hit : registry_.ncbi_blast().Similar(query)) {
+    EXPECT_NE(hit.seq2, query);  // Self-hits are not emitted.
+    EXPECT_GT(hit.e_value, 0.0);
+    EXPECT_LT(hit.e_value, 1.0);
+    if (family.count(hit.seq2) > 0) ++family_hits;
+  }
+  EXPECT_EQ(family_hits,
+            static_cast<int>(family.size()) - 1);  // All other members.
+}
+
+TEST_F(SourcesTest, BlastFamilyHitsAreStrongerThanNoise) {
+  int query = universe_.well_studied()[1];
+  const Protein& protein = universe_.protein(query);
+  std::set<int> family(universe_.FamilyMembers(protein.family).begin(),
+                       universe_.FamilyMembers(protein.family).end());
+  double worst_family = 0.0;
+  double best_noise = 1.0;
+  for (const BlastHit& hit : registry_.ncbi_blast().Similar(query)) {
+    if (family.count(hit.seq2) > 0) {
+      worst_family = std::max(worst_family, hit.e_value);
+    } else {
+      best_noise = std::min(best_noise, hit.e_value);
+    }
+  }
+  EXPECT_LT(worst_family, best_noise);
+}
+
+TEST_F(SourcesTest, EntrezGeneCoversMostCuratedFunctions) {
+  int total_curated = 0, covered = 0;
+  for (int index : universe_.well_studied()) {
+    const Protein& protein = universe_.protein(index);
+    std::set<int> annotated;
+    for (const GeneAnnotation& ann :
+         registry_.entrez_gene().AnnotationsFor(index)) {
+      annotated.insert(ann.go_index);
+    }
+    for (int go : protein.curated_functions) {
+      ++total_curated;
+      if (annotated.count(go) > 0) ++covered;
+    }
+  }
+  // Nominal curated coverage is 0.70, and skipped functions can leak back
+  // as computational predictions (0.7 + 0.3 * 0.7 ~ 0.91); the row set
+  // must stay incomplete either way.
+  double coverage = static_cast<double>(covered) / total_curated;
+  EXPECT_GT(coverage, 0.75);
+  EXPECT_LT(coverage, 0.97);
+}
+
+TEST_F(SourcesTest, EntrezGeneHasNothingForHypotheticalProteins) {
+  for (int index : universe_.hypothetical()) {
+    EXPECT_TRUE(registry_.entrez_gene().AnnotationsFor(index).empty());
+  }
+}
+
+TEST_F(SourcesTest, RecentFunctionsAbsentFromEntrezGene) {
+  for (int index : universe_.well_studied()) {
+    const Protein& protein = universe_.protein(index);
+    std::set<int> recent(protein.recent_functions.begin(),
+                         protein.recent_functions.end());
+    for (const GeneAnnotation& ann :
+         registry_.entrez_gene().AnnotationsFor(index)) {
+      EXPECT_EQ(recent.count(ann.go_index), 0u);
+    }
+  }
+}
+
+TEST_F(SourcesTest, TigrfamCarriesRecentFunctionEvidence) {
+  // Every recent function must be reachable through a dedicated TIGRFAM
+  // model hit with a very strong e-value.
+  const ProfileDatabase& db = registry_.tigrfam().db();
+  for (int index : universe_.well_studied()) {
+    const Protein& protein = universe_.protein(index);
+    if (protein.recent_functions.empty()) continue;
+    std::set<int> reachable;
+    double best_e = 1.0;
+    for (const ProfileHit& hit : db.HitsFor(index)) {
+      for (int go : db.GoTermsFor(hit.profile_id)) {
+        if (reachable.insert(go).second || true) {
+          // Track the strongest hit covering a recent function.
+        }
+      }
+      best_e = std::min(best_e, hit.e_value);
+    }
+    for (int go : protein.recent_functions) {
+      EXPECT_EQ(reachable.count(go), 1u) << "recent GO " << go;
+    }
+    EXPECT_LT(best_e, 1e-200);  // The dedicated hit is very strong.
+  }
+}
+
+TEST_F(SourcesTest, DedicatedModelsCoverExpertFunctions) {
+  const ProfileDatabase& tigr = registry_.tigrfam().db();
+  const ProfileDatabase& pfam = registry_.pfam().db();
+  for (int index : universe_.hypothetical()) {
+    const Protein& protein = universe_.protein(index);
+    int expert = protein.expert_functions[0];
+    bool tigr_covers = false, pfam_covers = false;
+    for (const ProfileHit& hit : tigr.HitsFor(index)) {
+      for (int go : tigr.GoTermsFor(hit.profile_id)) {
+        if (go == expert) tigr_covers = true;
+      }
+    }
+    for (const ProfileHit& hit : pfam.HitsFor(index)) {
+      for (int go : pfam.GoTermsFor(hit.profile_id)) {
+        if (go == expert) pfam_covers = true;
+      }
+    }
+    EXPECT_TRUE(tigr_covers) << protein.gene_symbol;
+    EXPECT_TRUE(pfam_covers) << protein.gene_symbol;
+  }
+}
+
+TEST_F(SourcesTest, DedicatedMappingsAreCertain) {
+  const ProfileDatabase& db = registry_.tigrfam().db();
+  bool saw_dedicated = false, saw_regular = false;
+  for (int p = 0; p < db.num_profiles(); ++p) {
+    double qr = db.MappingQr(p);
+    if (qr == 1.0) saw_dedicated = true;
+    if (qr < 1.0) saw_regular = true;
+    EXPECT_GT(qr, 0.0);
+    EXPECT_LE(qr, 1.0);
+  }
+  EXPECT_TRUE(saw_dedicated);
+  EXPECT_TRUE(saw_regular);
+}
+
+TEST_F(SourcesTest, ProfileNamesUsePrefixes) {
+  EXPECT_EQ(registry_.pfam().db().ProfileName(0).substr(0, 2), "PF");
+  EXPECT_EQ(registry_.tigrfam().db().ProfileName(0).substr(0, 4), "TIGR");
+  EXPECT_EQ(registry_.pirsf().db().ProfileName(0).substr(0, 5), "PIRSF");
+}
+
+TEST_F(SourcesTest, PdbStructuresSkewTowardWellStudied) {
+  int well_structures = 0, hypothetical_structures = 0;
+  for (int index : universe_.well_studied()) {
+    well_structures +=
+        static_cast<int>(registry_.pdb().StructuresFor(index).size());
+  }
+  for (int index : universe_.hypothetical()) {
+    hypothetical_structures +=
+        static_cast<int>(registry_.pdb().StructuresFor(index).size());
+  }
+  EXPECT_GT(well_structures, hypothetical_structures);
+}
+
+TEST_F(SourcesTest, UniProtSkipsHypotheticalProteins) {
+  for (int index : universe_.hypothetical()) {
+    EXPECT_TRUE(registry_.uniprot().AnnotationsFor(index).empty());
+  }
+}
+
+TEST_F(SourcesTest, GenerationIsDeterministic) {
+  SourceRegistry second(universe_);
+  int query = universe_.well_studied()[0];
+  const auto& hits_a = registry_.ncbi_blast().Similar(query);
+  const auto& hits_b = second.ncbi_blast().Similar(query);
+  ASSERT_EQ(hits_a.size(), hits_b.size());
+  for (size_t i = 0; i < hits_a.size(); ++i) {
+    EXPECT_EQ(hits_a[i].seq2, hits_b[i].seq2);
+    EXPECT_DOUBLE_EQ(hits_a[i].e_value, hits_b[i].e_value);
+  }
+}
+
+TEST_F(SourcesTest, OutOfRangeQueriesReturnEmpty) {
+  EXPECT_TRUE(registry_.ncbi_blast().Similar(-1).empty());
+  EXPECT_TRUE(registry_.entrez_gene().AnnotationsFor(1 << 20).empty());
+  EXPECT_TRUE(registry_.amigo().AnnotationsFor(-5).empty());
+  EXPECT_TRUE(registry_.pfam().db().HitsFor(1 << 20).empty());
+  EXPECT_TRUE(registry_.pdb().StructuresFor(-1).empty());
+}
+
+}  // namespace
+}  // namespace biorank

@@ -1,0 +1,105 @@
+#include "testing/random_graphs.h"
+
+#include <string>
+
+namespace biorank::testing {
+
+QueryGraph MakeRandomLayeredDag(Rng& rng, const RandomDagOptions& options) {
+  QueryGraphBuilder builder;
+  std::vector<std::vector<NodeId>> layers;
+  layers.push_back({builder.Source()});
+
+  auto node_p = [&]() {
+    return options.certain_nodes ? 1.0
+                                 : rng.NextUniform(options.min_node_p, 1.0);
+  };
+  auto edge_q = [&]() { return rng.NextUniform(options.min_edge_q, 1.0); };
+
+  for (int layer = 0; layer < options.layers; ++layer) {
+    std::vector<NodeId> current;
+    for (int i = 0; i < options.nodes_per_layer; ++i) {
+      current.push_back(builder.Node(
+          node_p(), "L" + std::to_string(layer) + "N" + std::to_string(i)));
+    }
+    layers.push_back(current);
+  }
+  std::vector<NodeId> answers;
+  for (int i = 0; i < options.answers; ++i) {
+    answers.push_back(builder.Node(node_p(), "ans" + std::to_string(i)));
+  }
+  layers.push_back(answers);
+
+  for (size_t layer = 0; layer + 1 < layers.size(); ++layer) {
+    for (NodeId from : layers[layer]) {
+      for (NodeId to : layers[layer + 1]) {
+        if (rng.NextBernoulli(options.edge_density)) {
+          builder.Edge(from, to, edge_q());
+        }
+      }
+      // Occasional layer-skipping edges.
+      for (size_t skip = layer + 2; skip < layers.size(); ++skip) {
+        for (NodeId to : layers[skip]) {
+          if (rng.NextBernoulli(options.skip_density)) {
+            builder.Edge(from, to, edge_q());
+          }
+        }
+      }
+    }
+  }
+  // Guarantee connectivity hooks: each non-source layer node gets at least
+  // one in-edge from the previous layer, picked uniformly.
+  for (size_t layer = 1; layer < layers.size(); ++layer) {
+    for (NodeId to : layers[layer]) {
+      const std::vector<NodeId>& prev = layers[layer - 1];
+      NodeId from =
+          prev[static_cast<size_t>(rng.NextBounded(prev.size()))];
+      builder.Edge(from, to, edge_q());
+    }
+  }
+  return std::move(builder).Build(answers);
+}
+
+QueryGraph MakeRandomTree(Rng& rng, int depth, int branching,
+                          bool certain_nodes) {
+  QueryGraphBuilder builder;
+  std::vector<NodeId> frontier = {builder.Source()};
+  std::vector<NodeId> leaves;
+  for (int level = 0; level < depth; ++level) {
+    std::vector<NodeId> next;
+    for (NodeId parent : frontier) {
+      for (int child = 0; child < branching; ++child) {
+        double p = certain_nodes ? 1.0 : rng.NextUniform(0.3, 1.0);
+        NodeId id = builder.Node(p);
+        builder.Edge(parent, id, rng.NextUniform(0.2, 1.0));
+        next.push_back(id);
+      }
+    }
+    frontier = std::move(next);
+  }
+  leaves = frontier;
+  return std::move(builder).Build(leaves);
+}
+
+QueryGraph MakeRandomDigraph(Rng& rng, int num_nodes, double edge_density,
+                             int num_answers) {
+  QueryGraphBuilder builder;
+  std::vector<NodeId> nodes = {builder.Source()};
+  for (int i = 1; i < num_nodes; ++i) {
+    nodes.push_back(builder.Node(rng.NextUniform(0.3, 1.0)));
+  }
+  for (int i = 0; i < num_nodes; ++i) {
+    for (int j = 0; j < num_nodes; ++j) {
+      if (i == j) continue;
+      if (rng.NextBernoulli(edge_density)) {
+        builder.Edge(nodes[i], nodes[j], rng.NextUniform(0.2, 1.0));
+      }
+    }
+  }
+  std::vector<NodeId> answers;
+  for (int i = 0; i < num_answers && i + 1 < num_nodes; ++i) {
+    answers.push_back(nodes[num_nodes - 1 - i]);
+  }
+  return std::move(builder).Build(answers);
+}
+
+}  // namespace biorank::testing

@@ -1,0 +1,63 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace biorank {
+namespace {
+
+TEST(CsvTest, EscapePlainCellUnchanged) {
+  EXPECT_EQ(CsvEscape("hello"), "hello");
+  EXPECT_EQ(CsvEscape("0.84"), "0.84");
+}
+
+TEST(CsvTest, EscapeQuotesCommas) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvTest, EscapeDoublesQuotes) {
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, EscapeNewlines) {
+  EXPECT_EQ(CsvEscape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvTest, ToStringEmitsHeaderAndRows) {
+  CsvWriter w({"method", "ap"});
+  w.AddRow({"Rel", "0.84"});
+  w.AddRow({"Prop", "0.85"});
+  EXPECT_EQ(w.ToString(), "method,ap\nRel,0.84\nProp,0.85\n");
+}
+
+TEST(CsvTest, RowCount) {
+  CsvWriter w({"x"});
+  EXPECT_EQ(w.row_count(), 0u);
+  w.AddRow({"1"});
+  EXPECT_EQ(w.row_count(), 1u);
+}
+
+TEST(CsvTest, WriteToFileRoundTrips) {
+  CsvWriter w({"a", "b"});
+  w.AddRow({"1", "two, three"});
+  std::string path = ::testing::TempDir() + "/biorank_csv_test.csv";
+  ASSERT_TRUE(w.WriteToFile(path).ok());
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "a,b\n1,\"two, three\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WriteToBadPathFails) {
+  CsvWriter w({"a"});
+  Status s = w.WriteToFile("/nonexistent_dir_zzz/out.csv");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace biorank

@@ -1,0 +1,111 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace biorank {
+namespace {
+
+TEST(StatsTest, EmptySampleIsZeroed) {
+  SampleStats s = ComputeStats({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(StatsTest, SingleValue) {
+  SampleStats s = ComputeStats({4.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 4.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 4.0);
+  EXPECT_EQ(s.max, 4.0);
+}
+
+TEST(StatsTest, KnownSample) {
+  // {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population sd 2, sample sd ~2.138.
+  std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  SampleStats s = ComputeStats(v);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+}
+
+TEST(StatsTest, Ci95ShrinksWithSampleSize) {
+  std::vector<double> small = {1, 2, 3, 4, 5};
+  std::vector<double> large;
+  for (int rep = 0; rep < 100; ++rep) {
+    for (double v : small) large.push_back(v);
+  }
+  EXPECT_GT(ComputeStats(small).ci95_half_width,
+            ComputeStats(large).ci95_half_width);
+}
+
+TEST(StatsTest, MeanOfConstants) {
+  EXPECT_DOUBLE_EQ(Mean({3.0, 3.0, 3.0}), 3.0);
+}
+
+TEST(StatsTest, StdDevOfConstantIsZero) {
+  EXPECT_DOUBLE_EQ(StdDev({3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(StatsTest, PercentileEndpointsAndMedian) {
+  std::vector<double> v = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 75), 7.5);
+}
+
+TEST(StatsTest, PercentileEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonPerfectAntiCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonZeroVarianceIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(StatsTest, PearsonSizeMismatchIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2}, {1, 2, 3}), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchStats) {
+  std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  RunningStats r;
+  for (double x : v) r.Add(x);
+  SampleStats batch = ComputeStats(v);
+  EXPECT_EQ(r.count(), batch.count);
+  EXPECT_NEAR(r.mean(), batch.mean, 1e-12);
+  EXPECT_NEAR(r.stddev(), batch.stddev, 1e-12);
+  EXPECT_EQ(r.min(), batch.min);
+  EXPECT_EQ(r.max(), batch.max);
+}
+
+TEST(RunningStatsTest, VarianceOfFewerThanTwoIsZero) {
+  RunningStats r;
+  EXPECT_EQ(r.variance(), 0.0);
+  r.Add(5.0);
+  EXPECT_EQ(r.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace biorank

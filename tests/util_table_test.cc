@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace biorank {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t({"Method", "AP"});
+  t.AddRow({"Rel", "0.84"});
+  t.AddRow({"Prop", "0.85"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("Method"), std::string::npos);
+  EXPECT_NE(out.find("Rel"), std::string::npos);
+  EXPECT_NE(out.find("0.85"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAreAligned) {
+  TextTable t({"A", "B"});
+  t.AddRow({"longvalue", "x"});
+  t.AddRow({"s", "y"});
+  std::string out = t.ToString();
+  // Every line should have the same length (aligned grid).
+  size_t expected = out.find('\n');
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t next = out.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, expected);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTableTest, HandlesRowsWiderThanHeader) {
+  TextTable t({"A"});
+  t.AddRow({"1", "2", "3"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("3"), std::string::npos);
+}
+
+TEST(TextTableTest, HandlesShortRows) {
+  TextTable t({"A", "B", "C"});
+  t.AddRow({"only"});
+  EXPECT_NE(t.ToString().find("only"), std::string::npos);
+}
+
+TEST(TextTableTest, SeparatorAddsRule) {
+  TextTable t({"A"});
+  t.AddRow({"x"});
+  t.AddSeparator();
+  t.AddRow({"y"});
+  std::string out = t.ToString();
+  // Header rule plus the explicit separator -> at least two dashed lines.
+  size_t first = out.find("--");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(out.find("--", first + 2), std::string::npos);
+}
+
+TEST(TextTableTest, RowCountExcludesNothing) {
+  TextTable t({"A"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow({"x"});
+  t.AddSeparator();
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace biorank
