@@ -1,3 +1,8 @@
+// Closed-form reliability for graphs that reduce completely to a
+// single edge under Section 3.1's rules. Fails on irreducible
+// (Wheatstone-bridge) topologies, where callers fall back to factoring
+// or Monte Carlo.
+
 #ifndef BIORANK_CORE_CLOSED_FORM_H_
 #define BIORANK_CORE_CLOSED_FORM_H_
 

@@ -1,3 +1,8 @@
+// Additive relevance diffusion with flow thresholds (Section 3.3) -
+// the paper's "Diff" score. Each node splits its relevance across
+// out-edges; the inner flow equation is solved analytically or by
+// bisection.
+
 #ifndef BIORANK_CORE_DIFFUSION_H_
 #define BIORANK_CORE_DIFFUSION_H_
 

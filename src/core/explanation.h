@@ -1,3 +1,7 @@
+// Evidence-path explanations: the highest-probability source-to-
+// answer paths, formatted so a scientist can see why an answer ranked
+// where it did.
+
 #ifndef BIORANK_CORE_EXPLANATION_H_
 #define BIORANK_CORE_EXPLANATION_H_
 

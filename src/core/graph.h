@@ -1,3 +1,7 @@
+// The probabilistic entity graph (Definition 2.1): nodes are data
+// records present with probability p, directed edges are relationships
+// that hold with probability q. Every layer above builds on this type.
+
 #ifndef BIORANK_CORE_GRAPH_H_
 #define BIORANK_CORE_GRAPH_H_
 

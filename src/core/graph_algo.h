@@ -1,3 +1,7 @@
+// Reachability, topological order, cycle checks, and query-relevant
+// subgraph restriction on entity graphs. These support the Section 3.1
+// reductions and all scoring methods.
+
 #ifndef BIORANK_CORE_GRAPH_ALGO_H_
 #define BIORANK_CORE_GRAPH_ALGO_H_
 

@@ -1,3 +1,6 @@
+// Text serialization round-trip for query graphs, used by test
+// fixtures, the CLI example, and offline tooling.
+
 #ifndef BIORANK_CORE_GRAPH_IO_H_
 #define BIORANK_CORE_GRAPH_IO_H_
 

@@ -1,3 +1,7 @@
+// Independent-OR relevance propagation (Section 3.2) - the paper's
+// "Prop" score: a local fixpoint where a node's relevance is the
+// noisy-OR of its parents' contributions.
+
 #ifndef BIORANK_CORE_PROPAGATION_H_
 #define BIORANK_CORE_PROPAGATION_H_
 

@@ -1,3 +1,7 @@
+// Query graph = entity graph + designated query source node + answer
+// entity set (the object of Definition 2.2's exploratory query), plus
+// builders for the paper's two Figure 4 example topologies.
+
 #ifndef BIORANK_CORE_QUERY_GRAPH_H_
 #define BIORANK_CORE_QUERY_GRAPH_H_
 

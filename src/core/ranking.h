@@ -1,3 +1,7 @@
+// The five relevance functions of Section 3 (Rel, Prop, Diff,
+// InEdge, PathC) behind a single Ranker facade that scores and sorts
+// answer nodes, producing the rankings evaluated in Figure 5.
+
 #ifndef BIORANK_CORE_RANKING_H_
 #define BIORANK_CORE_RANKING_H_
 

@@ -1,3 +1,7 @@
+// Reliability-preserving graph reductions of Section 3.1: sink and
+// orphan deletion, serial collapse, parallel merge, self-loop removal,
+// applied to fixpoint while protecting the source and answer nodes.
+
 #ifndef BIORANK_CORE_REDUCTION_H_
 #define BIORANK_CORE_REDUCTION_H_
 

@@ -1,3 +1,7 @@
+// Node-failure reification: folds node presence probabilities into
+// edge probabilities so that two-terminal reliability algorithms only
+// need to reason about edge failures.
+
 #ifndef BIORANK_CORE_REIFY_H_
 #define BIORANK_CORE_REIFY_H_
 

@@ -1,3 +1,8 @@
+// Exact source-target reliability: brute-force enumeration of
+// possible worlds and the factoring (conditioning) algorithm. Both are
+// exponential in the worst case; they serve as ground truth for the
+// estimators and property tests.
+
 #ifndef BIORANK_CORE_RELIABILITY_EXACT_H_
 #define BIORANK_CORE_RELIABILITY_EXACT_H_
 

@@ -1,3 +1,7 @@
+// Monte Carlo estimation of source-target reliability (the paper's
+// Algorithm 3.1), with both a naive sampler and the lazy depth-first
+// sampler that only flips coins for elements actually reached.
+
 #ifndef BIORANK_CORE_RELIABILITY_MC_H_
 #define BIORANK_CORE_RELIABILITY_MC_H_
 

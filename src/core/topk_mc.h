@@ -1,3 +1,7 @@
+// Adaptive top-k ranking by Monte Carlo: interleaves sampling with
+// the Theorem 3.1 confidence bound so low-ranked answers are abandoned
+// early while the top k get tight estimates.
+
 #ifndef BIORANK_CORE_TOPK_MC_H_
 #define BIORANK_CORE_TOPK_MC_H_
 

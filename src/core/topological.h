@@ -1,3 +1,6 @@
+// Deterministic baseline scores used in the paper's comparisons:
+// in-edge count ("InEdge") and source-to-answer path count ("PathC").
+
 #ifndef BIORANK_CORE_TOPOLOGICAL_H_
 #define BIORANK_CORE_TOPOLOGICAL_H_
 

@@ -1,3 +1,7 @@
+// The Appendix A trial-count bound n(epsilon, delta), derived from
+// Bennett's inequality: how many Monte Carlo trials guarantee relative
+// error epsilon with confidence 1 - delta (Theorem 3.1).
+
 #ifndef BIORANK_CORE_TRIAL_BOUND_H_
 #define BIORANK_CORE_TRIAL_BOUND_H_
 

@@ -1,3 +1,6 @@
+// Noise model that turns gold-standard annotations into the
+// probabilistic evidence records the simulated sources serve.
+
 #ifndef BIORANK_DATAGEN_EVIDENCE_MODEL_H_
 #define BIORANK_DATAGEN_EVIDENCE_MODEL_H_
 

@@ -1,3 +1,6 @@
+// Synthetic Gene Ontology: a randomly generated DAG of GO terms with
+// realistic fan-out, used to build evaluation universes.
+
 #ifndef BIORANK_DATAGEN_GO_ONTOLOGY_H_
 #define BIORANK_DATAGEN_GO_ONTOLOGY_H_
 

@@ -1,3 +1,6 @@
+// Synthetic protein/gene universe with gold-standard annotations -
+// the ground truth the evaluation scenarios measure rankings against.
+
 #ifndef BIORANK_DATAGEN_PROTEIN_UNIVERSE_H_
 #define BIORANK_DATAGEN_PROTEIN_UNIVERSE_H_
 

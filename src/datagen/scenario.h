@@ -1,3 +1,6 @@
+// Builders for the paper's evaluation scenarios (Tables 1-3):
+// reference proteins, their queries, and gold answer sets.
+
 #ifndef BIORANK_DATAGEN_SCENARIO_H_
 #define BIORANK_DATAGEN_SCENARIO_H_
 

@@ -1,3 +1,6 @@
+// Average precision and precision-at-i over a boolean relevance
+// vector, the paper's primary ranking-quality metric.
+
 #ifndef BIORANK_EVAL_AVERAGE_PRECISION_H_
 #define BIORANK_EVAL_AVERAGE_PRECISION_H_
 

@@ -1,3 +1,6 @@
+// Accumulator for repeated AP experiments: per-method running mean,
+// standard deviation, and confidence intervals for the result tables.
+
 #ifndef BIORANK_EVAL_EXPERIMENT_STATS_H_
 #define BIORANK_EVAL_EXPERIMENT_STATS_H_
 

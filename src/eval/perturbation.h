@@ -1,3 +1,6 @@
+// Log-odds perturbation of probabilities for the Section 4
+// sensitivity experiments: jitter inputs, re-rank, measure stability.
+
 #ifndef BIORANK_EVAL_PERTURBATION_H_
 #define BIORANK_EVAL_PERTURBATION_H_
 

@@ -1,3 +1,6 @@
+// Closed-form expected average precision of a uniformly random
+// ranking - the baseline floor in the quality figures.
+
 #ifndef BIORANK_EVAL_RANDOM_AP_H_
 #define BIORANK_EVAL_RANDOM_AP_H_
 

@@ -1,3 +1,6 @@
+// Kendall tau-b rank correlation between two rankings, the metric of
+// the Figure 6 sensitivity study.
+
 #ifndef BIORANK_EVAL_RANK_CORRELATION_H_
 #define BIORANK_EVAL_RANK_CORRELATION_H_
 

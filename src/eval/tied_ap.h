@@ -1,3 +1,7 @@
+// Expected average precision under tied scores (Definition 4.1):
+// exact expectation over permutations within tie groups, plus a
+// sampling cross-check.
+
 #ifndef BIORANK_EVAL_TIED_AP_H_
 #define BIORANK_EVAL_TIED_AP_H_
 

@@ -1,3 +1,6 @@
+// Exploratory query description (Definition 2.2): the start entity
+// and the answer entity set a scientist asks about.
+
 #ifndef BIORANK_INTEGRATE_EXPLORATORY_QUERY_H_
 #define BIORANK_INTEGRATE_EXPLORATORY_QUERY_H_
 

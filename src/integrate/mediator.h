@@ -1,3 +1,7 @@
+// The mediator of Section 2 / Figure 1: fans an exploratory query
+// out across registered sources, stitches results into one query
+// graph, applies reductions, and ranks the answers.
+
 #ifndef BIORANK_INTEGRATE_MEDIATOR_H_
 #define BIORANK_INTEGRATE_MEDIATOR_H_
 

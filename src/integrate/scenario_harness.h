@@ -1,3 +1,7 @@
+// End-to-end harness that replays the paper's evaluation scenarios
+// through the mediator and scores rankings with the Definition 4.1
+// metric, powering the Table 1-3 benches.
+
 #ifndef BIORANK_INTEGRATE_SCENARIO_HARNESS_H_
 #define BIORANK_INTEGRATE_SCENARIO_HARNESS_H_
 

@@ -1,3 +1,7 @@
+// Cardinality composition algebra: how [1:1], [1:n], [n:1], [n:m]
+// annotations compose along paths, the core oracle behind the
+// Theorem 3.2 reducibility check.
+
 #ifndef BIORANK_SCHEMA_COMPOSITION_H_
 #define BIORANK_SCHEMA_COMPOSITION_H_
 

@@ -1,3 +1,7 @@
+// Probabilistic entity-relationship model of the mediated schema
+// (Section 2, Figure 1): entity set and relationship definitions with
+// cardinality annotations consumed by the reducibility analysis.
+
 #ifndef BIORANK_SCHEMA_ER_SCHEMA_H_
 #define BIORANK_SCHEMA_ER_SCHEMA_H_
 

@@ -1,3 +1,7 @@
+// Probability metrics attached to schema elements (Section 2): how
+// each source's scores and statuses are converted into node and edge
+// probabilities.
+
 #ifndef BIORANK_SCHEMA_METRICS_H_
 #define BIORANK_SCHEMA_METRICS_H_
 

@@ -1,3 +1,7 @@
+// Theorem 3.2 schema reducibility: decides from the mediated schema
+// alone whether every query graph it admits reduces to closed form
+// (one-to-many forest criterion), with a witness when it does not.
+
 #ifndef BIORANK_SCHEMA_REDUCIBILITY_H_
 #define BIORANK_SCHEMA_REDUCIBILITY_H_
 

@@ -1,3 +1,7 @@
+// Curated mappings from source annotations - Entrez gene status and
+// GO evidence codes - to probabilities (the Section 2 tables), with
+// string round-trips for data loading.
+
 #ifndef BIORANK_SCHEMA_TRANSFORMS_H_
 #define BIORANK_SCHEMA_TRANSFORMS_H_
 

@@ -1,3 +1,7 @@
+// Simulated AmiGO wrapper: GO term annotations per gene product,
+// with evidence-code-derived probabilities (used in the Table 2
+// scenario).
+
 #ifndef BIORANK_SOURCES_AMIGO_H_
 #define BIORANK_SOURCES_AMIGO_H_
 

@@ -1,3 +1,7 @@
+// Abstract interface each wrapped source implements (Section 2): a
+// named source that answers lookup calls with probabilistic records
+// for the mediator to stitch into a query graph.
+
 #ifndef BIORANK_SOURCES_DATA_SOURCE_H_
 #define BIORANK_SOURCES_DATA_SOURCE_H_
 

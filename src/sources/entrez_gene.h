@@ -1,3 +1,6 @@
+// Simulated Entrez Gene wrapper: gene records keyed by symbol, with
+// status-derived probabilities (Figure 1 pipeline).
+
 #ifndef BIORANK_SOURCES_ENTREZ_GENE_H_
 #define BIORANK_SOURCES_ENTREZ_GENE_H_
 

@@ -1,3 +1,6 @@
+// Simulated Entrez Protein wrapper: protein records linked from gene
+// records (Figure 1 pipeline).
+
 #ifndef BIORANK_SOURCES_ENTREZ_PROTEIN_H_
 #define BIORANK_SOURCES_ENTREZ_PROTEIN_H_
 

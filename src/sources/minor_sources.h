@@ -1,3 +1,5 @@
+// Smaller simulated sources rounding out the Section 2 federation.
+
 #ifndef BIORANK_SOURCES_MINOR_SOURCES_H_
 #define BIORANK_SOURCES_MINOR_SOURCES_H_
 

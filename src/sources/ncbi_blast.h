@@ -1,3 +1,6 @@
+// Simulated NCBI BLAST wrapper: sequence-similarity hits whose
+// E-values become edge probabilities.
+
 #ifndef BIORANK_SOURCES_NCBI_BLAST_H_
 #define BIORANK_SOURCES_NCBI_BLAST_H_
 

@@ -1,3 +1,6 @@
+// Simulated Pfam wrapper: protein family and domain hits (Figure 1
+// pipeline).
+
 #ifndef BIORANK_SOURCES_PFAM_H_
 #define BIORANK_SOURCES_PFAM_H_
 

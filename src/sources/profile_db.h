@@ -1,3 +1,6 @@
+// Simulated in-house profile database of the Figure 9b divergent-
+// schema study.
+
 #ifndef BIORANK_SOURCES_PROFILE_DB_H_
 #define BIORANK_SOURCES_PROFILE_DB_H_
 

@@ -1,3 +1,6 @@
+// Registry wiring every source wrapper into the mediator (Section 2)
+// so queries can fan out across the federation by name.
+
 #ifndef BIORANK_SOURCES_SOURCE_REGISTRY_H_
 #define BIORANK_SOURCES_SOURCE_REGISTRY_H_
 

@@ -1,3 +1,5 @@
+// Minimal CSV writer with RFC-4180 escaping for bench output.
+
 #ifndef BIORANK_UTIL_CSV_H_
 #define BIORANK_UTIL_CSV_H_
 

@@ -1,3 +1,6 @@
+// Deterministic SplitMix64-seeded PRNG wrapper so every experiment
+// and test is reproducible from a single seed.
+
 #ifndef BIORANK_UTIL_RNG_H_
 #define BIORANK_UTIL_RNG_H_
 

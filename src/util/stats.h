@@ -1,3 +1,6 @@
+// Small sample-statistics helpers: mean, stddev, percentiles,
+// Pearson correlation.
+
 #ifndef BIORANK_UTIL_STATS_H_
 #define BIORANK_UTIL_STATS_H_
 

@@ -1,3 +1,6 @@
+// Status and Result<T>: the error-handling vocabulary used across
+// the library instead of exceptions.
+
 #ifndef BIORANK_UTIL_STATUS_H_
 #define BIORANK_UTIL_STATUS_H_
 

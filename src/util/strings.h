@@ -1,3 +1,5 @@
+// String helpers: number formatting, join/split/trim, prefix tests.
+
 #ifndef BIORANK_UTIL_STRINGS_H_
 #define BIORANK_UTIL_STRINGS_H_
 

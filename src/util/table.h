@@ -1,3 +1,6 @@
+// Fixed-width text table renderer used by benches and examples to
+// print paper-style tables.
+
 #ifndef BIORANK_UTIL_TABLE_H_
 #define BIORANK_UTIL_TABLE_H_
 
