@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_json.h"
+
 #include "core/diffusion.h"
 #include "integrate/scenario_harness.h"
 
@@ -46,4 +48,6 @@ BENCHMARK(BM_DiffusionBisectionInnerSolve)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return biorank::bench::RunBenchmarksWithJson("ablation_diffusion", argc, argv);
+}

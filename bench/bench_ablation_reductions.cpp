@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "core/reduction.h"
 #include "integrate/scenario_harness.h"
@@ -33,6 +34,8 @@ double MeanRemovedFraction(const std::vector<ScenarioQuery>& queries,
 int main() {
   std::cout << "=== Ablation: reduction rule contributions ===\n\n";
 
+  bench::WallTimer total_timer;
+  bench::JsonReport json("ablation_reductions");
   ScenarioHarness harness;
   Result<std::vector<ScenarioQuery>> queries =
       harness.BuildQueries(ScenarioId::kScenario1WellKnown);
@@ -48,6 +51,8 @@ int main() {
     double removed = MeanRemovedFraction(queries.value(), options);
     table.AddRow({name, FormatDouble(removed * 100, 1) + "%"});
     csv.AddRow({name, FormatDouble(removed, 4)});
+    json.AddRow({{"configuration", name},
+                 {"mean_removed_fraction", removed}});
   };
 
   report("all rules", ReductionOptions{});
@@ -82,5 +87,6 @@ int main() {
                "serial collapse\nis the workhorse on workflow-shaped "
                "graphs.\n";
   bench::MaybeWriteCsv(csv, "ablation_reductions");
-  return 0;
+  json.SetWallTime(total_timer.Seconds());
+  return json.Write().ok() ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "core/ranking.h"
 #include "eval/experiment_stats.h"
@@ -50,6 +51,8 @@ int main() {
             << "measures cannot rank (" << repetitions << " random stars, "
             << "40 answers, ~30% relevant).\n\n";
 
+  bench::WallTimer total_timer;
+  bench::JsonReport report("divergent_schema");
   Rng rng(0xD17E);
   Ranker ranker;
   ApExperiment experiment;
@@ -78,6 +81,9 @@ int main() {
                   FormatDouble(stats.stddev, 2)});
     csv.AddRow({condition, FormatDouble(stats.mean, 4),
                 FormatDouble(stats.stddev, 4)});
+    report.AddRow({{"method", condition},
+                   {"mean_ap", stats.mean},
+                   {"stdev", stats.stddev}});
   }
   table.Print(std::cout);
   std::cout << "\nExpected: InEdge and PathCount equal the random baseline "
@@ -86,5 +92,7 @@ int main() {
                "above it — 'taking into account the strength of each "
                "individual path\nis the only way to rank results'.\n";
   bench::MaybeWriteCsv(csv, "divergent_schema");
-  return 0;
+  report.SetWallTime(total_timer.Seconds());
+  report.SetMetric("repetitions", repetitions);
+  return report.Write().ok() ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "core/query_graph.h"
 #include "core/ranking.h"
@@ -19,6 +20,8 @@ using namespace biorank;
 
 int main() {
   std::cout << "=== Figure 4: relevance scores on canonical topologies ===\n\n";
+  bench::WallTimer total_timer;
+  bench::JsonReport report("fig4_topologies");
 
   RankerOptions options;
   options.reliability_engine = ReliabilityEngine::kExact;
@@ -46,10 +49,17 @@ int main() {
     }
     table.AddRow(cells);
     csv.AddRow(cells);
+    report.AddRow({{"graph", cells[0]},
+                   {"rel", cells[1]},
+                   {"prop", cells[2]},
+                   {"diff", cells[3]},
+                   {"inedge", cells[4]},
+                   {"pathc", cells[5]}});
   }
   table.Print(std::cout);
   std::cout << "\nPaper: (a) 0.5 / 0.75 / 0.11 / 2 / 2"
             << "  (b) 0.469 / 0.484 / [0.11] / 2 / 3\n";
   bench::MaybeWriteCsv(csv, "fig4_topologies");
-  return 0;
+  report.SetWallTime(total_timer.Seconds());
+  return report.Write().ok() ? 0 : 1;
 }

@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "eval/experiment_stats.h"
 #include "integrate/scenario_harness.h"
@@ -22,8 +23,10 @@ using namespace biorank;
 int main() {
   std::cout << "=== Figure 5: ranking quality across scenarios ===\n\n";
 
+  bench::WallTimer total_timer;
   ScenarioHarness harness;
   CsvWriter csv({"scenario", "method", "mean_ap", "stdev"});
+  bench::JsonReport report("fig5_ranking_quality");
 
   const ScenarioId scenarios[] = {ScenarioId::kScenario1WellKnown,
                                   ScenarioId::kScenario2LessKnown,
@@ -56,6 +59,10 @@ int main() {
       csv.AddRow({ScenarioName(scenario), condition,
                   FormatDouble(stats.mean, 4),
                   FormatDouble(stats.stddev, 4)});
+      report.AddRow({{"scenario", ScenarioName(scenario)},
+                     {"method", condition},
+                     {"mean_ap", stats.mean},
+                     {"stdev", stats.stddev}});
     }
     table.Print(std::cout);
     std::cout << "\n";
@@ -65,5 +72,6 @@ int main() {
             << "        S2  .46 .33 .62 .15 .16 | .12\n"
             << "        S3  .68 .62 .48 .50 .50 | .29\n";
   bench::MaybeWriteCsv(csv, "fig5_ranking_quality");
-  return 0;
+  report.SetWallTime(total_timer.Seconds());
+  return report.Write().ok() ? 0 : 1;
 }

@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_json.h"
+
 #include "core/closed_form.h"
 #include "core/reduction.h"
 #include "core/reliability_mc.h"
@@ -119,4 +121,6 @@ BENCHMARK(BM_RC_ReduceClosedSolution)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return biorank::bench::RunBenchmarksWithJson("fig8a_reliability_methods", argc, argv);
+}

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_json.h"
+
 #include "core/ranking.h"
 #include "integrate/scenario_harness.h"
 
@@ -74,4 +76,6 @@ BENCHMARK(BM_PathCount)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return biorank::bench::RunBenchmarksWithJson("fig8b_method_times", argc, argv);
+}

@@ -1,0 +1,59 @@
+// Google-Benchmark adapter for the BENCH_*.json perf reports: runs the
+// registered benchmarks with the normal console output while mirroring
+// every measurement into a JsonReport row, so the gbench-based harnesses
+// (fig8a/fig8b/ablation_diffusion) feed the same machine-readable
+// pipeline as the plain bench binaries.
+
+#ifndef BIORANK_BENCH_BENCH_GBENCH_JSON_H_
+#define BIORANK_BENCH_BENCH_GBENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+
+namespace biorank::bench {
+
+/// Console reporter that also appends one JsonReport row per benchmark
+/// run (name, iterations, adjusted real/cpu time in the run's time unit).
+class JsonMirrorReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonMirrorReporter(JsonReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      report_->AddRow(
+          {{"name", run.benchmark_name()},
+           {"iterations", static_cast<int64_t>(run.iterations)},
+           {"real_time", run.GetAdjustedRealTime()},
+           {"cpu_time", run.GetAdjustedCPUTime()},
+           {"time_unit", benchmark::GetTimeUnitString(run.time_unit)}});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  JsonReport* report_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body: run all registered
+/// benchmarks and write BENCH_<name>.json next to the console output.
+inline int RunBenchmarksWithJson(const std::string& name, int argc,
+                                 char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  WallTimer timer;
+  JsonReport report(name);
+  JsonMirrorReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  report.SetWallTime(timer.Seconds());
+  Status write_status = report.Write();
+  benchmark::Shutdown();
+  return write_status.ok() ? 0 : 1;
+}
+
+}  // namespace biorank::bench
+
+#endif  // BIORANK_BENCH_BENCH_GBENCH_JSON_H_

@@ -1,0 +1,148 @@
+#include "bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "util/parallel.h"
+
+namespace biorank::bench {
+
+namespace {
+
+std::string FormatNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+std::string FieldsToJson(const JsonFields& fields) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : fields) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(key) + "\": " + value.ToJson();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonScalar::JsonScalar(double value) : kind_(Kind::kNumber), number_(value) {}
+JsonScalar::JsonScalar(int64_t value) : kind_(Kind::kInt), int_(value) {}
+JsonScalar::JsonScalar(int value) : kind_(Kind::kInt), int_(value) {}
+JsonScalar::JsonScalar(bool value) : kind_(Kind::kBool), bool_(value) {}
+JsonScalar::JsonScalar(const char* value)
+    : kind_(Kind::kString), string_(value) {}
+JsonScalar::JsonScalar(std::string value)
+    : kind_(Kind::kString), string_(std::move(value)) {}
+
+std::string JsonScalar::ToJson() const {
+  switch (kind_) {
+    case Kind::kNumber:
+      return FormatNumber(number_);
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+    case Kind::kString:
+      return "\"" + JsonEscape(string_) + "\"";
+  }
+  return "null";
+}
+
+// DefaultThreadCount (not Global().slot_count()) so that constructing a
+// report never spawns the shared pool's workers in single-threaded
+// benches.
+JsonReport::JsonReport(std::string name)
+    : name_(std::move(name)), threads_(ThreadPool::DefaultThreadCount()) {}
+
+void JsonReport::SetMetric(const std::string& key, JsonScalar value) {
+  for (auto& [existing, scalar] : metrics_) {
+    if (existing == key) {
+      scalar = std::move(value);
+      return;
+    }
+  }
+  metrics_.emplace_back(key, std::move(value));
+}
+
+void JsonReport::AddRow(JsonFields row) { rows_.push_back(std::move(row)); }
+
+std::string JsonReport::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"bench\": \"" + JsonEscape(name_) + "\",\n";
+  out += "  \"threads\": " + std::to_string(threads_) + ",\n";
+  out += "  \"wall_time_s\": " + FormatNumber(wall_time_s_) + ",\n";
+  out += "  \"metrics\": " + FieldsToJson(metrics_) + ",\n";
+  out += "  \"rows\": [";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    " + FieldsToJson(rows_[i]);
+  }
+  if (!rows_.empty()) out += "\n  ";
+  out += "]\n}\n";
+  return out;
+}
+
+Status JsonReport::Write() const {
+  const char* dir = std::getenv("BIORANK_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && *dir != '\0')
+                         ? std::string(dir) + "/BENCH_" + name_ + ".json"
+                         : "BENCH_" + name_ + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "bench json: cannot open " << path << "\n";
+    return Status::Internal("cannot open " + path);
+  }
+  out << ToJson();
+  out.close();
+  if (!out) {
+    std::cerr << "bench json: write to " << path << " failed\n";
+    return Status::Internal("write to " + path + " failed");
+  }
+  std::cout << "(bench json written to " << path << ")\n";
+  return Status::OK();
+}
+
+}  // namespace biorank::bench

@@ -1,0 +1,110 @@
+// Machine-readable perf output for the bench binaries: every bench emits
+// a BENCH_<name>.json file (wall time, thread count, bench-specific
+// metrics such as trials/sec and speedup vs 1 thread, plus its result
+// rows) so CI and later scaling PRs can track the perf trajectory
+// without scraping text tables. Schema documented in
+// docs/ARCHITECTURE.md ("BENCH_*.json schema").
+
+#ifndef BIORANK_BENCH_BENCH_JSON_H_
+#define BIORANK_BENCH_BENCH_JSON_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace biorank::bench {
+
+/// Wall-clock stopwatch for bench timing.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One JSON scalar: number, integer, string, or bool.
+class JsonScalar {
+ public:
+  JsonScalar(double value);       // NOLINT: implicit by design.
+  JsonScalar(int64_t value);      // NOLINT
+  JsonScalar(int value);          // NOLINT
+  JsonScalar(bool value);         // NOLINT
+  JsonScalar(const char* value);  // NOLINT
+  JsonScalar(std::string value);  // NOLINT
+
+  /// Renders the scalar as a JSON token (string escaping per RFC 8259;
+  /// non-finite numbers become null).
+  std::string ToJson() const;
+
+ private:
+  enum class Kind { kNumber, kInt, kBool, kString };
+  Kind kind_;
+  double number_ = 0.0;
+  int64_t int_ = 0;
+  bool bool_ = false;
+  std::string string_;
+};
+
+/// An ordered key -> scalar map rendered as one JSON object. Used both
+/// for the top-level metrics and for result rows.
+using JsonFields = std::vector<std::pair<std::string, JsonScalar>>;
+
+/// Accumulates one bench run and writes `BENCH_<name>.json`.
+///
+///   bench::JsonReport report("fig7_mc_convergence");
+///   report.SetMetric("trials_per_sec", rate);
+///   report.AddRow({{"trials", trials}, {"mean_ap", ap}});
+///   report.SetWallTime(timer.Seconds());
+///   report.Write();   // -> $BIORANK_BENCH_JSON_DIR/BENCH_<name>.json
+///                     //    (or the current directory when unset)
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name);
+
+  /// Wall time of the measured section, emitted as "wall_time_s".
+  void SetWallTime(double seconds) { wall_time_s_ = seconds; }
+  /// Thread count the bench ran with, emitted as "threads". Defaults to
+  /// the shared pool's parallelism.
+  void SetThreads(int threads) { threads_ = threads; }
+  /// A named top-level metric (e.g. "trials_per_sec",
+  /// "speedup_vs_1thread").
+  void SetMetric(const std::string& key, JsonScalar value);
+  /// One result row (a table line, a sweep point, ...).
+  void AddRow(JsonFields row);
+
+  /// Renders the full document.
+  std::string ToJson() const;
+
+  /// Writes BENCH_<name>.json into `BIORANK_BENCH_JSON_DIR` (the current
+  /// directory when unset) and logs the path; on failure, logs to stderr.
+  /// Returns the write status.
+  Status Write() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  double wall_time_s_ = 0.0;
+  int threads_ = 0;
+  JsonFields metrics_;
+  std::vector<JsonFields> rows_;
+};
+
+/// JSON string escaping per RFC 8259 (quotes, backslashes, control
+/// characters); exposed for tests.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace biorank::bench
+
+#endif  // BIORANK_BENCH_BENCH_JSON_H_

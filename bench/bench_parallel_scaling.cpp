@@ -1,0 +1,125 @@
+// Parallel scaling of the Monte Carlo reliability engine on the Figure 7
+// workload (the 20 scenario-1 query graphs): wall time, trials/sec, and
+// speedup vs the single-thread path at 1/2/4/8 threads, plus a
+// bit-identical determinism check across all thread counts. Emits
+// BENCH_parallel_scaling.json for the CI perf trajectory.
+//
+// Expected shape: near-linear speedup up to the physical core count
+// (trials are embarrassingly parallel; the only serial work is the final
+// count reduction), then flat. On a single-core machine every row ≈ 1x.
+
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "bench_util.h"
+#include "core/reliability_mc.h"
+#include "integrate/scenario_harness.h"
+#include "util/parallel.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace biorank;
+
+namespace {
+
+/// One timed pass: MC reliability for every query at the given
+/// parallelism. Returns concatenated scores for the determinism check.
+std::vector<double> RunAllQueries(const std::vector<ScenarioQuery>& queries,
+                                  int64_t trials, ThreadPool& pool) {
+  std::vector<double> all_scores;
+  for (const ScenarioQuery& query : queries) {
+    McOptions mc;
+    mc.trials = trials;
+    mc.seed = 42;
+    mc.pool = &pool;
+    Result<McEstimate> estimate = EstimateReliabilityMc(query.graph, mc);
+    if (!estimate.ok()) {
+      std::cerr << estimate.status() << "\n";
+      std::exit(1);
+    }
+    all_scores.insert(all_scores.end(), estimate.value().scores.begin(),
+                      estimate.value().scores.end());
+  }
+  return all_scores;
+}
+
+}  // namespace
+
+int main() {
+  const int reps = bench::Repetitions(3);
+  const int64_t trials = 20000;
+  std::cout << "=== Parallel scaling: MC reliability on the Fig. 7 workload"
+            << " (" << reps << " passes, " << trials
+            << " trials/graph) ===\n\n";
+
+  bench::WallTimer total_timer;
+  ScenarioHarness harness;
+  Result<std::vector<ScenarioQuery>> queries =
+      harness.BuildQueries(ScenarioId::kScenario1WellKnown);
+  if (!queries.ok()) {
+    std::cerr << queries.status() << "\n";
+    return 1;
+  }
+  const int64_t total_trials =
+      trials * static_cast<int64_t>(queries.value().size()) * reps;
+
+  TextTable table({"threads", "wall s", "Mtrials/s", "speedup vs 1"});
+  bench::JsonReport report("parallel_scaling");
+  double single_thread_s = 0.0;
+  double speedup_at_4 = 0.0;
+  bool deterministic = true;
+  std::vector<double> reference_scores;
+
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads - 1);
+    // Warm pass: pages in the graphs and populates per-slot scratch.
+    std::vector<double> scores =
+        RunAllQueries(queries.value(), trials, pool);
+    if (threads == 1) {
+      reference_scores = scores;
+    } else if (scores != reference_scores) {
+      deterministic = false;
+    }
+
+    bench::WallTimer timer;
+    for (int rep = 0; rep < reps; ++rep) {
+      RunAllQueries(queries.value(), trials, pool);
+    }
+    double seconds = timer.Seconds();
+    if (threads == 1) single_thread_s = seconds;
+    double speedup = single_thread_s > 0.0 ? single_thread_s / seconds : 0.0;
+    if (threads == 4) speedup_at_4 = speedup;
+    double trials_per_sec =
+        seconds > 0.0 ? static_cast<double>(total_trials) / seconds : 0.0;
+
+    table.AddRow({std::to_string(threads), FormatDouble(seconds, 3),
+                  FormatDouble(trials_per_sec / 1e6, 2),
+                  FormatDouble(speedup, 2)});
+    report.AddRow({{"threads", threads},
+                   {"wall_time_s", seconds},
+                   {"trials_per_sec", trials_per_sec},
+                   {"speedup_vs_1thread", speedup}});
+  }
+  table.Print(std::cout);
+
+  unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "\nDeterminism: scores at 2/4/8 threads are "
+            << (deterministic ? "bit-identical" : "NOT IDENTICAL (BUG)")
+            << " to the single-thread path.\n"
+            << "Hardware concurrency: " << hw
+            << " (speedup saturates at the physical core count).\n";
+
+  report.SetThreads(8);
+  report.SetWallTime(total_timer.Seconds());
+  report.SetMetric("trials_per_graph", trials);
+  report.SetMetric("graphs",
+                   static_cast<int64_t>(queries.value().size()));
+  report.SetMetric("passes", reps);
+  report.SetMetric("speedup_at_4_threads", speedup_at_4);
+  report.SetMetric("deterministic_across_threads", deterministic);
+  report.SetMetric("hardware_concurrency", static_cast<int64_t>(hw));
+  Status write_status = report.Write();
+  return deterministic && write_status.ok() ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "core/reduction.h"
 #include "core/reliability_mc.h"
@@ -26,6 +27,10 @@ double TimeMcMs(const QueryGraph& graph, McOptions::Mode mode,
   options.mode = mode;
   options.trials = trials;
   options.seed = seed;
+  // Single-threaded on purpose: this compares the *algorithms* (naive vs
+  // traversal vs reduced), not the parallel engine; see
+  // bench_parallel_scaling for thread scaling.
+  options.num_threads = 1;
   auto start = std::chrono::steady_clock::now();
   EstimateReliabilityMc(graph, options).value();
   auto end = std::chrono::steady_clock::now();
@@ -37,6 +42,8 @@ double TimeMcMs(const QueryGraph& graph, McOptions::Mode mode,
 int main() {
   std::cout << "=== Graph reduction and traversal-MC statistics ===\n\n";
 
+  bench::WallTimer total_timer;
+  bench::JsonReport report("reduction_stats");
   ScenarioHarness harness;
   Result<std::vector<ScenarioQuery>> queries =
       harness.BuildQueries(ScenarioId::kScenario1WellKnown);
@@ -104,5 +111,14 @@ int main() {
   std::cout << "\nPaper: traversal 3.4x (-70%), reduction + traversal "
                "13.4x (-93%).\n";
   bench::MaybeWriteCsv(csv, "reduction_stats");
-  return 0;
+  report.SetWallTime(total_timer.Seconds());
+  report.SetThreads(1);
+  report.SetMetric("mean_removed_fraction", Mean(removed));
+  report.SetMetric("naive_ms_per_graph", naive);
+  report.SetMetric("traversal_ms_per_graph", traversal);
+  report.SetMetric("reduced_traversal_ms_per_graph", reduced_traversal);
+  report.SetMetric("traversal_speedup_vs_naive", naive / traversal);
+  report.SetMetric("reduced_traversal_speedup_vs_naive",
+                   naive / reduced_traversal);
+  return report.Write().ok() ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "integrate/scenario_harness.h"
 #include "util/strings.h"
@@ -16,6 +17,8 @@ using namespace biorank;
 int main() {
   std::cout << "=== Table 1: scenario 1 reference proteins ===\n\n";
 
+  bench::WallTimer total_timer;
+  bench::JsonReport report("table1_scenario1");
   ScenarioHarness harness;
   Result<std::vector<ScenarioQuery>> queries =
       harness.BuildQueries(ScenarioId::kScenario1WellKnown);
@@ -39,6 +42,10 @@ int main() {
         std::to_string(query.answer_count), std::to_string(percent) + "%"};
     table.AddRow(cells);
     csv.AddRow(cells);
+    report.AddRow({{"protein", query.spec.gene_symbol},
+                   {"gold", query.gold_retrieved},
+                   {"biorank", query.answer_count},
+                   {"percent", percent}});
   }
   table.AddSeparator();
   int sum_percent = sum_answers > 0 ? (100 * sum_gold) / sum_answers : 0;
@@ -48,5 +55,8 @@ int main() {
   std::cout << "\nPaper: 20 proteins, gold 7-35 each (sum 306), answers "
                "15-130 (sum 1036), ratio 37%.\n";
   bench::MaybeWriteCsv(csv, "table1_scenario1");
-  return 0;
+  report.SetWallTime(total_timer.Seconds());
+  report.SetMetric("sum_gold", sum_gold);
+  report.SetMetric("sum_answers", sum_answers);
+  return report.Write().ok() ? 0 : 1;
 }

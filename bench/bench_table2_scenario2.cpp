@@ -10,6 +10,7 @@
 #include <iostream>
 #include <map>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "integrate/scenario_harness.h"
 #include "util/stats.h"
@@ -22,6 +23,8 @@ int main() {
   std::cout << "=== Table 2: ranks of less-known functions (scenario 2) "
                "===\n\n";
 
+  bench::WallTimer total_timer;
+  bench::JsonReport report("table2_scenario2");
   ScenarioHarness harness;
   Result<std::vector<ScenarioQuery>> queries =
       harness.BuildQueries(ScenarioId::kScenario2LessKnown);
@@ -81,6 +84,9 @@ int main() {
     SampleStats stats = ComputeStats(midpoints[name]);
     mean_row.push_back(FormatDouble(stats.mean, 1));
     stdv_row.push_back(FormatDouble(stats.stddev, 1));
+    report.AddRow({{"method", name},
+                   {"mean_midpoint_rank", stats.mean},
+                   {"stdev", stats.stddev}});
   }
   table.AddRow(mean_row);
   table.AddRow(stdv_row);
@@ -89,5 +95,6 @@ int main() {
   std::cout << "\nPaper means (midpoint rank): Rel 14.8, Prop 16.7, "
                "Diff 6.5, InEdge 36.6, PathC 35.9, Random 39.6.\n";
   bench::MaybeWriteCsv(csv, "table2_scenario2");
-  return 0;
+  report.SetWallTime(total_timer.Seconds());
+  return report.Write().ok() ? 0 : 1;
 }

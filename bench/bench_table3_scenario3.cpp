@@ -6,6 +6,7 @@
 #include <iostream>
 #include <map>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "integrate/scenario_harness.h"
 #include "util/stats.h"
@@ -17,6 +18,8 @@ using namespace biorank;
 int main() {
   std::cout << "=== Table 3: hypothetical proteins (scenario 3) ===\n\n";
 
+  bench::WallTimer total_timer;
+  bench::JsonReport report("table3_scenario3");
   ScenarioHarness harness;
   Result<std::vector<ScenarioQuery>> queries =
       harness.BuildQueries(ScenarioId::kScenario3Hypothetical);
@@ -69,6 +72,9 @@ int main() {
     SampleStats stats = ComputeStats(midpoints[name]);
     mean_row.push_back(FormatDouble(stats.mean, 1));
     stdv_row.push_back(FormatDouble(stats.stddev, 1));
+    report.AddRow({{"method", name},
+                   {"mean_midpoint_rank", stats.mean},
+                   {"stdev", stats.stddev}});
   }
   SampleStats random_stats = ComputeStats(random_midpoints);
   mean_row.push_back(FormatDouble(random_stats.mean, 1));
@@ -80,5 +86,7 @@ int main() {
   std::cout << "\nPaper means: Rel 2.3, Prop 2.5, Diff 3.8, InEdge 3.5, "
                "PathC 3.5, Random 15.3.\n";
   bench::MaybeWriteCsv(csv, "table3_scenario3");
-  return 0;
+  report.SetWallTime(total_timer.Seconds());
+  report.SetMetric("random_mean_midpoint_rank", random_stats.mean);
+  return report.Write().ok() ? 0 : 1;
 }

@@ -1,6 +1,8 @@
 #ifndef BIORANK_BENCH_BENCH_UTIL_H_
 #define BIORANK_BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -12,11 +14,22 @@ namespace biorank::bench {
 /// Repetition count for repeated-experiment benches. The paper uses
 /// m = 100; the default here keeps the full bench suite fast. Raise via
 /// the BIORANK_REPS environment variable to reproduce at paper scale.
+/// Malformed values (garbage, trailing junk, non-positive, overflow) are
+/// rejected with a warning instead of being silently coerced.
 inline int Repetitions(int default_reps = 10) {
   const char* env = std::getenv("BIORANK_REPS");
   if (env == nullptr) return default_reps;
-  int value = std::atoi(env);
-  return value > 0 ? value : default_reps;
+  char* end = nullptr;
+  errno = 0;
+  long value = std::strtol(env, &end, 10);
+  if (errno != 0 || end == env || *end != '\0' || value < 1 ||
+      value > INT_MAX) {
+    std::cerr << "warning: ignoring malformed BIORANK_REPS=\"" << env
+              << "\" (want a positive integer); using " << default_reps
+              << "\n";
+    return default_reps;
+  }
+  return static_cast<int>(value);
 }
 
 /// Writes a CSV copy of a bench table when BIORANK_CSV_DIR is set.

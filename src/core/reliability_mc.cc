@@ -1,44 +1,65 @@
 #include "core/reliability_mc.h"
 
-#include <thread>
+#include <algorithm>
 
+#include "core/trial_bound.h"
 #include "util/rng.h"
 
 namespace biorank {
 
 namespace {
 
-/// Runs `trials` traversal trials (Algorithm 3.1), accumulating per-node
-/// reach counts into `reach_count`.
-void RunTraversalTrials(const CompactGraphView& view, NodeId source,
-                        int64_t trials, Rng rng,
-                        std::vector<int64_t>& reach_count) {
-  const int n = view.node_count();
-  // `last_sim[x] == trial` marks x as already simulated in this trial;
-  // `present[x]` caches its coin. Unreached elements never flip a coin.
-  std::vector<int64_t> last_sim(n, -1);
+/// Per-executor scratch reused across every shard a thread runs, so shard
+/// granularity costs no allocations. Reach counts are integers, which is
+/// what makes the cross-shard sum order-independent and the final estimate
+/// bit-identical for any thread count.
+struct TrialWorkspace {
+  std::vector<int64_t> reach_count;
+  /// `last_sim[x] == epoch` marks x as simulated in the current trial.
+  /// The epoch increments monotonically across trials *and shards*, so
+  /// reuse needs no clearing.
+  std::vector<int64_t> last_sim;
   std::vector<NodeId> stack;
-  stack.reserve(64);
+  int64_t epoch = 0;
+  // Naive-mode buffers (unused in traversal mode).
+  std::vector<uint8_t> node_present;
+  std::vector<uint8_t> edge_present;
 
-  for (int64_t trial = 0; trial < trials; ++trial) {
-    stack.clear();
-    last_sim[source] = trial;
-    if (rng.NextBernoulli(view.node_p[source])) {
-      ++reach_count[source];
-      stack.push_back(source);
+  void Init(int node_count, int edge_count, McOptions::Mode mode) {
+    reach_count.assign(node_count, 0);
+    last_sim.assign(node_count, -1);
+    stack.reserve(64);
+    if (mode == McOptions::Mode::kNaive) {
+      node_present.assign(node_count, 0);
+      edge_present.assign(edge_count, 0);
     }
-    while (!stack.empty()) {
-      NodeId x = stack.back();
-      stack.pop_back();
+  }
+};
+
+/// Runs `trials` traversal trials (Algorithm 3.1), accumulating per-node
+/// reach counts into `ws.reach_count`.
+void RunTraversalTrials(const CompactGraphView& view, NodeId source,
+                        int64_t trials, Rng rng, TrialWorkspace& ws) {
+  for (int64_t trial = 0; trial < trials; ++trial) {
+    const int64_t epoch = ++ws.epoch;
+    ws.stack.clear();
+    ws.last_sim[source] = epoch;
+    if (rng.NextBernoulli(view.node_p[source])) {
+      ++ws.reach_count[source];
+      ws.stack.push_back(source);
+    }
+    while (!ws.stack.empty()) {
+      NodeId x = ws.stack.back();
+      ws.stack.pop_back();
       for (int32_t i = view.out_offset[x]; i < view.out_offset[x + 1]; ++i) {
         // One coin per edge per trial: x expands at most once per trial.
         if (!rng.NextBernoulli(view.edge_q[i])) continue;
         NodeId y = view.edge_to[i];
-        if (last_sim[y] == trial) continue;
-        last_sim[y] = trial;
+        if (ws.last_sim[y] == epoch) continue;
+        ws.last_sim[y] = epoch;
         if (rng.NextBernoulli(view.node_p[y])) {
-          ++reach_count[y];
-          stack.push_back(y);
+          ++ws.reach_count[y];
+          ws.stack.push_back(y);
         }
       }
     }
@@ -48,38 +69,32 @@ void RunTraversalTrials(const CompactGraphView& view, NodeId source,
 /// Runs `trials` naive trials: every element flips a coin, then a DFS over
 /// the sampled subgraph counts reached-and-present nodes.
 void RunNaiveTrials(const CompactGraphView& view, NodeId source,
-                    int64_t trials, Rng rng,
-                    std::vector<int64_t>& reach_count) {
-  const int n = view.node_count();
+                    int64_t trials, Rng rng, TrialWorkspace& ws) {
+  const int n = static_cast<int>(view.node_p.size());
   const int m = static_cast<int>(view.edge_q.size());
-  std::vector<uint8_t> node_present(n, 0);
-  std::vector<uint8_t> edge_present(m, 0);
-  std::vector<uint8_t> visited(n, 0);
-  std::vector<NodeId> stack;
-
   for (int64_t trial = 0; trial < trials; ++trial) {
+    const int64_t epoch = ++ws.epoch;
     for (int i = 0; i < n; ++i) {
-      node_present[i] = rng.NextBernoulli(view.node_p[i]) ? 1 : 0;
+      ws.node_present[i] = rng.NextBernoulli(view.node_p[i]) ? 1 : 0;
     }
     for (int i = 0; i < m; ++i) {
-      edge_present[i] = rng.NextBernoulli(view.edge_q[i]) ? 1 : 0;
+      ws.edge_present[i] = rng.NextBernoulli(view.edge_q[i]) ? 1 : 0;
     }
-    std::fill(visited.begin(), visited.end(), 0);
-    if (!node_present[source]) continue;
-    stack.clear();
-    stack.push_back(source);
-    visited[source] = 1;
-    ++reach_count[source];
-    while (!stack.empty()) {
-      NodeId x = stack.back();
-      stack.pop_back();
+    if (!ws.node_present[source]) continue;
+    ws.stack.clear();
+    ws.stack.push_back(source);
+    ws.last_sim[source] = epoch;
+    ++ws.reach_count[source];
+    while (!ws.stack.empty()) {
+      NodeId x = ws.stack.back();
+      ws.stack.pop_back();
       for (int32_t i = view.out_offset[x]; i < view.out_offset[x + 1]; ++i) {
-        if (!edge_present[i]) continue;
+        if (!ws.edge_present[i]) continue;
         NodeId y = view.edge_to[i];
-        if (visited[y] || !node_present[y]) continue;
-        visited[y] = 1;
-        ++reach_count[y];
-        stack.push_back(y);
+        if (ws.last_sim[y] == epoch || !ws.node_present[y]) continue;
+        ws.last_sim[y] = epoch;
+        ++ws.reach_count[y];
+        ws.stack.push_back(y);
       }
     }
   }
@@ -93,60 +108,57 @@ Result<McEstimate> EstimateReliabilityMc(const QueryGraph& query_graph,
   if (options.trials <= 0) {
     return Status::InvalidArgument("MC trials must be positive");
   }
-  if (options.num_threads < 1) {
-    return Status::InvalidArgument("MC num_threads must be >= 1");
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument(
+        "MC num_threads must be >= 0 (0 = full shared pool)");
+  }
+  if (options.shard_trials < 1) {
+    return Status::InvalidArgument("MC shard_trials must be >= 1");
   }
 
   CompactGraphView view = CompactGraphView::FromGraph(query_graph.graph);
   const int n = view.node_count();
+  const int m = static_cast<int>(view.edge_q.size());
 
-  int num_threads = options.num_threads;
-  if (static_cast<int64_t>(num_threads) > options.trials) {
-    num_threads = static_cast<int>(options.trials);
-  }
+  // Fixed shard schedule: shard i runs shards[i] trials on RNG stream
+  // (seed, i). Which thread runs which shard never affects the counts.
+  Result<std::vector<int64_t>> plan =
+      PlanTrialShards(options.trials, options.shard_trials);
+  if (!plan.ok()) return plan.status();
+  const std::vector<int64_t>& shards = plan.value();
 
-  // Derive one child generator per chunk from the root seed.
-  Rng root(options.seed);
-  std::vector<Rng> rngs;
-  rngs.reserve(num_threads);
-  for (int i = 0; i < num_threads; ++i) rngs.push_back(root.Split());
+  ThreadPool& pool = options.pool != nullptr ? *options.pool
+                                             : ThreadPool::Global();
+  const int max_parallelism = options.num_threads == 0
+                                  ? ThreadPool::kUnlimitedParallelism
+                                  : options.num_threads;
 
-  std::vector<std::vector<int64_t>> counts(
-      num_threads, std::vector<int64_t>(n, 0));
-  int64_t per_chunk = options.trials / num_threads;
-  int64_t remainder = options.trials % num_threads;
-
-  auto run_chunk = [&](int worker) {
-    int64_t chunk_trials = per_chunk + (worker < remainder ? 1 : 0);
-    if (chunk_trials == 0) return;
-    if (options.mode == McOptions::Mode::kTraversal) {
-      RunTraversalTrials(view, query_graph.source, chunk_trials, rngs[worker],
-                         counts[worker]);
-    } else {
-      RunNaiveTrials(view, query_graph.source, chunk_trials, rngs[worker],
-                     counts[worker]);
-    }
-  };
-
-  if (num_threads == 1) {
-    run_chunk(0);
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(num_threads);
-    for (int i = 0; i < num_threads; ++i) workers.emplace_back(run_chunk, i);
-    for (auto& w : workers) w.join();
-  }
+  std::vector<TrialWorkspace> workspaces(pool.slot_count());
+  pool.ParallelFor(
+      static_cast<int64_t>(shards.size()),
+      [&](int slot, int64_t shard) {
+        TrialWorkspace& ws = workspaces[slot];
+        if (ws.reach_count.empty()) ws.Init(n, m, options.mode);
+        Rng rng = Rng::ForStream(options.seed, static_cast<uint64_t>(shard));
+        if (options.mode == McOptions::Mode::kTraversal) {
+          RunTraversalTrials(view, query_graph.source, shards[shard], rng, ws);
+        } else {
+          RunNaiveTrials(view, query_graph.source, shards[shard], rng, ws);
+        }
+      },
+      max_parallelism);
 
   McEstimate estimate;
   estimate.trials = options.trials;
   estimate.scores.assign(n, 0.0);
-  for (int worker = 0; worker < num_threads; ++worker) {
-    for (int i = 0; i < n; ++i) {
-      estimate.scores[i] += static_cast<double>(counts[worker][i]);
-    }
+  std::vector<int64_t> totals(n, 0);
+  for (const TrialWorkspace& ws : workspaces) {
+    if (ws.reach_count.empty()) continue;
+    for (int i = 0; i < n; ++i) totals[i] += ws.reach_count[i];
   }
   for (int i = 0; i < n; ++i) {
-    estimate.scores[i] /= static_cast<double>(options.trials);
+    estimate.scores[i] = static_cast<double>(totals[i]) /
+                         static_cast<double>(options.trials);
   }
   return estimate;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/query_graph.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace biorank {
@@ -31,10 +32,23 @@ struct McOptions {
   int64_t trials = 10000;
   uint64_t seed = 42;
   Mode mode = Mode::kTraversal;
-  /// Worker threads; trials are split into per-thread chunks with
-  /// deterministically derived seeds, so results depend only on
-  /// (seed, trials, num_threads).
-  int num_threads = 1;
+  /// Parallelism. Trials are split into fixed shards of `shard_trials`
+  /// whose RNG streams depend only on (seed, shard index), and the
+  /// per-shard reach counts are integers, so the estimate is bit-identical
+  /// for any thread count: results depend only on (seed, trials,
+  /// shard_trials, mode).
+  ///
+  /// 0 = use the full shared pool (`BIORANK_THREADS` or hardware
+  /// concurrency); 1 = run inline on the calling thread; k > 1 = cap the
+  /// pool at k concurrent threads. Negative values are rejected.
+  int num_threads = 0;
+  /// Trials per parallel shard. Larger shards amortize scheduling; smaller
+  /// shards load-balance better. Changing this changes the RNG streams
+  /// (and thus the exact estimate), so it is part of the reproducibility
+  /// key.
+  int64_t shard_trials = 512;
+  /// Pool to fan shards out on; nullptr = ThreadPool::Global().
+  ThreadPool* pool = nullptr;
 };
 
 /// A Monte Carlo reliability estimate.

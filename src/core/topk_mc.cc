@@ -61,13 +61,17 @@ Result<TopKResult> RankTopKAdaptive(const QueryGraph& query_graph,
   // Fewer answers than k: everything is "the top"; still estimate scores
   // with one batch so the ranking is meaningful.
   std::vector<double> sums(query_graph.graph.node_capacity(), 0.0);
-  Rng seed_stream(options.seed);
+  uint64_t batch_index = 0;
 
   while (result.trials_used < options.max_trials) {
     McOptions mc;
     mc.trials = std::min(options.batch_trials,
                          options.max_trials - result.trials_used);
-    mc.seed = seed_stream.NextUint64();
+    // Independent stream per adaptive round, so the trajectory does not
+    // depend on how many trials earlier rounds consumed.
+    mc.seed = DeriveStreamSeed(options.seed, batch_index++);
+    mc.num_threads = options.num_threads;
+    mc.pool = options.pool;
     Result<McEstimate> estimate = EstimateReliabilityMc(working, mc);
     if (!estimate.ok()) return estimate.status();
     for (size_t i = 0; i < sums.size() &&

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "core/ranking.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace biorank {
@@ -21,6 +22,13 @@ struct TopKOptions {
   uint64_t seed = 42;
   /// Apply the Section 3.1 reductions before simulating.
   bool reduce_first = true;
+  /// Parallelism for the per-round Monte Carlo batches, with McOptions
+  /// semantics (0 = full shared pool, 1 = inline, k = cap at k). Batch b
+  /// draws from RNG stream (seed, b), so the adaptive trajectory — scores,
+  /// trials used, separation — is identical at any thread count.
+  int num_threads = 0;
+  /// Pool to fan batches out on; nullptr = ThreadPool::Global().
+  ThreadPool* pool = nullptr;
 };
 
 /// Result of adaptive top-k ranking.

@@ -18,4 +18,20 @@ Result<int64_t> RequiredMcTrials(double epsilon, double delta) {
   return static_cast<int64_t>(std::ceil(n));
 }
 
+Result<std::vector<int64_t>> PlanTrialShards(int64_t trials,
+                                             int64_t shard_trials) {
+  if (trials < 1) {
+    return Status::InvalidArgument("trial shards: trials must be >= 1");
+  }
+  if (shard_trials < 1) {
+    return Status::InvalidArgument("trial shards: shard_trials must be >= 1");
+  }
+  std::vector<int64_t> shards(
+      static_cast<size_t>(trials / shard_trials), shard_trials);
+  if (int64_t remainder = trials % shard_trials; remainder > 0) {
+    shards.push_back(remainder);
+  }
+  return shards;
+}
+
 }  // namespace biorank

@@ -6,6 +6,7 @@
 #define BIORANK_CORE_TRIAL_BOUND_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "util/status.h"
 
@@ -23,6 +24,15 @@ namespace biorank {
 ///
 /// Requires epsilon in (0, 1] and delta in (0, 1).
 Result<int64_t> RequiredMcTrials(double epsilon, double delta);
+
+/// Splits a Monte Carlo trial budget into fixed-size shards: full shards
+/// of `shard_trials` followed by one remainder shard. The schedule is a
+/// pure function of (trials, shard_trials) — never of thread count — so a
+/// sharded simulation where shard i draws from RNG stream (seed, i)
+/// produces bit-identical counts on 1 thread and on N threads. Requires
+/// trials >= 1 and shard_trials >= 1.
+Result<std::vector<int64_t>> PlanTrialShards(int64_t trials,
+                                             int64_t shard_trials);
 
 }  // namespace biorank
 

@@ -31,4 +31,13 @@ void PerturbQueryGraph(QueryGraph& query_graph,
   }
 }
 
+QueryGraph PerturbedCopy(const QueryGraph& query_graph,
+                         const PerturbationOptions& options, uint64_t seed,
+                         uint64_t rep) {
+  QueryGraph copy = query_graph;
+  Rng rng = Rng::ForStream(seed, rep);
+  PerturbQueryGraph(copy, options, rng);
+  return copy;
+}
+
 }  // namespace biorank

@@ -37,6 +37,15 @@ double PerturbProbabilityLogOdds(double p, const PerturbationOptions& options,
 void PerturbQueryGraph(QueryGraph& query_graph,
                        const PerturbationOptions& options, Rng& rng);
 
+/// Repetition `rep` of a repeated-perturbation experiment rooted at
+/// `seed`: returns a perturbed copy of the query graph drawn from the
+/// independent RNG stream (seed, rep). Because the noise depends only on
+/// (seed, rep), repetitions can run in parallel in any order and still
+/// reproduce the sequential experiment exactly.
+QueryGraph PerturbedCopy(const QueryGraph& query_graph,
+                         const PerturbationOptions& options, uint64_t seed,
+                         uint64_t rep);
+
 /// Log-odds of p (p must be in (0,1)); exposed for tests.
 double LogOdds(double p);
 

@@ -1,9 +1,47 @@
 #include "integrate/scenario_harness.h"
 
+#include <atomic>
+
+#include "core/reliability_mc.h"
 #include "eval/random_ap.h"
 #include "eval/tied_ap.h"
+#include "util/rng.h"
 
 namespace biorank {
+
+namespace {
+
+/// Fans `reps` repetitions of `run_rep` out over `pool` and returns the
+/// per-rep values in repetition order. `run_rep(rep)` must be
+/// deterministic in `rep` alone; the first error wins and is returned.
+Result<std::vector<double>> RunRepeated(
+    int reps, ThreadPool* pool,
+    const std::function<Result<double>(int rep)>& run_rep) {
+  if (reps < 1) {
+    return Status::InvalidArgument("repeated experiment: reps must be >= 1");
+  }
+  ThreadPool& executor = pool != nullptr ? *pool : ThreadPool::Global();
+  std::vector<double> values(static_cast<size_t>(reps), 0.0);
+  std::vector<Status> errors(static_cast<size_t>(reps));
+  std::atomic<bool> failed{false};
+  executor.ParallelFor(reps, [&](int, int64_t rep) {
+    Result<double> value = run_rep(static_cast<int>(rep));
+    if (value.ok()) {
+      values[static_cast<size_t>(rep)] = value.value();
+    } else {
+      errors[static_cast<size_t>(rep)] = value.status();
+      failed.store(true, std::memory_order_relaxed);
+    }
+  });
+  if (failed.load(std::memory_order_relaxed)) {
+    for (const Status& status : errors) {
+      if (!status.ok()) return status;
+    }
+  }
+  return values;
+}
+
+}  // namespace
 
 ScenarioHarness::ScenarioHarness(HarnessOptions options)
     : options_(options),
@@ -54,6 +92,33 @@ Result<double> ScenarioHarness::RandomBaselineAp(
     const ScenarioQuery& query) const {
   return RandomAveragePrecision(
       static_cast<int>(query.relevant.size()), query.answer_count);
+}
+
+Result<std::vector<double>> ScenarioHarness::ApForPerturbedReps(
+    const ScenarioQuery& query, RankingMethod method,
+    const PerturbationOptions& options, int reps, uint64_t seed,
+    ThreadPool* pool) const {
+  return RunRepeated(reps, pool, [&](int rep) -> Result<double> {
+    QueryGraph perturbed = PerturbedCopy(query.graph, options, seed,
+                                         static_cast<uint64_t>(rep));
+    return ApForGraph(perturbed, query.relevant, method);
+  });
+}
+
+Result<std::vector<double>> ScenarioHarness::ApForMcReps(
+    const ScenarioQuery& query, int64_t trials, int reps, uint64_t seed,
+    ThreadPool* pool) const {
+  return RunRepeated(reps, pool, [&](int rep) -> Result<double> {
+    McOptions mc;
+    mc.trials = trials;
+    mc.seed = DeriveStreamSeed(seed, static_cast<uint64_t>(rep));
+    mc.pool = pool;
+    Result<McEstimate> estimate = EstimateReliabilityMc(query.graph, mc);
+    if (!estimate.ok()) return estimate.status();
+    std::vector<RankedAnswer> ranked =
+        RankAnswers(query.graph.answers, estimate.value().scores);
+    return ApForRanking(ranked, query.relevant);
+  });
 }
 
 }  // namespace biorank

@@ -11,8 +11,10 @@
 
 #include "core/ranking.h"
 #include "datagen/scenario.h"
+#include "eval/perturbation.h"
 #include "integrate/mediator.h"
 #include "sources/source_registry.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace biorank {
@@ -66,6 +68,27 @@ class ScenarioHarness {
   /// Definition 4.1 baseline for one query: APrand(k, n) with k the
   /// retrieved gold functions and n the answer-set size.
   Result<double> RandomBaselineAp(const ScenarioQuery& query) const;
+
+  /// Figure 6 inner loop: `reps` independent log-odds perturbations of the
+  /// query graph, each ranked with `method` and scored against the gold
+  /// standard. Returns one AP per repetition (index = rep). Repetition r
+  /// perturbs with RNG stream (seed, r) and the repetitions fan out over
+  /// `pool` (nullptr = shared pool), so the result is identical at any
+  /// thread count.
+  Result<std::vector<double>> ApForPerturbedReps(
+      const ScenarioQuery& query, RankingMethod method,
+      const PerturbationOptions& options, int reps, uint64_t seed,
+      ThreadPool* pool = nullptr) const;
+
+  /// Figure 7 inner loop: `reps` independent Monte Carlo reliability
+  /// estimates of the query graph with `trials` trials each, ranked and
+  /// scored against the gold standard. Returns one AP per repetition.
+  /// Repetition r simulates with RNG stream (seed, r); same determinism
+  /// contract as ApForPerturbedReps.
+  Result<std::vector<double>> ApForMcReps(const ScenarioQuery& query,
+                                          int64_t trials, int reps,
+                                          uint64_t seed,
+                                          ThreadPool* pool = nullptr) const;
 
  private:
   HarnessOptions options_;

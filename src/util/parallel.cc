@@ -1,0 +1,154 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace biorank {
+
+namespace {
+
+/// The pool whose shard the current thread is executing, if any. Used to
+/// run same-pool nested loops inline instead of deadlocking.
+thread_local const ThreadPool* g_current_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int worker_count) {
+  if (worker_count < 0) worker_count = 0;
+  workers_.reserve(static_cast<size_t>(worker_count));
+  for (int i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::InShard() const { return g_current_pool == this; }
+
+void ThreadPool::ParallelFor(int64_t shard_count, const ShardFn& fn,
+                             int max_parallelism) {
+  if (shard_count <= 0) return;
+  if (max_parallelism < 1) max_parallelism = 1;
+  // Inline paths: trivial loops, worker-less pools, capped-to-one calls,
+  // and nested calls from inside one of this pool's own shards (which
+  // would otherwise deadlock waiting on the pool's busy workers). No
+  // pool state is touched, so exceptions propagate directly and an
+  // external caller's nested loops may still use the pool.
+  if (shard_count == 1 || workers_.empty() || max_parallelism == 1 ||
+      InShard()) {
+    for (int64_t shard = 0; shard < shard_count; ++shard) fn(0, shard);
+    return;
+  }
+
+  std::lock_guard<std::mutex> call_lock(call_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    shard_count_ = shard_count;
+    next_shard_ = 0;
+    worker_limit_ = std::min<int64_t>(
+        std::min<int64_t>(worker_count(), max_parallelism - 1),
+        shard_count - 1);
+    joined_workers_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller claims shards too; its slot is after every worker's.
+  RunShards(worker_count());
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] {
+    return next_shard_ >= shard_count_ && active_ == 0;
+  });
+  job_ = nullptr;
+  std::exception_ptr error = first_error_;
+  first_error_ = nullptr;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::WorkerLoop(int slot) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      if (joined_workers_ >= worker_limit_) continue;  // Over the cap.
+      ++joined_workers_;
+      ++active_;
+    }
+    RunShards(slot);
+  }
+}
+
+void ThreadPool::RunShards(int slot) {
+  const bool is_caller = slot == worker_count();
+  if (is_caller) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++active_;
+  }
+  const ThreadPool* previous = g_current_pool;
+  g_current_pool = this;
+  for (;;) {
+    const ShardFn* job = nullptr;
+    int64_t shard = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_shard_ >= shard_count_) break;
+      shard = next_shard_++;
+      job = job_;
+    }
+    try {
+      (*job)(slot, shard);
+    } catch (...) {
+      RecordError(std::current_exception());
+    }
+  }
+  g_current_pool = previous;
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last = --active_ == 0 && next_shard_ >= shard_count_;
+  }
+  if (last) done_cv_.notify_all();
+}
+
+void ThreadPool::RecordError(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!first_error_) first_error_ = error;
+  // Abandon unclaimed shards so the loop fails fast.
+  next_shard_ = shard_count_;
+}
+
+int ThreadPool::DefaultThreadCount() {
+  const char* env = std::getenv("BIORANK_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value >= 1 && value <= 1 << 16) {
+      return static_cast<int>(value);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(DefaultThreadCount() - 1);
+  return pool;
+}
+
+}  // namespace biorank

@@ -18,6 +18,15 @@ uint64_t SplitMix64Next(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream) {
+  uint64_t state = seed;
+  uint64_t mixed = SplitMix64Next(state);
+  // Inject the stream index with an odd multiplier so that consecutive
+  // streams land far apart in SplitMix64's state space, then mix again.
+  state = mixed ^ (stream * 0xD1B54A32D192ED03ULL + 0x8CB92BA72F3D8DD7ULL);
+  return SplitMix64Next(state);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& word : s_) word = SplitMix64Next(sm);

@@ -15,6 +15,14 @@ namespace biorank {
 /// Used for seeding and as a cheap stand-alone generator.
 uint64_t SplitMix64Next(uint64_t& state);
 
+/// Stateless hash of (seed, stream) to an independent child seed: two
+/// SplitMix64 rounds with the stream index injected between them. This is
+/// what makes sharded Monte Carlo deterministic regardless of thread
+/// count — shard i always draws from stream (seed, i) no matter which
+/// worker runs it, unlike `Rng::Split()` whose children depend on how many
+/// splits preceded them.
+uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream);
+
 /// Deterministic, seedable pseudo-random number generator.
 ///
 /// Implementation: xoshiro256++ (Blackman & Vigna), seeded from a single
@@ -72,6 +80,13 @@ class Rng {
   /// is derived from this generator's stream, so fan-out (e.g. one Rng per
   /// Monte Carlo worker) stays reproducible.
   Rng Split();
+
+  /// Generator for the `stream`-th parallel shard of a computation rooted
+  /// at `seed` (see DeriveStreamSeed). Streams are mutually independent
+  /// and depend only on (seed, stream), never on thread scheduling.
+  static Rng ForStream(uint64_t seed, uint64_t stream) {
+    return Rng(DeriveStreamSeed(seed, stream));
+  }
 
  private:
   uint64_t s_[4];

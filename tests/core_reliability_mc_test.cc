@@ -4,6 +4,7 @@
 
 #include "core/query_graph.h"
 #include "core/trial_bound.h"
+#include "util/parallel.h"
 
 namespace biorank {
 namespace {
@@ -133,6 +134,84 @@ TEST(McTest, MultithreadedIsDeterministicGivenThreadCount) {
   EXPECT_EQ(r1.value().scores, r2.value().scores);
 }
 
+TEST(McTest, BitIdenticalAcrossThreadCounts) {
+  // The sharded engine's contract: for a fixed seed the estimate depends
+  // only on (seed, trials, shard_trials, mode), never on thread count.
+  // Trials span many shards (20000 / 512 -> 40 shards) so real work
+  // interleaves differently per pool, yet the counts must agree exactly.
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  McOptions options;
+  options.trials = 20000;
+  options.seed = 29;
+  options.num_threads = 1;  // Pure inline single-thread reference.
+  Result<McEstimate> reference = EstimateReliabilityMc(g, options);
+  ASSERT_TRUE(reference.ok());
+
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads - 1);
+    McOptions parallel = options;
+    parallel.num_threads = threads;
+    parallel.pool = &pool;
+    Result<McEstimate> r = EstimateReliabilityMc(g, parallel);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().scores, reference.value().scores)
+        << "thread count " << threads << " changed the estimate";
+  }
+}
+
+TEST(McTest, ShardTrialsIsPartOfTheReproducibilityKey) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  McOptions a;
+  a.trials = 5000;
+  a.seed = 3;
+  a.shard_trials = 512;
+  McOptions b = a;
+  b.shard_trials = 100;
+  Result<McEstimate> ra = EstimateReliabilityMc(g, a);
+  Result<McEstimate> rb = EstimateReliabilityMc(g, b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  // Different shard schedules draw from different stream sets.
+  EXPECT_NE(ra.value().scores[g.answers[0]], rb.value().scores[g.answers[0]]);
+  // But both still converge to the same quantity.
+  EXPECT_NEAR(ra.value().scores[g.answers[0]],
+              rb.value().scores[g.answers[0]], 0.05);
+}
+
+TEST(McTest, AutoThreadsMatchesExplicitPool) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  McOptions auto_options;
+  auto_options.trials = 4000;
+  auto_options.seed = 41;
+  auto_options.num_threads = 0;  // Shared pool, whatever its size.
+  ThreadPool pool(3);
+  McOptions pool_options = auto_options;
+  pool_options.pool = &pool;
+  Result<McEstimate> r1 = EstimateReliabilityMc(g, auto_options);
+  Result<McEstimate> r2 = EstimateReliabilityMc(g, pool_options);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().scores, r2.value().scores);
+}
+
+TEST(McTest, NaiveModeIsAlsoThreadCountInvariant) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  McOptions options;
+  options.trials = 6000;
+  options.seed = 53;
+  options.mode = McOptions::Mode::kNaive;
+  options.num_threads = 1;
+  Result<McEstimate> reference = EstimateReliabilityMc(g, options);
+  ASSERT_TRUE(reference.ok());
+  ThreadPool pool(3);
+  McOptions parallel = options;
+  parallel.num_threads = 4;
+  parallel.pool = &pool;
+  Result<McEstimate> r = EstimateReliabilityMc(g, parallel);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().scores, reference.value().scores);
+}
+
 TEST(McTest, RejectsNonPositiveTrials) {
   QueryGraph g = MakeFig4aSerialParallel();
   McOptions options;
@@ -143,7 +222,14 @@ TEST(McTest, RejectsNonPositiveTrials) {
 TEST(McTest, RejectsInvalidThreadCount) {
   QueryGraph g = MakeFig4aSerialParallel();
   McOptions options;
-  options.num_threads = 0;
+  options.num_threads = -1;  // 0 means "full shared pool" and is valid.
+  EXPECT_FALSE(EstimateReliabilityMc(g, options).ok());
+}
+
+TEST(McTest, RejectsInvalidShardTrials) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  McOptions options;
+  options.shard_trials = 0;
   EXPECT_FALSE(EstimateReliabilityMc(g, options).ok());
 }
 

@@ -28,6 +28,43 @@ TEST(TrialBoundFormulaTest, LargeEpsilonNeedsFewTrials) {
   EXPECT_LT(n.value(), 50);
 }
 
+TEST(TrialShardPlanTest, SplitsIntoFullShardsPlusRemainder) {
+  Result<std::vector<int64_t>> plan = PlanTrialShards(2600, 512);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.value().size(), 6u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(plan.value()[i], 512);
+  EXPECT_EQ(plan.value()[5], 40);
+}
+
+TEST(TrialShardPlanTest, ExactMultipleHasNoRemainderShard) {
+  Result<std::vector<int64_t>> plan = PlanTrialShards(1024, 512);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value(), (std::vector<int64_t>{512, 512}));
+}
+
+TEST(TrialShardPlanTest, FewerTrialsThanShardSizeGiveOneShard) {
+  Result<std::vector<int64_t>> plan = PlanTrialShards(7, 512);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value(), (std::vector<int64_t>{7}));
+}
+
+TEST(TrialShardPlanTest, ShardsAlwaysSumToTrials) {
+  for (int64_t trials : {1, 7, 511, 512, 513, 9999, 100000}) {
+    Result<std::vector<int64_t>> plan = PlanTrialShards(trials, 512);
+    ASSERT_TRUE(plan.ok());
+    int64_t sum = 0;
+    for (int64_t shard : plan.value()) sum += shard;
+    EXPECT_EQ(sum, trials);
+  }
+}
+
+TEST(TrialShardPlanTest, RejectsBadArguments) {
+  EXPECT_FALSE(PlanTrialShards(0, 512).ok());
+  EXPECT_FALSE(PlanTrialShards(-1, 512).ok());
+  EXPECT_FALSE(PlanTrialShards(100, 0).ok());
+  EXPECT_FALSE(PlanTrialShards(100, -5).ok());
+}
+
 // Empirical validation of Theorem 3.1: with n = RequiredMcTrials(eps,
 // delta) Bernoulli samples per node, two nodes whose true reliabilities
 // differ by eps are misranked with frequency at most delta. The bound is

@@ -120,5 +120,37 @@ TEST(PerturbGraphTest, DeterministicGivenSeed) {
   }
 }
 
+TEST(PerturbedCopyTest, LeavesTheOriginalUntouched) {
+  QueryGraph original = MakeFig4bWheatstoneBridge();
+  PerturbationOptions options;
+  options.sigma = 2.0;
+  QueryGraph copy = PerturbedCopy(original, options, 11, 0);
+  for (EdgeId e : original.graph.AliveEdges()) {
+    EXPECT_DOUBLE_EQ(original.graph.edge(e).q, 0.5);
+  }
+  bool moved = false;
+  for (EdgeId e : copy.graph.AliveEdges()) {
+    if (std::abs(copy.graph.edge(e).q - 0.5) > 1e-6) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(PerturbedCopyTest, RepIndexSelectsTheStream) {
+  QueryGraph g = MakeFig4bWheatstoneBridge();
+  PerturbationOptions options;
+  QueryGraph rep0a = PerturbedCopy(g, options, 123, 0);
+  QueryGraph rep0b = PerturbedCopy(g, options, 123, 0);
+  QueryGraph rep1 = PerturbedCopy(g, options, 123, 1);
+  bool identical_across_reps = true;
+  for (EdgeId e : g.graph.AliveEdges()) {
+    // Same (seed, rep) reproduces exactly; different rep diverges.
+    EXPECT_DOUBLE_EQ(rep0a.graph.edge(e).q, rep0b.graph.edge(e).q);
+    if (rep0a.graph.edge(e).q != rep1.graph.edge(e).q) {
+      identical_across_reps = false;
+    }
+  }
+  EXPECT_FALSE(identical_across_reps);
+}
+
 }  // namespace
 }  // namespace biorank

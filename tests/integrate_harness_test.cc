@@ -113,6 +113,54 @@ TEST(HarnessTest, McAgreesWithClosedFormOnRealGraph) {
   }
 }
 
+TEST(HarnessTest, PerturbedRepsAreThreadCountInvariant) {
+  std::vector<ScenarioQuery> queries =
+      Harness().BuildQueries(ScenarioId::kScenario3Hypothetical).value();
+  const ScenarioQuery& query = queries[0];
+  PerturbationOptions options;
+  options.sigma = 1.0;
+  ThreadPool inline_pool(0);
+  ThreadPool wide_pool(3);
+  Result<std::vector<double>> serial = Harness().ApForPerturbedReps(
+      query, RankingMethod::kReliability, options, 6, 99, &inline_pool);
+  Result<std::vector<double>> parallel = Harness().ApForPerturbedReps(
+      query, RankingMethod::kReliability, options, 6, 99, &wide_pool);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  ASSERT_EQ(serial.value().size(), 6u);
+  EXPECT_EQ(serial.value(), parallel.value());
+  for (double ap : serial.value()) {
+    EXPECT_GE(ap, 0.0);
+    EXPECT_LE(ap, 1.0);
+  }
+}
+
+TEST(HarnessTest, McRepsAreThreadCountInvariant) {
+  std::vector<ScenarioQuery> queries =
+      Harness().BuildQueries(ScenarioId::kScenario3Hypothetical).value();
+  const ScenarioQuery& query = queries[0];
+  ThreadPool inline_pool(0);
+  ThreadPool wide_pool(3);
+  Result<std::vector<double>> serial =
+      Harness().ApForMcReps(query, 2000, 5, 7, &inline_pool);
+  Result<std::vector<double>> parallel =
+      Harness().ApForMcReps(query, 2000, 5, 7, &wide_pool);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  EXPECT_EQ(serial.value(), parallel.value());
+}
+
+TEST(HarnessTest, RepeatedExperimentsRejectNonPositiveReps) {
+  std::vector<ScenarioQuery> queries =
+      Harness().BuildQueries(ScenarioId::kScenario3Hypothetical).value();
+  EXPECT_FALSE(
+      Harness().ApForMcReps(queries[0], 100, 0, 1).ok());
+  EXPECT_FALSE(Harness()
+                   .ApForPerturbedReps(queries[0],
+                                       RankingMethod::kReliability, {}, -1, 1)
+                   .ok());
+}
+
 TEST(HarnessTest, PerturbedGraphStillScores) {
   std::vector<ScenarioQuery> queries =
       Harness().BuildQueries(ScenarioId::kScenario3Hypothetical).value();

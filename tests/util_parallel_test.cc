@@ -1,0 +1,164 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace biorank {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryShardExactlyOnce) {
+  ThreadPool pool(3);
+  const int64_t shards = 1000;
+  std::vector<std::atomic<int>> hits(shards);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(shards, [&](int, int64_t shard) {
+    hits[static_cast<size_t>(shard)].fetch_add(1);
+  });
+  for (int64_t i = 0; i < shards; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "shard " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroAndNegativeShardCountsReturnImmediately) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int, int64_t) { ++calls; });
+  pool.ParallelFor(-5, [&](int, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, WorkerlessPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0);
+  EXPECT_EQ(pool.slot_count(), 1);
+  std::vector<int64_t> order;
+  pool.ParallelFor(5, [&](int slot, int64_t shard) {
+    EXPECT_EQ(slot, 0);
+    order.push_back(shard);
+  });
+  EXPECT_EQ(order, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, SlotsStayWithinSlotCount) {
+  ThreadPool pool(3);
+  std::atomic<bool> bad{false};
+  pool.ParallelFor(200, [&](int slot, int64_t) {
+    if (slot < 0 || slot >= pool.slot_count()) bad.store(true);
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToTheCaller) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](int, int64_t shard) {
+                         if (shard == 57) {
+                           throw std::runtime_error("shard 57 failed");
+                         }
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateOnTheInlinePathToo) {
+  ThreadPool pool(0);
+  EXPECT_THROW(pool.ParallelFor(
+                   3, [](int, int64_t) { throw std::logic_error("boom"); }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterAnException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(
+                   10, [](int, int64_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(10, [&](int, int64_t shard) { sum.fetch_add(shard); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManySequentialLoops) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(8, [&](int, int64_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200 * 8);
+}
+
+TEST(ThreadPoolTest, NestedSamePoolLoopsRunInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> inner_runs{0};
+  std::atomic<bool> saw_in_shard{false};
+  pool.ParallelFor(6, [&](int, int64_t) {
+    if (pool.InShard()) saw_in_shard.store(true);
+    // Same-pool nesting must not deadlock on the pool's busy workers.
+    pool.ParallelFor(4, [&](int, int64_t) { inner_runs.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_runs.load(), 6 * 4);
+  EXPECT_TRUE(saw_in_shard.load());
+  EXPECT_FALSE(pool.InShard());
+}
+
+TEST(ThreadPoolTest, MaxParallelismCapStillRunsEveryShard) {
+  ThreadPool pool(7);
+  for (int cap : {1, 2, 3}) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(
+        100, [&](int, int64_t shard) { sum.fetch_add(shard); }, cap);
+    EXPECT_EQ(sum.load(), 99 * 100 / 2) << "cap " << cap;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelReduceCombinesInShardOrder) {
+  // A non-commutative combine (string concatenation) exposes any
+  // order dependence; the contract is combination in shard order.
+  ThreadPool pool(3);
+  std::string joined = pool.ParallelReduce<std::string>(
+      8, std::string(),
+      [](int, int64_t shard) { return std::to_string(shard); },
+      [](std::string acc, std::string part) { return acc + part; });
+  EXPECT_EQ(joined, "01234567");
+}
+
+TEST(ThreadPoolTest, ParallelReduceSumsLargeRanges) {
+  ThreadPool pool(3);
+  int64_t sum = pool.ParallelReduce<int64_t>(
+      5000, int64_t{0}, [](int, int64_t shard) { return shard; },
+      [](int64_t a, int64_t b) { return a + b; });
+  EXPECT_EQ(sum, int64_t{5000} * 4999 / 2);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsEnvironment) {
+  const char* saved = std::getenv("BIORANK_THREADS");
+  std::string saved_value = saved != nullptr ? saved : "";
+
+  setenv("BIORANK_THREADS", "5", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 5);
+  setenv("BIORANK_THREADS", "garbage", 1);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);  // Falls back to hardware.
+  setenv("BIORANK_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+
+  if (saved != nullptr) {
+    setenv("BIORANK_THREADS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("BIORANK_THREADS");
+  }
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsUsable) {
+  std::atomic<int64_t> sum{0};
+  ThreadPool::Global().ParallelFor(
+      32, [&](int, int64_t shard) { sum.fetch_add(shard); });
+  EXPECT_EQ(sum.load(), 31 * 32 / 2);
+}
+
+}  // namespace
+}  // namespace biorank

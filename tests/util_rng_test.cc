@@ -148,6 +148,30 @@ TEST(RngTest, SplitIsDeterministic) {
   }
 }
 
+TEST(StreamSeedTest, DeterministicInSeedAndStream) {
+  EXPECT_EQ(DeriveStreamSeed(42, 7), DeriveStreamSeed(42, 7));
+  EXPECT_NE(DeriveStreamSeed(42, 7), DeriveStreamSeed(42, 8));
+  EXPECT_NE(DeriveStreamSeed(42, 7), DeriveStreamSeed(43, 7));
+}
+
+TEST(StreamSeedTest, ConsecutiveStreamsAreIndependent) {
+  Rng a = Rng::ForStream(5, 0);
+  Rng b = Rng::ForStream(5, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(StreamSeedTest, ForStreamMatchesDerivedSeed) {
+  Rng direct(DeriveStreamSeed(99, 3));
+  Rng stream = Rng::ForStream(99, 3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(direct.NextUint64(), stream.NextUint64());
+  }
+}
+
 TEST(SplitMix64Test, KnownFirstOutputsAreStable) {
   uint64_t state = 0;
   uint64_t first = SplitMix64Next(state);
