@@ -110,7 +110,11 @@ void JsonReport::AddRow(JsonFields row) { rows_.push_back(std::move(row)); }
 
 std::string JsonReport::ToJson() const {
   std::string out = "{\n";
-  out += "  \"schema_version\": 1,\n";
+  // v2: adds the serving-layer cache metrics (cache_hit_rate,
+  // pruned_fraction, ...) emitted by bench_serve_topk and the
+  // thread-sweep clamp fields of bench_parallel_scaling; the layout of
+  // existing fields is unchanged.
+  out += "  \"schema_version\": 2,\n";
   out += "  \"bench\": \"" + JsonEscape(name_) + "\",\n";
   out += "  \"threads\": " + std::to_string(threads_) + ",\n";
   out += "  \"wall_time_s\": " + FormatNumber(wall_time_s_) + ",\n";

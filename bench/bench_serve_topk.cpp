@@ -1,0 +1,219 @@
+// Serving-shaped hot path on the Table 1 workload: batched top-k
+// reliability ranking of the 20 scenario-1 query graphs through the
+// RankingService (canonical keys -> sharded reliability cache ->
+// deterministic bounds -> top-k pruning -> exact/MC only where
+// needed). Reports the cache hit rate and the fraction of fresh
+// candidates the bounds pruned, and checks that service output is
+// bit-identical to a cache-off single-thread reference — the
+// acceptance gates of the serve layer.
+//
+// BENCH_serve_topk.json metrics: cache_hit_rate (> 0.5 expected on this
+// workload), pruned_fraction (> 0.3 expected), deterministic_output.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_json.h"
+#include "bench_util.h"
+#include "integrate/scenario_harness.h"
+#include "serve/ranking_service.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace biorank;
+
+namespace {
+
+std::vector<std::pair<NodeId, double>> Flatten(
+    const serve::TopKResult& result) {
+  std::vector<std::pair<NodeId, double>> out;
+  for (const serve::RankedCandidate& c : result.top) {
+    out.emplace_back(c.node, c.reliability);
+  }
+  return out;
+}
+
+/// A Wheatstone-bridge query graph (the canonical irreducible residue):
+/// per-target reduction cannot collapse it, so serving it exercises the
+/// factoring and Monte Carlo resolution phases the Table-1 workload
+/// never reaches (its per-target subgraphs all reduce completely).
+QueryGraph MakeBridge(double base) {
+  QueryGraphBuilder b;
+  NodeId s = b.Source();
+  NodeId x = b.Node(1.0);
+  NodeId y = b.Node(1.0);
+  NodeId t = b.Node(1.0);
+  b.Edge(s, x, base);
+  b.Edge(s, y, base + 0.10);
+  b.Edge(x, y, 0.5);
+  b.Edge(x, t, base + 0.20);
+  b.Edge(y, t, base + 0.15);
+  return std::move(b).Build({t});
+}
+
+}  // namespace
+
+int main() {
+  const int k = 10;
+  // At least 3 passes regardless of BIORANK_REPS: the > 0.5 hit-rate
+  // gate needs two warm passes of margin (at exactly 2 passes the
+  // cross-request rate sits on the floor), and a third pass costs
+  // milliseconds on this workload.
+  const int passes = std::max(3, bench::Repetitions(3));
+  std::cout << "=== Serve top-" << k
+            << ": scenario-1 workload through the ranking service ("
+            << passes << " passes) ===\n\n";
+
+  ScenarioHarness harness;
+  Result<std::vector<ScenarioQuery>> queries =
+      harness.BuildQueries(ScenarioId::kScenario1WellKnown);
+  if (!queries.ok()) {
+    std::cerr << queries.status() << "\n";
+    return 1;
+  }
+
+  // Reference outputs: cache off, inline single thread. The serving
+  // contract says the cached, pooled service must reproduce these
+  // bit-identically on every pass.
+  serve::RankingServiceOptions reference_options;
+  reference_options.enable_cache = false;
+  reference_options.num_threads = 1;
+  serve::RankingService reference(reference_options);
+  std::vector<std::vector<std::pair<NodeId, double>>> expected;
+  for (const ScenarioQuery& query : queries.value()) {
+    Result<serve::TopKResult> r = reference.RankTopK(query.graph, k);
+    if (!r.ok()) {
+      std::cerr << r.status() << "\n";
+      return 1;
+    }
+    expected.push_back(Flatten(r.value()));
+  }
+
+  serve::RankingService service;
+  bool deterministic = true;
+  serve::RequestStats total;
+  TextTable table({"pass", "hit rate", "pruned", "bound=", "exact", "MC",
+                   "wall s"});
+  CsvWriter csv({"pass", "hit_rate", "pruned_fraction", "bound_exact",
+                 "exact", "mc", "wall_s"});
+  bench::JsonReport report("serve_topk");
+  bench::WallTimer serve_timer;
+  for (int pass = 0; pass < passes; ++pass) {
+    serve::RequestStats pass_stats;
+    bench::WallTimer pass_timer;
+    for (size_t i = 0; i < queries.value().size(); ++i) {
+      Result<serve::TopKResult> r =
+          service.RankTopK(queries.value()[i].graph, k);
+      if (!r.ok()) {
+        std::cerr << r.status() << "\n";
+        return 1;
+      }
+      pass_stats.Add(r.value().stats);
+      if (Flatten(r.value()) != expected[i]) deterministic = false;
+    }
+    double pass_s = pass_timer.Seconds();
+    std::vector<std::string> cells = {
+        std::to_string(pass), FormatDouble(pass_stats.CacheHitRate(), 3),
+        FormatDouble(pass_stats.PrunedFraction(), 3),
+        std::to_string(pass_stats.bound_exact),
+        std::to_string(pass_stats.exact),
+        std::to_string(pass_stats.monte_carlo), FormatDouble(pass_s, 3)};
+    table.AddRow(cells);
+    csv.AddRow(cells);
+    report.AddRow({{"pass", pass},
+                   {"hit_rate", pass_stats.CacheHitRate()},
+                   {"pruned_fraction", pass_stats.PrunedFraction()},
+                   {"bound_exact", pass_stats.bound_exact},
+                   {"exact", pass_stats.exact},
+                   {"mc", pass_stats.monte_carlo},
+                   {"wall_s", pass_s}});
+    total.Add(pass_stats);
+  }
+  double serve_s = serve_timer.Seconds();
+  table.Print(std::cout);
+
+  // Irreducible-residue mini-workload: six bridge graphs served twice,
+  // once resolving by exact factoring (default options) and once with
+  // factoring disabled so the seeded Monte Carlo path runs — the two
+  // resolution phases the Table-1 workload never reaches. The MC run is
+  // checked bit-identical against its own cache-off single-thread
+  // reference.
+  serve::RankingService exact_service;
+  serve::RankingServiceOptions mc_options;
+  mc_options.exact_max_edges = 0;
+  serve::RankingService mc_service(mc_options);
+  serve::RankingServiceOptions mc_reference_options = mc_options;
+  mc_reference_options.enable_cache = false;
+  mc_reference_options.num_threads = 1;
+  serve::RankingService mc_reference(mc_reference_options);
+  int irreducible_exact = 0;
+  int irreducible_mc = 0;
+  for (int i = 0; i < 6; ++i) {
+    QueryGraph bridge = MakeBridge(0.30 + 0.05 * i);
+    Result<serve::TopKResult> by_factoring = exact_service.RankTopK(bridge, 1);
+    Result<serve::TopKResult> by_mc = mc_service.RankTopK(bridge, 1);
+    Result<serve::TopKResult> by_mc_ref = mc_reference.RankTopK(bridge, 1);
+    if (!by_factoring.ok() || !by_mc.ok() || !by_mc_ref.ok()) {
+      std::cerr << "irreducible workload failed\n";
+      return 1;
+    }
+    irreducible_exact += by_factoring.value().stats.exact;
+    irreducible_mc += by_mc.value().stats.monte_carlo;
+    if (Flatten(by_mc.value()) != Flatten(by_mc_ref.value())) {
+      deterministic = false;
+    }
+  }
+  bool irreducible_covered = irreducible_exact > 0 && irreducible_mc > 0;
+  std::cout << "\nIrreducible residues: " << irreducible_exact
+            << " factoring and " << irreducible_mc
+            << " MC resolutions exercised.\n";
+
+  serve::CacheStats cache = service.cache().Stats();
+  double hit_rate = total.CacheHitRate();
+  double pruned_fraction = total.PrunedFraction();
+  std::cout << "\nAggregate: " << total.candidates << " candidates, "
+            << "hit rate " << FormatDouble(hit_rate, 3)
+            << ", pruned fraction " << FormatDouble(pruned_fraction, 3)
+            << ", " << total.monte_carlo << " MC resolutions ("
+            << total.mc_trials << " trials), " << cache.entries
+            << " cache entries.\n"
+            << "Output " << (deterministic ? "bit-identical" : "DIVERGED")
+            << " vs the cache-off single-thread reference.\n";
+  bench::MaybeWriteCsv(csv, "serve_topk");
+
+  report.SetWallTime(serve_s);
+  report.SetMetric("k", k);
+  report.SetMetric("passes", passes);
+  report.SetMetric("graphs", static_cast<int64_t>(queries.value().size()));
+  report.SetMetric("candidates", total.candidates);
+  // Request-level rate: request-local duplicates (answers sharing one
+  // canonical resolution) count as hits. cache_only_hit_rate is the
+  // underlying store's rate — cross-request reuse only.
+  report.SetMetric("cache_hit_rate", hit_rate);
+  report.SetMetric("cache_only_hit_rate", cache.HitRate());
+  report.SetMetric("pruned_fraction", pruned_fraction);
+  report.SetMetric("bound_exact", total.bound_exact);
+  report.SetMetric("exact_resolutions", total.exact);
+  report.SetMetric("mc_resolutions", total.monte_carlo);
+  report.SetMetric("mc_trials", total.mc_trials);
+  report.SetMetric("cache_entries", static_cast<int64_t>(cache.entries));
+  report.SetMetric("cache_evictions", static_cast<int64_t>(cache.evictions));
+  report.SetMetric("irreducible_exact_resolutions", irreducible_exact);
+  report.SetMetric("irreducible_mc_resolutions", irreducible_mc);
+  report.SetMetric("deterministic_output", deterministic);
+  Status write_status = report.Write();
+
+  bool pass_gates = hit_rate > 0.5 && pruned_fraction > 0.3;
+  if (!pass_gates) {
+    std::cerr << "serve gates FAILED: need cache_hit_rate > 0.5 and "
+                 "pruned_fraction > 0.3\n";
+  }
+  if (!irreducible_covered) {
+    std::cerr << "irreducible workload FAILED to exercise factoring + MC\n";
+  }
+  return deterministic && pass_gates && irreducible_covered &&
+                 write_status.ok()
+             ? 0
+             : 1;
+}

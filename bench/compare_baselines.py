@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Perf-trend gate: compare a directory of BENCH_*.json reports against
+the committed snapshots in bench/baselines/.
+
+Writes a per-bench delta table (markdown) to stdout and, when the
+GITHUB_STEP_SUMMARY environment variable is set, appends it to the CI
+job summary. Exit status is nonzero when
+
+  * any bench's wall_time_s regressed by more than --max-ratio (default
+    2.0x) against its baseline, provided both sides are above
+    --min-seconds (tiny smoke timings are noise-dominated and never
+    gate), or
+  * the serve bench's cache_hit_rate / pruned_fraction fall below their
+    acceptance floors (0.5 / 0.3), or
+  * a baseline bench produced no report at all (a silently skipped bench
+    would otherwise look like a perf win).
+
+Refreshing baselines after an intentional perf change:
+
+    cmake -B build -S . && cmake --build build -j
+    mkdir -p /tmp/bench-json
+    cd /tmp/bench-json
+    BIORANK_REPS=2 BIORANK_BENCH_JSON_DIR=$PWD <run every build/bench_*>
+    cp BENCH_*.json <repo>/bench/baselines/
+
+and commit the result (see docs/ARCHITECTURE.md, "Perf-trend gate").
+"""
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+HIT_RATE_FLOOR = 0.5
+PRUNED_FRACTION_FLOOR = 0.3
+
+# Benches that may legitimately be absent from a run (Google-Benchmark
+# harnesses are skipped when libbenchmark-dev is not installed).
+OPTIONAL_BENCHES = {
+    "fig8a_reliability_methods",
+    "fig8b_method_times",
+    "ablation_diffusion",
+}
+
+# Headline metrics worth a column when both sides have them.
+TRACKED_METRICS = ("cache_hit_rate", "pruned_fraction", "trials_per_sec")
+
+
+def load_reports(directory: Path):
+    reports = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        with open(path) as f:
+            data = json.load(f)
+        reports[data.get("bench", path.stem)] = data
+    return reports
+
+
+def fmt(value):
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("run_dir", type=Path,
+                        help="directory holding the fresh BENCH_*.json")
+    parser.add_argument("--baselines", type=Path,
+                        default=Path(__file__).parent / "baselines")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when wall_time_s exceeds baseline by this")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="ignore wall-time ratios when either side is "
+                             "below this (noise floor)")
+    args = parser.parse_args()
+
+    current = load_reports(args.run_dir)
+    baseline = load_reports(args.baselines)
+    if not baseline:
+        print(f"error: no baselines found under {args.baselines}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    lines = [
+        "## Perf trend vs committed baselines",
+        "",
+        f"(wall-time gate: >{args.max_ratio:g}x regression fails; "
+        f"timings under {args.min_seconds:g}s never gate)",
+        "",
+        "| bench | baseline s | current s | ratio | metric deltas | gate |",
+        "|---|---|---|---|---|---|",
+    ]
+
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if cur is None:
+            if name in OPTIONAL_BENCHES:
+                lines.append(f"| {name} | {fmt(base['wall_time_s'])} | "
+                             f"missing (optional) | - | - | skipped |")
+            else:
+                failures.append(f"{name}: bench produced no report")
+                lines.append(f"| {name} | {fmt(base['wall_time_s'])} | "
+                             f"MISSING | - | - | **FAIL** |")
+            continue
+        if base is None:
+            lines.append(f"| {name} | new | {fmt(cur['wall_time_s'])} | - | "
+                         f"- | new |")
+            continue
+
+        base_s = float(base.get("wall_time_s", 0.0))
+        cur_s = float(cur.get("wall_time_s", 0.0))
+        # Gate whenever the *current* run is above the noise floor; a
+        # sub-floor baseline must not exempt a bench from the gate (it
+        # could regress unboundedly otherwise). The ratio denominator is
+        # floored so tiny baselines do not inflate it.
+        gated = cur_s >= args.min_seconds
+        denominator = max(base_s, args.min_seconds)
+        ratio = cur_s / denominator if denominator > 0 else float("inf")
+        verdict = "ok"
+        if gated and ratio > args.max_ratio:
+            verdict = "**FAIL**"
+            failures.append(
+                f"{name}: wall_time_s {cur_s:.3f}s is {ratio:.2f}x the "
+                f"baseline {base_s:.3f}s (max {args.max_ratio:g}x)")
+        elif not gated:
+            verdict = "ok (noise floor)"
+
+        deltas = []
+        base_metrics = base.get("metrics", {})
+        cur_metrics = cur.get("metrics", {})
+        for key in TRACKED_METRICS:
+            if key in base_metrics and key in cur_metrics:
+                deltas.append(
+                    f"{key}: {fmt(base_metrics[key])} -> "
+                    f"{fmt(cur_metrics[key])}")
+        lines.append(f"| {name} | {base_s:.3f} | {cur_s:.3f} | {ratio:.2f}x "
+                     f"| {'; '.join(deltas) or '-'} | {verdict} |")
+
+    serve = current.get("serve_topk")
+    if serve is not None:
+        metrics = serve.get("metrics", {})
+        hit_rate = float(metrics.get("cache_hit_rate", 0.0))
+        pruned = float(metrics.get("pruned_fraction", 0.0))
+        if hit_rate <= HIT_RATE_FLOOR:
+            failures.append(f"serve_topk: cache_hit_rate {hit_rate:.3f} is "
+                            f"at or below the {HIT_RATE_FLOOR} floor")
+        if pruned <= PRUNED_FRACTION_FLOOR:
+            failures.append(f"serve_topk: pruned_fraction {pruned:.3f} is "
+                            f"at or below the {PRUNED_FRACTION_FLOOR} floor")
+        if not metrics.get("deterministic_output", False):
+            failures.append("serve_topk: output diverged from the "
+                            "cache-off single-thread reference")
+
+    lines.append("")
+    if failures:
+        lines.append("### Failures")
+        lines.extend(f"- {f}" for f in failures)
+    else:
+        lines.append("All benches within the gate.")
+
+    table = "\n".join(lines) + "\n"
+    print(table)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as f:
+            f.write(table)
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+// Canonicalization of reduced per-answer query graphs: the key that
+// lets the serving layer share one reliability computation across every
+// tuple (and every successive exploratory query) whose reduced evidence
+// subgraph is isomorphic — the reuse opportunity motivating the
+// serve/reliability_cache memo.
+
+#ifndef BIORANK_CORE_CANONICAL_H_
+#define BIORANK_CORE_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/query_graph.h"
+#include "core/reduction.h"
+#include "util/status.h"
+
+namespace biorank {
+
+/// Identity of a reduced query graph up to node relabeling.
+///
+/// `repr` is a full canonical serialization (topology + exact probability
+/// bit patterns + source/target roles), so equal reprs imply genuinely
+/// identical probabilistic graphs — a cache keyed on `repr` can never
+/// return the reliability of a *different* graph. Isomorphic graphs map
+/// to the same repr whenever the canonical labeling search converges
+/// (always, for graphs within CanonicalizeOptions::max_label_leaves; see
+/// CanonicalizeOptions); a missed identification only costs a cache miss,
+/// never a wrong value.
+struct CanonicalKey {
+  std::string repr;  ///< Canonical serialization; equality = same graph.
+  uint64_t hash = 0; ///< FNV-1a of repr: shard selector and MC stream id.
+};
+
+/// Options for canonicalization.
+struct CanonicalizeOptions {
+  /// Reduction rules applied to the per-answer subgraph before labeling.
+  ReductionOptions reduction;
+  /// Canonical labeling individualizes one node of the first ambiguous
+  /// color class and recurses; this caps the total number of candidate
+  /// labelings explored. Within the cap the labeling is truly canonical
+  /// (isomorphic graphs collide); beyond it the search keeps only the
+  /// first branch per class — still deterministic and still
+  /// collision-free, but two isomorphic graphs may then receive
+  /// different keys (a cache miss, not a bug). Reduced evidence graphs
+  /// are tiny, so the cap is effectively never hit on real workloads.
+  int max_label_leaves = 64;
+};
+
+/// One answer node's cacheable resolution unit: the canonical form of its
+/// reduced evidence subgraph.
+struct CanonicalCandidate {
+  CanonicalKey key;
+  /// The reduced subgraph rebuilt in canonical node order with
+  /// `answers = {target}`. Every isomorphic input yields this exact
+  /// graph (bit-identical probabilities, same node numbering), so any
+  /// computation run on it — bounds, factoring, seeded Monte Carlo — is
+  /// a pure function of `key`. Labels and entity sets are dropped; they
+  /// do not affect reliability.
+  QueryGraph canonical;
+  /// The canonical id of the answer node (== canonical.answers[0]).
+  NodeId target = kInvalidNode;
+  /// Counters from the reduction pass.
+  ReductionStats reduction_stats;
+};
+
+/// Restricts `query_graph` to the evidence subgraph of one answer node
+/// (nodes on some source -> target path), applies the Section 3.1
+/// reductions with only the source and `target` protected, and computes
+/// the canonical form. Fails on invalid query graphs or if `target` is
+/// not one of the answers.
+Result<CanonicalCandidate> CanonicalizeCandidate(
+    const QueryGraph& query_graph, NodeId target,
+    const CanonicalizeOptions& options = {});
+
+/// Canonical key of a query graph as-is (no restriction, no reduction).
+/// The graph must validate; all answers are marked with the target role.
+Result<CanonicalKey> CanonicalQueryGraphKey(
+    const QueryGraph& query_graph, const CanonicalizeOptions& options = {});
+
+/// FNV-1a 64-bit hash, exposed for tests and the cache's shard selector.
+uint64_t Fnv1a64(const std::string& text);
+
+}  // namespace biorank
+
+#endif  // BIORANK_CORE_CANONICAL_H_

@@ -177,20 +177,25 @@ ProbabilisticEntityGraph InducedSubgraph(const ProbabilisticEntityGraph& graph,
 }
 
 QueryGraph RestrictToQueryRelevantSubgraph(const QueryGraph& query_graph) {
+  return RestrictToQueryRelevantSubgraph(query_graph, query_graph.answers);
+}
+
+QueryGraph RestrictToQueryRelevantSubgraph(
+    const QueryGraph& query_graph, const std::vector<NodeId>& answers) {
   const ProbabilisticEntityGraph& graph = query_graph.graph;
   std::vector<bool> reach = ReachableFrom(graph, query_graph.source);
   std::vector<bool> keep(graph.node_capacity(), false);
   keep[query_graph.source] = true;
   // Union over answers of CoReach(t), intersected with Reach(source).
   std::vector<bool> wanted(graph.node_capacity(), false);
-  for (NodeId t : query_graph.answers) {
+  for (NodeId t : answers) {
     if (!graph.IsValidNode(t)) continue;
     wanted[t] = true;
   }
   // One backward BFS from all answers at once.
   std::vector<NodeId> stack;
   std::vector<bool> co(graph.node_capacity(), false);
-  for (NodeId t : query_graph.answers) {
+  for (NodeId t : answers) {
     if (graph.IsValidNode(t) && !co[t]) {
       co[t] = true;
       stack.push_back(t);
@@ -215,7 +220,7 @@ QueryGraph RestrictToQueryRelevantSubgraph(const QueryGraph& query_graph) {
   QueryGraph result;
   result.graph = InducedSubgraph(graph, keep, &old_to_new);
   result.source = old_to_new[query_graph.source];
-  for (NodeId t : query_graph.answers) {
+  for (NodeId t : answers) {
     if (graph.IsValidNode(t)) result.answers.push_back(old_to_new[t]);
   }
   return result;

@@ -52,6 +52,13 @@ ProbabilisticEntityGraph InducedSubgraph(const ProbabilisticEntityGraph& graph,
 /// answer in the output.
 QueryGraph RestrictToQueryRelevantSubgraph(const QueryGraph& query_graph);
 
+/// Same, but restricting to the given answer subset instead of
+/// `query_graph.answers` (the output's answer set is `answers`). Lets
+/// per-candidate callers (core/canonical.h) restrict to one target
+/// without first copying the whole graph just to swap the answer list.
+QueryGraph RestrictToQueryRelevantSubgraph(const QueryGraph& query_graph,
+                                           const std::vector<NodeId>& answers);
+
 /// Graphviz DOT rendering (nodes annotated with p, edges with q; source
 /// drawn as a box, answers as double circles).
 std::string ToDot(const QueryGraph& query_graph);

@@ -21,7 +21,16 @@ struct ExploratoryQuery {
   std::string attribute = "name";
   std::string value;
   std::vector<std::string> output_sets = {"AmiGO"};
+  /// How many top-ranked answers the caller wants when the query is
+  /// served through the ranking service (Mediator::RunRanked). 0 means
+  /// rank the full answer set. Ignored by the graph-only Mediator::Run.
+  int top_k = 0;
 };
+
+/// Builds the paper's canonical query shape, asking only for the k
+/// highest-reliability functions (the serving-layer request shape).
+ExploratoryQuery MakeProteinFunctionTopKQuery(const std::string& gene_symbol,
+                                              int top_k);
 
 /// Builds the paper's canonical query shape for a protein symbol.
 ExploratoryQuery MakeProteinFunctionQuery(const std::string& gene_symbol);

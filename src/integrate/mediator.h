@@ -11,6 +11,7 @@
 #include "core/query_graph.h"
 #include "integrate/exploratory_query.h"
 #include "schema/metrics.h"
+#include "serve/ranking_service.h"
 #include "sources/source_registry.h"
 #include "util/status.h"
 
@@ -40,6 +41,13 @@ struct ExploratoryQueryResult {
   int matched_proteins = 0;
 };
 
+/// A fully served exploratory query: the materialized query graph plus
+/// the serving layer's top-k reliability ranking and scheduler counters.
+struct RankedExploratoryResult {
+  ExploratoryQueryResult result;
+  serve::TopKResult ranked;
+};
+
 /// The BioRank mediator: executes exploratory queries against the source
 /// registry by crawling the Figure 1 integration plan and labeling every
 /// record node with p = ps * pr and every link edge with q = qs * qr
@@ -57,6 +65,13 @@ class Mediator {
   /// paper is supported: input EntrezProtein matched on name/accession,
   /// output AmiGO (GO terms). Anything else is Unimplemented.
   Result<ExploratoryQueryResult> Run(const ExploratoryQuery& query) const;
+
+  /// Runs an exploratory query and answers it through the serving layer:
+  /// the answer set is ranked by reliability via `service` (canonical
+  /// cache, deterministic bounds, top-k pruning). `query.top_k` of 0 (or
+  /// anything larger than the answer set) ranks every answer.
+  Result<RankedExploratoryResult> RunRanked(
+      const ExploratoryQuery& query, serve::RankingService& service) const;
 
   const MediatorOptions& options() const { return options_; }
 

@@ -1,0 +1,281 @@
+#include "serve/ranking_service.h"
+
+#include <algorithm>
+#include <functional>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/reliability_exact.h"
+#include "core/reliability_mc.h"
+#include "core/trial_bound.h"
+#include "util/rng.h"
+
+namespace biorank::serve {
+
+namespace {
+
+/// Per-answer request state; `unique_index` points into the request's
+/// deduplicated canonical-key table.
+struct CandidateState {
+  NodeId node = kInvalidNode;
+  CanonicalCandidate canonical;
+  Status canonical_status;
+  int unique_index = -1;
+};
+
+/// Per-unique-canonical-key request state. All resolution work happens
+/// at this level: candidates sharing a key share one computation.
+struct UniqueState {
+  const CanonicalCandidate* canonical = nullptr;
+  CacheEntry entry;
+  bool have_bounds = false;
+  Resolution resolution = Resolution::kPruned;
+  Status status;
+};
+
+}  // namespace
+
+RankingService::RankingService(RankingServiceOptions options)
+    : options_(options), cache_(options.cache) {
+  Result<int64_t> trials =
+      RequiredMcTrials(options_.mc_epsilon, options_.mc_delta);
+  mc_trials_ = trials.ok() ? trials.value() : 0;  // 0 => error per request.
+}
+
+Result<TopKResult> RankingService::RankTopK(const QueryGraph& query_graph,
+                                            int k) {
+  BIORANK_RETURN_IF_ERROR(query_graph.Validate());
+  if (k < 1) return Status::InvalidArgument("serve: k must be >= 1");
+  if (mc_trials_ <= 0) {
+    return Status::InvalidArgument(
+        "serve: mc_epsilon must be in (0,1] and mc_delta in (0,1)");
+  }
+
+  TopKResult result;
+  RequestStats& stats = result.stats;
+  const std::vector<NodeId>& answers = query_graph.answers;
+  stats.candidates = static_cast<int>(answers.size());
+  if (answers.empty()) return result;
+  k = std::min(k, static_cast<int>(answers.size()));
+
+  ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : ThreadPool::Global();
+  const int max_parallelism = options_.num_threads == 0
+                                  ? ThreadPool::kUnlimitedParallelism
+                                  : options_.num_threads;
+
+  // Phase 1 — canonicalize every candidate (pure per candidate, so the
+  // fan-out is deterministic at any thread count).
+  std::vector<CandidateState> candidates(answers.size());
+  pool.ParallelFor(
+      static_cast<int64_t>(answers.size()),
+      [&](int, int64_t i) {
+        CandidateState& c = candidates[static_cast<size_t>(i)];
+        c.node = answers[static_cast<size_t>(i)];
+        Result<CanonicalCandidate> canonical =
+            CanonicalizeCandidate(query_graph, c.node, options_.canonicalize);
+        if (canonical.ok()) {
+          c.canonical = std::move(canonical.value());
+        } else {
+          c.canonical_status = canonical.status();
+        }
+      },
+      max_parallelism);
+  for (const CandidateState& c : candidates) {
+    if (!c.canonical_status.ok()) return c.canonical_status;
+  }
+
+  // Phase 2 — dedup by canonical repr and look the unique keys up in the
+  // cache (sequential: hit/miss accounting and LRU order stay
+  // deterministic). Request-local duplicates count as hits — they are
+  // served from the shared computation.
+  std::vector<UniqueState> uniques;
+  uniques.reserve(candidates.size());
+  std::unordered_map<std::string_view, int> by_repr;
+  by_repr.reserve(candidates.size());
+  for (CandidateState& c : candidates) {
+    auto [it, inserted] = by_repr.try_emplace(
+        std::string_view(c.canonical.key.repr),
+        static_cast<int>(uniques.size()));
+    c.unique_index = it->second;
+    if (!inserted) {
+      ++stats.cache_hits;
+      continue;
+    }
+    UniqueState u;
+    u.canonical = &c.canonical;
+    if (options_.enable_cache) {
+      std::optional<CacheEntry> got = cache_.Get(c.canonical.key);
+      if (got.has_value()) {
+        ++stats.cache_hits;
+        u.entry = *got;
+        u.have_bounds = true;
+        if (u.entry.has_value) u.resolution = Resolution::kCacheValue;
+      } else {
+        ++stats.cache_misses;
+      }
+    } else {
+      ++stats.cache_misses;
+    }
+    uniques.push_back(std::move(u));
+  }
+
+  // Phase 3 — deterministic bounds for every unique key that has none
+  // (pure per key; parallel).
+  std::vector<int> need_bounds;
+  for (size_t i = 0; i < uniques.size(); ++i) {
+    if (!uniques[i].have_bounds) need_bounds.push_back(static_cast<int>(i));
+  }
+  pool.ParallelFor(
+      static_cast<int64_t>(need_bounds.size()),
+      [&](int, int64_t j) {
+        UniqueState& u =
+            uniques[static_cast<size_t>(need_bounds[static_cast<size_t>(j)])];
+        Result<ReliabilityBounds> bounds = BoundReliability(
+            u.canonical->canonical, u.canonical->target, options_.bounds);
+        if (!bounds.ok()) {
+          u.status = bounds.status();
+          return;
+        }
+        u.entry.lower = bounds.value().lower;
+        u.entry.upper = bounds.value().upper;
+        u.have_bounds = true;
+      },
+      max_parallelism);
+  for (const UniqueState& u : uniques) {
+    if (!u.status.ok()) return u.status;
+  }
+
+  // Phase 4 — the top-k cut: the k-th largest per-candidate lower bound
+  // (resolved values stand in as tight lowers). Any candidate whose
+  // upper bound is strictly below this provably cannot make the top k.
+  std::vector<double> lowers;
+  lowers.reserve(candidates.size());
+  for (const CandidateState& c : candidates) {
+    const UniqueState& u = uniques[static_cast<size_t>(c.unique_index)];
+    lowers.push_back(u.entry.has_value ? u.entry.value : u.entry.lower);
+  }
+  std::nth_element(lowers.begin(), lowers.begin() + (k - 1), lowers.end(),
+                   std::greater<double>());
+  const double threshold = lowers[static_cast<size_t>(k - 1)];
+
+  // Phase 5 — classify the unresolved uniques: prune below the cut,
+  // close tight bounds for free, and queue the rest for exact/MC work.
+  std::vector<int> survivors;
+  for (size_t i = 0; i < uniques.size(); ++i) {
+    UniqueState& u = uniques[i];
+    if (u.entry.has_value) continue;  // Cached value: nothing to do.
+    if (u.entry.upper < threshold) {
+      u.resolution = Resolution::kPruned;
+      ++stats.pruned;
+      continue;
+    }
+    if (u.entry.upper - u.entry.lower <= options_.bound_resolve_epsilon) {
+      u.entry.has_value = true;
+      u.entry.value = u.entry.lower;
+      u.entry.exact = true;
+      u.resolution = Resolution::kBoundExact;
+      ++stats.bound_exact;
+      continue;
+    }
+    survivors.push_back(static_cast<int>(i));
+  }
+
+  // Phase 6 — resolve the survivors: factoring on small reduced
+  // residues, Monte Carlo on the canonical-hash stream otherwise. Both
+  // are pure functions of the canonical key, so fan-out order is
+  // irrelevant; the MC seed never depends on request or candidate order.
+  pool.ParallelFor(
+      static_cast<int64_t>(survivors.size()),
+      [&](int, int64_t j) {
+        UniqueState& u =
+            uniques[static_cast<size_t>(survivors[static_cast<size_t>(j)])];
+        const QueryGraph& graph = u.canonical->canonical;
+        if (graph.graph.num_edges() <= options_.exact_max_edges) {
+          FactoringOptions factoring;
+          factoring.max_calls = options_.exact_max_calls;
+          Result<double> exact =
+              ExactReliabilityFactoring(graph, u.canonical->target, factoring);
+          if (exact.ok()) {
+            u.entry.has_value = true;
+            u.entry.value = exact.value();
+            u.entry.exact = true;
+            u.resolution = Resolution::kExact;
+            return;
+          }
+          if (exact.status().code() != StatusCode::kFailedPrecondition) {
+            u.status = exact.status();
+            return;
+          }
+          // Too complex to factor within budget: fall through to MC.
+        }
+        McOptions mc;
+        mc.trials = mc_trials_;
+        mc.seed = DeriveStreamSeed(options_.seed, u.canonical->key.hash);
+        mc.shard_trials = options_.mc_shard_trials;
+        mc.num_threads = options_.num_threads;
+        mc.pool = options_.pool;
+        Result<McEstimate> estimate = EstimateReliabilityMc(graph, mc);
+        if (!estimate.ok()) {
+          u.status = estimate.status();
+          return;
+        }
+        double value =
+            estimate.value().scores[static_cast<size_t>(u.canonical->target)];
+        // The deterministic bounds are ground truth; clamping keeps MC
+        // noise from ever contradicting a pruning decision.
+        value = std::min(std::max(value, u.entry.lower), u.entry.upper);
+        u.entry.has_value = true;
+        u.entry.value = value;
+        u.entry.exact = false;
+        u.entry.trials = mc_trials_;
+        u.resolution = Resolution::kMonteCarlo;
+      },
+      max_parallelism);
+  for (const UniqueState& u : uniques) {
+    if (!u.status.ok()) return u.status;
+  }
+  for (int index : survivors) {
+    const UniqueState& u = uniques[static_cast<size_t>(index)];
+    if (u.resolution == Resolution::kExact) {
+      ++stats.exact;
+    } else {
+      ++stats.monte_carlo;
+      stats.mc_trials += u.entry.trials;
+    }
+  }
+
+  // Phase 7 — publish to the cache in unique order (sequential, so the
+  // cache's LRU state is a deterministic function of the request
+  // sequence). Pruned keys publish their bounds: the next request skips
+  // straight to the prune gate.
+  if (options_.enable_cache) {
+    for (const UniqueState& u : uniques) {
+      if (u.resolution == Resolution::kCacheValue) continue;  // Unchanged.
+      cache_.Put(u.canonical->key, u.entry);
+    }
+  }
+
+  // Phase 8 — rank the resolved candidates and truncate to k.
+  for (const CandidateState& c : candidates) {
+    const UniqueState& u = uniques[static_cast<size_t>(c.unique_index)];
+    if (!u.entry.has_value) continue;  // Pruned: provably outside top k.
+    RankedCandidate ranked;
+    ranked.node = c.node;
+    ranked.reliability = u.entry.value;
+    ranked.exact = u.entry.exact;
+    ranked.resolution = u.resolution;
+    result.top.push_back(ranked);
+  }
+  std::sort(result.top.begin(), result.top.end(),
+            [](const RankedCandidate& a, const RankedCandidate& b) {
+              if (a.reliability != b.reliability) {
+                return a.reliability > b.reliability;
+              }
+              return a.node < b.node;
+            });
+  if (static_cast<int>(result.top.size()) > k) result.top.resize(k);
+  return result;
+}
+
+}  // namespace biorank::serve

@@ -1,0 +1,150 @@
+// The serving-shaped hot path: batched top-k ranking of a query graph's
+// answer set by reliability, scheduled so that most candidates never pay
+// for an exact or Monte Carlo computation. Per candidate the trace is
+//
+//   canonicalize (core/canonical) -> reliability_cache lookup
+//     -> deterministic bounds (core/reliability_bounds)
+//     -> prune against the top-k cut
+//     -> exact factoring on reducible residues, else shared-pool MC
+//        on the RNG stream derived from the canonical hash.
+//
+// Output is bit-identical at any thread count and with the cache on or
+// off: every resolved value is a pure function of the candidate's
+// canonical key, and pruning only ever discards candidates that are
+// provably outside the top k.
+
+#ifndef BIORANK_SERVE_RANKING_SERVICE_H_
+#define BIORANK_SERVE_RANKING_SERVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/canonical.h"
+#include "core/query_graph.h"
+#include "core/reliability_bounds.h"
+#include "serve/reliability_cache.h"
+#include "util/parallel.h"
+#include "util/status.h"
+
+namespace biorank::serve {
+
+/// How one candidate's reliability was obtained in a request.
+enum class Resolution {
+  kCacheValue,   ///< Canonical key had a resolved value (cache or request-local memo).
+  kPruned,       ///< Bounds proved it outside the top k; never resolved.
+  kBoundExact,   ///< Bounds closed (lower == upper within tolerance): value free.
+  kExact,        ///< Factoring on the reduced canonical graph.
+  kMonteCarlo,   ///< Seeded shared-pool MC on the canonical graph.
+};
+
+/// One ranked answer of a request.
+struct RankedCandidate {
+  NodeId node = kInvalidNode;  ///< Answer node id in the *request's* graph.
+  double reliability = 0.0;
+  bool exact = false;          ///< False when the value is a converged MC estimate.
+  Resolution resolution = Resolution::kPruned;
+};
+
+/// Per-request scheduler counters.
+struct RequestStats {
+  int candidates = 0;       ///< Answer nodes in the request.
+  int cache_hits = 0;       ///< Lookups served by the cache or request memo.
+  int cache_misses = 0;     ///< Lookups that had to canonicalize-and-bound.
+  int pruned = 0;           ///< Misses eliminated by the top-k cut.
+  int bound_exact = 0;      ///< Misses resolved by closed bounds.
+  int exact = 0;            ///< Misses resolved by factoring.
+  int monte_carlo = 0;      ///< Misses resolved by Monte Carlo.
+  int64_t mc_trials = 0;    ///< Total MC trials spent.
+
+  void Add(const RequestStats& other) {
+    candidates += other.candidates;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    pruned += other.pruned;
+    bound_exact += other.bound_exact;
+    exact += other.exact;
+    monte_carlo += other.monte_carlo;
+    mc_trials += other.mc_trials;
+  }
+
+  double CacheHitRate() const {
+    int lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(cache_hits) / lookups;
+  }
+
+  /// Of the candidates that reached the prune gate (misses and
+  /// bounds-only hits), the fraction the bounds eliminated before any
+  /// exact/MC spend.
+  double PrunedFraction() const {
+    int gated = pruned + bound_exact + exact + monte_carlo;
+    return gated == 0 ? 0.0 : static_cast<double>(pruned) / gated;
+  }
+};
+
+/// Configuration for RankingService.
+struct RankingServiceOptions {
+  CanonicalizeOptions canonicalize;
+  ReliabilityCacheOptions cache;
+  ReliabilityBoundsOptions bounds;
+  /// Bounds whose width is at most this resolve the candidate outright
+  /// (covers fully-reduced single-edge residues, where lower and upper
+  /// agree up to rounding).
+  double bound_resolve_epsilon = 1e-12;
+  /// Surviving candidates whose reduced canonical graph has at most this
+  /// many edges are resolved exactly by factoring; larger residues go to
+  /// Monte Carlo. The factoring call budget below caps pathological
+  /// cases (on FailedPrecondition the candidate falls through to MC).
+  int exact_max_edges = 24;
+  int64_t exact_max_calls = 200000;
+  /// Theorem 3.1 parameters for the MC trial count: relative error
+  /// epsilon with confidence 1 - delta (0.02 / 0.05 -> 7,896 trials).
+  double mc_epsilon = 0.02;
+  double mc_delta = 0.05;
+  int64_t mc_shard_trials = 512;
+  /// Root seed. Candidate c simulates on the stream derived from
+  /// (seed, canonical hash of c) — never from request order — so cached
+  /// and recomputed values are bit-identical.
+  uint64_t seed = 42;
+  /// Parallelism for canonicalize/bound/resolve fan-out and the MC
+  /// shards: 0 = shared pool, 1 = inline, k = cap (McOptions semantics).
+  int num_threads = 0;
+  ThreadPool* pool = nullptr;
+  /// Disable to measure the cache's contribution; results are identical.
+  bool enable_cache = true;
+};
+
+/// The result of one top-k request: surviving candidates sorted by
+/// descending reliability (ties by ascending NodeId), truncated to k.
+struct TopKResult {
+  std::vector<RankedCandidate> top;
+  RequestStats stats;
+};
+
+/// Thread-compatible ranking service; one instance owns the process-wide
+/// reliability cache. Requests are answered sequentially (the
+/// parallelism is inside a request, across candidates and MC shards).
+class RankingService {
+ public:
+  explicit RankingService(RankingServiceOptions options = {});
+
+  /// Ranks `query_graph`'s answer set by reliability and returns the top
+  /// k (clamped to the answer count; k < 1 is an error).
+  Result<TopKResult> RankTopK(const QueryGraph& query_graph, int k);
+
+  ReliabilityCache& cache() { return cache_; }
+  const ReliabilityCache& cache() const { return cache_; }
+  const RankingServiceOptions& options() const { return options_; }
+
+  /// Monte Carlo trial count per irreducible candidate (Theorem 3.1
+  /// applied to the configured epsilon/delta).
+  int64_t McTrialsPerCandidate() const { return mc_trials_; }
+
+ private:
+  RankingServiceOptions options_;
+  ReliabilityCache cache_;
+  int64_t mc_trials_ = 0;
+};
+
+}  // namespace biorank::serve
+
+#endif  // BIORANK_SERVE_RANKING_SERVICE_H_

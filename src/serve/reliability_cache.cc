@@ -1,0 +1,80 @@
+#include "serve/reliability_cache.h"
+
+#include <algorithm>
+
+namespace biorank::serve {
+
+ReliabilityCache::ReliabilityCache(ReliabilityCacheOptions options)
+    : options_(options) {
+  options_.capacity = std::max<size_t>(1, options_.capacity);
+  options_.shards = std::max(1, options_.shards);
+  // A shard count above the capacity would make some shards zero-sized.
+  options_.shards = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(options_.shards), options_.capacity));
+  per_shard_capacity_ =
+      (options_.capacity + static_cast<size_t>(options_.shards) - 1) /
+      static_cast<size_t>(options_.shards);
+  shards_.reserve(static_cast<size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ReliabilityCache::Shard& ReliabilityCache::ShardFor(const CanonicalKey& key) {
+  return *shards_[key.hash % shards_.size()];
+}
+
+std::optional<CacheEntry> ReliabilityCache::Get(const CanonicalKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key.repr);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void ReliabilityCache::Put(const CanonicalKey& key, const CacheEntry& entry) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key.repr);
+  if (it != shard.index.end()) {
+    it->second->second = entry;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key.repr, entry);
+  shard.index.emplace(key.repr, shard.lru.begin());
+  ++shard.insertions;
+  while (shard.index.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+CacheStats ReliabilityCache::Stats() const {
+  CacheStats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.insertions += shard->insertions;
+    stats.evictions += shard->evictions;
+    stats.entries += shard->index.size();
+  }
+  return stats;
+}
+
+void ReliabilityCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace biorank::serve

@@ -1,0 +1,111 @@
+// Sharded, thread-safe LRU memo mapping canonical reduced-graph keys to
+// reliability results (deterministic bounds, and — once a candidate has
+// been resolved — the exact or converged-Monte-Carlo value). This is the
+// serving layer's cross-request reuse store: tuples and successive
+// exploratory queries whose reduced evidence subgraphs are isomorphic
+// resolve to one cached computation.
+
+#ifndef BIORANK_SERVE_RELIABILITY_CACHE_H_
+#define BIORANK_SERVE_RELIABILITY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/canonical.h"
+
+namespace biorank::serve {
+
+/// One cached resolution state for a canonical key. Entries are created
+/// with bounds only (cheap, always available after the bounding pass) and
+/// upgraded in place once a value is computed. Every field is a pure
+/// function of the canonical key, which is what keeps service output
+/// bit-identical with the cache on or off.
+struct CacheEntry {
+  double lower = 0.0;       ///< Deterministic lower reliability bound.
+  double upper = 1.0;       ///< Deterministic upper reliability bound.
+  bool has_value = false;   ///< True once the reliability is resolved.
+  double value = 0.0;       ///< Resolved reliability (clamped to bounds).
+  bool exact = false;       ///< Value from closed form / factoring, not MC.
+  int64_t trials = 0;       ///< MC trials spent (0 for exact values).
+};
+
+/// Monotonic counters; `entries` is the current live total.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
+
+  double HitRate() const {
+    uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+/// Configuration for ReliabilityCache.
+struct ReliabilityCacheOptions {
+  /// Total entry budget across all shards (>= 1). Each shard holds
+  /// ceil(capacity / shards) entries and evicts its own LRU tail.
+  size_t capacity = 1 << 16;
+  /// Number of independent shards (clamped to [1, capacity]).
+  int shards = 16;
+};
+
+/// Sharded LRU cache. Shard = canonical hash, so isomorphic candidates
+/// always land on the same shard; each shard has its own mutex, LRU list,
+/// and capacity slice, so pool threads resolving different candidates
+/// rarely contend.
+class ReliabilityCache {
+ public:
+  explicit ReliabilityCache(ReliabilityCacheOptions options = {});
+
+  /// Returns the entry for `key` (touching its LRU position) or nullopt.
+  /// Counts one hit or miss.
+  std::optional<CacheEntry> Get(const CanonicalKey& key);
+
+  /// Inserts or overwrites the entry for `key` and marks it most
+  /// recently used; evicts the shard's LRU tail beyond capacity.
+  void Put(const CanonicalKey& key, const CacheEntry& entry);
+
+  /// Snapshot of the counters.
+  CacheStats Stats() const;
+
+  /// Drops every entry (counters are kept).
+  void Clear();
+
+  const ReliabilityCacheOptions& options() const { return options_; }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Most recent at front. Stores (repr, entry).
+    std::list<std::pair<std::string, CacheEntry>> lru;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, CacheEntry>>::iterator>
+        index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const CanonicalKey& key);
+
+  ReliabilityCacheOptions options_;
+  size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace biorank::serve
+
+#endif  // BIORANK_SERVE_RELIABILITY_CACHE_H_

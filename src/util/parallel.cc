@@ -48,6 +48,7 @@ void ThreadPool::ParallelFor(int64_t shard_count, const ShardFn& fn,
   }
 
   std::lock_guard<std::mutex> call_lock(call_mu_);
+  uint64_t generation;
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = &fn;
@@ -58,12 +59,12 @@ void ThreadPool::ParallelFor(int64_t shard_count, const ShardFn& fn,
         shard_count - 1);
     joined_workers_ = 0;
     first_error_ = nullptr;
-    ++generation_;
+    generation = ++generation_;
   }
   work_cv_.notify_all();
 
   // The caller claims shards too; its slot is after every worker's.
-  RunShards(worker_count());
+  RunShards(worker_count(), generation);
 
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] {
@@ -90,11 +91,11 @@ void ThreadPool::WorkerLoop(int slot) {
       ++joined_workers_;
       ++active_;
     }
-    RunShards(slot);
+    RunShards(slot, seen_generation);
   }
 }
 
-void ThreadPool::RunShards(int slot) {
+void ThreadPool::RunShards(int slot, uint64_t generation) {
   const bool is_caller = slot == worker_count();
   if (is_caller) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -107,7 +108,11 @@ void ThreadPool::RunShards(int slot) {
     int64_t shard = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (next_shard_ >= shard_count_) break;
+      // The generation check keeps a worker that overslept one job from
+      // claiming the *next* job's shards under the old admission
+      // accounting (which would let it slip past that job's
+      // max_parallelism cap).
+      if (generation_ != generation || next_shard_ >= shard_count_) break;
       shard = next_shard_++;
       job = job_;
     }

@@ -100,8 +100,10 @@ class ThreadPool {
 
  private:
   void WorkerLoop(int slot);
-  /// Claims and runs shards of the current job until none remain.
-  void RunShards(int slot);
+  /// Claims and runs shards of job `generation` until none remain (or a
+  /// newer job replaced it — a late-waking worker must not execute a job
+  /// it was never admitted to).
+  void RunShards(int slot, uint64_t generation);
   void RecordError(std::exception_ptr error);
 
   std::vector<std::thread> workers_;

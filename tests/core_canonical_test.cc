@@ -1,0 +1,137 @@
+// Canonical keys for reduced per-answer subgraphs: isomorphic graphs
+// must collide (that is the cache's sharing opportunity), distinct
+// probabilistic graphs must not, and the canonical rebuild must preserve
+// reliability exactly.
+
+#include "core/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query_graph.h"
+#include "core/reliability_exact.h"
+
+namespace biorank {
+namespace {
+
+// s -(0.5)-> m -(0.8)-> t, plus a decoy branch that reduction removes.
+QueryGraph MakeChain(double q1, double q2, bool decoy_first) {
+  QueryGraphBuilder b;
+  NodeId s = b.Source();
+  NodeId decoy = kInvalidNode;
+  if (decoy_first) decoy = b.Node(0.9, "decoy");
+  NodeId m = b.Node(1.0, "m");
+  NodeId t = b.Node(1.0, "t");
+  if (!decoy_first) decoy = b.Node(0.9, "decoy");
+  b.Edge(s, m, q1);
+  b.Edge(m, t, q2);
+  b.Edge(s, decoy, 0.3);  // Dead-end sink: reduction deletes it.
+  return std::move(b).Build({t});
+}
+
+TEST(CanonicalTest, IsomorphicGraphsCollideAcrossInsertionOrders) {
+  QueryGraph a = MakeChain(0.5, 0.8, /*decoy_first=*/false);
+  QueryGraph b = MakeChain(0.5, 0.8, /*decoy_first=*/true);
+  Result<CanonicalCandidate> ka = CanonicalizeCandidate(a, a.answers[0]);
+  Result<CanonicalCandidate> kb = CanonicalizeCandidate(b, b.answers[0]);
+  ASSERT_TRUE(ka.ok()) << ka.status();
+  ASSERT_TRUE(kb.ok()) << kb.status();
+  EXPECT_EQ(ka.value().key.repr, kb.value().key.repr);
+  EXPECT_EQ(ka.value().key.hash, kb.value().key.hash);
+}
+
+TEST(CanonicalTest, SymmetricAnswersOfOneGraphShareAKey) {
+  // Two answers with mirror-image evidence: one canonical key serves both.
+  QueryGraphBuilder b;
+  NodeId s = b.Source();
+  NodeId m1 = b.Node(0.9, "m1");
+  NodeId m2 = b.Node(0.9, "m2");
+  NodeId t1 = b.Node(0.8, "t1");
+  NodeId t2 = b.Node(0.8, "t2");
+  b.Edge(s, m1, 0.7);
+  b.Edge(s, m2, 0.7);
+  b.Edge(m1, t1, 0.6);
+  b.Edge(m2, t2, 0.6);
+  QueryGraph g = std::move(b).Build({t1, t2});
+  Result<CanonicalCandidate> k1 = CanonicalizeCandidate(g, g.answers[0]);
+  Result<CanonicalCandidate> k2 = CanonicalizeCandidate(g, g.answers[1]);
+  ASSERT_TRUE(k1.ok()) << k1.status();
+  ASSERT_TRUE(k2.ok()) << k2.status();
+  EXPECT_EQ(k1.value().key.repr, k2.value().key.repr);
+}
+
+TEST(CanonicalTest, DifferentProbabilitiesSplitKeys) {
+  QueryGraph a = MakeChain(0.5, 0.8, false);
+  QueryGraph b = MakeChain(0.5, 0.81, false);
+  Result<CanonicalCandidate> ka = CanonicalizeCandidate(a, a.answers[0]);
+  Result<CanonicalCandidate> kb = CanonicalizeCandidate(b, b.answers[0]);
+  ASSERT_TRUE(ka.ok() && kb.ok());
+  EXPECT_NE(ka.value().key.repr, kb.value().key.repr);
+}
+
+TEST(CanonicalTest, SerialParallelAndBridgeTopologiesSplitKeys) {
+  QueryGraph a = MakeFig4aSerialParallel();
+  QueryGraph b = MakeFig4bWheatstoneBridge();
+  Result<CanonicalCandidate> ka = CanonicalizeCandidate(a, a.answers[0]);
+  Result<CanonicalCandidate> kb = CanonicalizeCandidate(b, b.answers[0]);
+  ASSERT_TRUE(ka.ok() && kb.ok());
+  EXPECT_NE(ka.value().key.repr, kb.value().key.repr);
+}
+
+TEST(CanonicalTest, CanonicalRebuildPreservesReliability) {
+  for (const QueryGraph& g :
+       {MakeFig4aSerialParallel(), MakeFig4bWheatstoneBridge()}) {
+    Result<CanonicalCandidate> c = CanonicalizeCandidate(g, g.answers[0]);
+    ASSERT_TRUE(c.ok()) << c.status();
+    ASSERT_TRUE(c.value().canonical.Validate().ok());
+    Result<double> original = ExactReliabilityBruteForce(g, g.answers[0]);
+    Result<double> canonical = ExactReliabilityBruteForce(
+        c.value().canonical, c.value().target);
+    ASSERT_TRUE(original.ok() && canonical.ok());
+    EXPECT_NEAR(original.value(), canonical.value(), 1e-12);
+  }
+}
+
+TEST(CanonicalTest, ReductionStatsReportTheDecoyDeletion) {
+  QueryGraph g = MakeChain(0.5, 0.8, false);
+  Result<CanonicalCandidate> c = CanonicalizeCandidate(g, g.answers[0]);
+  ASSERT_TRUE(c.ok());
+  // The decoy sink is dropped by restriction/reduction; the chain
+  // collapses to a single source -> target edge.
+  EXPECT_EQ(c.value().canonical.graph.num_nodes(), 2);
+  EXPECT_EQ(c.value().canonical.graph.num_edges(), 1);
+}
+
+TEST(CanonicalTest, UnreachableTargetYieldsIsolatedCanonicalAnswer) {
+  QueryGraphBuilder b;
+  NodeId m = b.Node(1.0, "m");
+  NodeId t = b.Node(0.5, "t");
+  b.Edge(t, m, 0.5);  // Only an edge *from* t: t unreachable from source.
+  QueryGraph g = std::move(b).Build({t});
+  Result<CanonicalCandidate> c = CanonicalizeCandidate(g, t);
+  ASSERT_TRUE(c.ok()) << c.status();
+  EXPECT_TRUE(c.value().canonical.Validate().ok());
+  Result<double> r = ExactReliabilityBruteForce(c.value().canonical,
+                                                c.value().target);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
+}
+
+TEST(CanonicalTest, NonAnswerTargetIsRejected) {
+  QueryGraph g = MakeFig4aSerialParallel();
+  Result<CanonicalCandidate> c = CanonicalizeCandidate(g, g.source);
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CanonicalTest, WholeGraphKeyInvariantUnderInsertionOrder) {
+  QueryGraph a = MakeChain(0.4, 0.9, false);
+  QueryGraph b = MakeChain(0.4, 0.9, true);
+  Result<CanonicalKey> ka = CanonicalQueryGraphKey(a);
+  Result<CanonicalKey> kb = CanonicalQueryGraphKey(b);
+  ASSERT_TRUE(ka.ok() && kb.ok());
+  EXPECT_EQ(ka.value().repr, kb.value().repr);
+  EXPECT_EQ(Fnv1a64(ka.value().repr), ka.value().hash);
+}
+
+}  // namespace
+}  // namespace biorank

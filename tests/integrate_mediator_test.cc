@@ -188,6 +188,36 @@ TEST_F(MediatorTest, PdbContributesSinkNodes) {
   GTEST_SKIP() << "no protein with PDB structures in this universe";
 }
 
+TEST_F(MediatorTest, RunRankedServesTopKThroughTheRankingService) {
+  const Protein& protein = universe_.protein(universe_.well_studied()[0]);
+  serve::RankingService service;
+  Result<RankedExploratoryResult> ranked = mediator_.RunRanked(
+      MakeProteinFunctionTopKQuery(protein.gene_symbol, 5), service);
+  ASSERT_TRUE(ranked.ok()) << ranked.status();
+  EXPECT_FALSE(ranked.value().result.query_graph.answers.empty());
+  ASSERT_EQ(ranked.value().ranked.top.size(), 5u);
+  for (size_t i = 1; i < ranked.value().ranked.top.size(); ++i) {
+    EXPECT_GE(ranked.value().ranked.top[i - 1].reliability,
+              ranked.value().ranked.top[i].reliability);
+  }
+  // A repeated request is answered from the service's canonical cache.
+  Result<RankedExploratoryResult> again = mediator_.RunRanked(
+      MakeProteinFunctionTopKQuery(protein.gene_symbol, 5), service);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().ranked.stats.cache_misses, 0);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(again.value().ranked.top[i].node,
+              ranked.value().ranked.top[i].node);
+    EXPECT_EQ(again.value().ranked.top[i].reliability,
+              ranked.value().ranked.top[i].reliability);
+  }
+  // top_k = 0 ranks the full answer set.
+  Result<RankedExploratoryResult> full = mediator_.RunRanked(
+      MakeProteinFunctionQuery(protein.gene_symbol), service);
+  ASSERT_TRUE(full.ok());
+  EXPECT_GE(full.value().ranked.top.size(), 5u);
+}
+
 TEST_F(MediatorTest, DefaultMetricsMatchSection2Narrative) {
   ProbabilisticMetrics metrics = MakeDefaultBioRankMetrics();
   // PIRSF is trusted more than Pfam; profile HMMs more than raw BLAST.

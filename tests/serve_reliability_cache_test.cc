@@ -1,0 +1,142 @@
+// The sharded LRU reliability cache: hit/miss accounting, in-place
+// upgrade of bounds-only entries, LRU eviction under a tiny capacity,
+// and — because this is the first mutable state shared across pool
+// threads — a concurrent hammering test meant to run under
+// ThreadSanitizer (CI's tsan job).
+
+#include "serve/reliability_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/parallel.h"
+
+namespace biorank::serve {
+namespace {
+
+CanonicalKey Key(const std::string& repr) {
+  CanonicalKey key;
+  key.repr = repr;
+  key.hash = Fnv1a64(repr);
+  return key;
+}
+
+CacheEntry Value(double v) {
+  CacheEntry entry;
+  entry.lower = v;
+  entry.upper = v;
+  entry.has_value = true;
+  entry.value = v;
+  entry.exact = true;
+  return entry;
+}
+
+TEST(ReliabilityCacheTest, MissThenHit) {
+  ReliabilityCache cache;
+  EXPECT_FALSE(cache.Get(Key("a")).has_value());
+  cache.Put(Key("a"), Value(0.25));
+  std::optional<CacheEntry> got = cache.Get(Key("a"));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(got->value, 0.25);
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST(ReliabilityCacheTest, BoundsEntryUpgradesInPlace) {
+  ReliabilityCache cache;
+  CacheEntry bounds;
+  bounds.lower = 0.1;
+  bounds.upper = 0.9;
+  cache.Put(Key("k"), bounds);
+  ASSERT_FALSE(cache.Get(Key("k"))->has_value);
+  CacheEntry resolved = bounds;
+  resolved.has_value = true;
+  resolved.value = 0.4;
+  resolved.trials = 7896;
+  cache.Put(Key("k"), resolved);
+  std::optional<CacheEntry> got = cache.Get(Key("k"));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->has_value);
+  EXPECT_DOUBLE_EQ(got->value, 0.4);
+  EXPECT_EQ(got->trials, 7896);
+  EXPECT_EQ(cache.Stats().entries, 1u);  // Upgrade, not a second entry.
+}
+
+TEST(ReliabilityCacheTest, LruEvictionUnderTinyCapacity) {
+  ReliabilityCacheOptions options;
+  options.capacity = 2;
+  options.shards = 1;  // One shard so the LRU order is global.
+  ReliabilityCache cache(options);
+  cache.Put(Key("a"), Value(0.1));
+  cache.Put(Key("b"), Value(0.2));
+  ASSERT_TRUE(cache.Get(Key("a")).has_value());  // "a" is now most recent.
+  cache.Put(Key("c"), Value(0.3));               // Evicts LRU tail "b".
+  EXPECT_TRUE(cache.Get(Key("a")).has_value());
+  EXPECT_FALSE(cache.Get(Key("b")).has_value());
+  EXPECT_TRUE(cache.Get(Key("c")).has_value());
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ReliabilityCacheTest, ShardCountClampedToCapacity) {
+  ReliabilityCacheOptions options;
+  options.capacity = 3;
+  options.shards = 64;
+  ReliabilityCache cache(options);
+  EXPECT_EQ(cache.options().shards, 3);
+  for (int i = 0; i < 100; ++i) {
+    cache.Put(Key("k" + std::to_string(i)), Value(0.5));
+  }
+  // Per-shard capacity is 1, so at most `shards` entries survive.
+  EXPECT_LE(cache.Stats().entries, 3u);
+}
+
+TEST(ReliabilityCacheTest, ClearDropsEntriesKeepsCounters) {
+  ReliabilityCache cache;
+  cache.Put(Key("a"), Value(0.1));
+  ASSERT_TRUE(cache.Get(Key("a")).has_value());
+  cache.Clear();
+  EXPECT_FALSE(cache.Get(Key("a")).has_value());
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(ReliabilityCacheTest, ConcurrentMixedGetsAndPutsAreRaceFree) {
+  // Hammer a small cache from every pool thread with overlapping keys so
+  // shards see concurrent hits, inserts, upgrades, and evictions. The
+  // assertions are deliberately weak — the point is that TSan observes
+  // the interleavings.
+  ReliabilityCacheOptions options;
+  options.capacity = 32;
+  options.shards = 4;
+  ReliabilityCache cache(options);
+  ThreadPool pool(3);
+  constexpr int kShards = 64;
+  constexpr int kOpsPerShard = 200;
+  pool.ParallelFor(kShards, [&](int, int64_t shard) {
+    for (int op = 0; op < kOpsPerShard; ++op) {
+      int key_index = (static_cast<int>(shard) * 7 + op) % 48;
+      CanonicalKey key = Key("k" + std::to_string(key_index));
+      std::optional<CacheEntry> got = cache.Get(key);
+      if (got.has_value() && got->has_value) {
+        // Cached values are immutable once resolved.
+        EXPECT_DOUBLE_EQ(got->value, key_index / 100.0);
+      } else {
+        cache.Put(key, Value(key_index / 100.0));
+      }
+    }
+  });
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kShards) * kOpsPerShard);
+  EXPECT_LE(stats.entries, 32u);
+}
+
+}  // namespace
+}  // namespace biorank::serve
