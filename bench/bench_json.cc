@@ -114,7 +114,11 @@ std::string JsonReport::ToJson() const {
   // pruned_fraction, ...) emitted by bench_serve_topk and the
   // thread-sweep clamp fields of bench_parallel_scaling; the layout of
   // existing fields is unchanged.
-  out += "  \"schema_version\": 2,\n";
+  // v3: adds the ingest metrics emitted by bench_ingest_updates
+  // (preserved_hit_rate, update_latency_ms_mean/_max,
+  // touched_fraction_max, stale_keys, invalidated_entries); the layout
+  // of existing fields is again unchanged.
+  out += "  \"schema_version\": 3,\n";
   out += "  \"bench\": \"" + JsonEscape(name_) + "\",\n";
   out += "  \"threads\": " + std::to_string(threads_) + ",\n";
   out += "  \"wall_time_s\": " + FormatNumber(wall_time_s_) + ",\n";

@@ -12,8 +12,14 @@ job summary. Exit status is nonzero when
     gate), or
   * the serve bench's cache_hit_rate / pruned_fraction fall below their
     acceptance floors (0.5 / 0.3), or
+  * the ingest bench's preserved_hit_rate falls below its 0.5 floor or
+    its output diverged from the from-scratch rebuild, or
   * a baseline bench produced no report at all (a silently skipped bench
     would otherwise look like a perf win).
+
+A bench with no committed baseline yet only *warns*: new benches land in
+the same PR as their first baseline snapshot, and a branch state where
+the report exists before the snapshot must not fail the gate.
 
 Refreshing baselines after an intentional perf change:
 
@@ -34,6 +40,7 @@ from pathlib import Path
 
 HIT_RATE_FLOOR = 0.5
 PRUNED_FRACTION_FLOOR = 0.3
+PRESERVED_HIT_RATE_FLOOR = 0.5
 
 # Benches that may legitimately be absent from a run (Google-Benchmark
 # harnesses are skipped when libbenchmark-dev is not installed).
@@ -44,7 +51,8 @@ OPTIONAL_BENCHES = {
 }
 
 # Headline metrics worth a column when both sides have them.
-TRACKED_METRICS = ("cache_hit_rate", "pruned_fraction", "trials_per_sec")
+TRACKED_METRICS = ("cache_hit_rate", "pruned_fraction", "trials_per_sec",
+                   "preserved_hit_rate", "update_latency_ms_mean")
 
 
 def load_reports(directory: Path):
@@ -87,6 +95,7 @@ def main() -> int:
         return 2
 
     failures = []
+    warnings = []
     lines = [
         "## Perf trend vs committed baselines",
         "",
@@ -110,8 +119,11 @@ def main() -> int:
                              f"MISSING | - | - | **FAIL** |")
             continue
         if base is None:
+            warnings.append(
+                f"{name}: no committed baseline under bench/baselines/ — "
+                f"commit this run's BENCH_{name}.json with the bench")
             lines.append(f"| {name} | new | {fmt(cur['wall_time_s'])} | - | "
-                         f"- | new |")
+                         f"- | warn (no baseline) |")
             continue
 
         base_s = float(base.get("wall_time_s", 0.0))
@@ -158,7 +170,26 @@ def main() -> int:
             failures.append("serve_topk: output diverged from the "
                             "cache-off single-thread reference")
 
+    ingest = current.get("ingest_updates")
+    if ingest is not None:
+        metrics = ingest.get("metrics", {})
+        preserved = float(metrics.get("preserved_hit_rate", 0.0))
+        if preserved <= PRESERVED_HIT_RATE_FLOOR:
+            failures.append(
+                f"ingest_updates: preserved_hit_rate {preserved:.3f} is at "
+                f"or below the {PRESERVED_HIT_RATE_FLOOR} floor")
+        if float(metrics.get("touched_fraction_max", 1.0)) > 0.10:
+            failures.append("ingest_updates: deltas touched more than 10% "
+                            "of tuples (workload cap)")
+        if not metrics.get("deterministic_output", False):
+            failures.append("ingest_updates: incremental output diverged "
+                            "from the from-scratch rebuild")
+
     lines.append("")
+    if warnings:
+        lines.append("### Warnings (non-fatal)")
+        lines.extend(f"- {w}" for w in warnings)
+        lines.append("")
     if failures:
         lines.append("### Failures")
         lines.extend(f"- {f}" for f in failures)

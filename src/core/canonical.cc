@@ -280,10 +280,27 @@ Result<CanonicalCandidate> CanonicalizeCandidate(
   // the source and this target protected — other answers are ordinary
   // interior nodes here, which is what lets distinct tuples share a
   // canonical form.
-  QueryGraph restricted =
-      RestrictToQueryRelevantSubgraph(query_graph, {target});
+  std::vector<bool> kept;
+  QueryGraph restricted = RestrictToQueryRelevantSubgraph(
+      query_graph, {target}, options.collect_provenance ? &kept : nullptr);
 
   CanonicalCandidate out;
+  if (options.collect_provenance) {
+    const ProbabilisticEntityGraph& graph = query_graph.graph;
+    for (NodeId id = 0; id < graph.node_capacity(); ++id) {
+      if (!kept[static_cast<size_t>(id)]) continue;
+      out.provenance.nodes.push_back(id);
+      // Only kept nodes' out-edges can land in the subgraph, so the scan
+      // is proportional to the candidate's footprint, not the full graph
+      // (re-canonicalization runs once per answer per delta).
+      graph.ForEachOutEdge(id, [&](EdgeId e) {
+        if (kept[static_cast<size_t>(graph.edge(e).to)]) {
+          out.provenance.edges.push_back(e);
+        }
+      });
+    }
+    std::sort(out.provenance.edges.begin(), out.provenance.edges.end());
+  }
   out.reduction_stats = ReduceQueryGraph(restricted, options.reduction);
 
   LabelView view = BuildView(restricted);

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/query_graph.h"
 #include "core/reduction.h"
@@ -44,6 +45,22 @@ struct CanonicalizeOptions {
   /// different keys (a cache miss, not a bug). Reduced evidence graphs
   /// are tiny, so the cap is effectively never hit on real workloads.
   int max_label_leaves = 64;
+  /// Record which original-graph nodes and edges the candidate's
+  /// *pre-reduction* restricted subgraph contains (the ingest layer's
+  /// dependency index consumes this). Off by default: provenance does not
+  /// affect the key, and pure serving callers should not pay for it.
+  bool collect_provenance = false;
+};
+
+/// The original-graph footprint of one candidate: every node and alive
+/// edge of the restricted (pre-reduction) evidence subgraph, by the ids
+/// of the *request's* graph. An evidence update can change the
+/// candidate's canonical key only if it touches this set (or adds an
+/// edge from which the target becomes newly reachable — the one growth
+/// case, handled by ingest/dependency_index's AddEdge rule).
+struct CandidateProvenance {
+  std::vector<NodeId> nodes;  ///< Ascending original node ids.
+  std::vector<EdgeId> edges;  ///< Ascending original edge ids.
 };
 
 /// One answer node's cacheable resolution unit: the canonical form of its
@@ -61,6 +78,9 @@ struct CanonicalCandidate {
   NodeId target = kInvalidNode;
   /// Counters from the reduction pass.
   ReductionStats reduction_stats;
+  /// Original-graph footprint; populated only when
+  /// CanonicalizeOptions::collect_provenance is set.
+  CandidateProvenance provenance;
 };
 
 /// Restricts `query_graph` to the evidence subgraph of one answer node

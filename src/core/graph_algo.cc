@@ -180,8 +180,9 @@ QueryGraph RestrictToQueryRelevantSubgraph(const QueryGraph& query_graph) {
   return RestrictToQueryRelevantSubgraph(query_graph, query_graph.answers);
 }
 
-QueryGraph RestrictToQueryRelevantSubgraph(
-    const QueryGraph& query_graph, const std::vector<NodeId>& answers) {
+QueryGraph RestrictToQueryRelevantSubgraph(const QueryGraph& query_graph,
+                                           const std::vector<NodeId>& answers,
+                                           std::vector<bool>* kept_nodes) {
   const ProbabilisticEntityGraph& graph = query_graph.graph;
   std::vector<bool> reach = ReachableFrom(graph, query_graph.source);
   std::vector<bool> keep(graph.node_capacity(), false);
@@ -216,6 +217,7 @@ QueryGraph RestrictToQueryRelevantSubgraph(
     if (!graph.IsValidNode(i)) continue;
     if ((reach[i] && co[i]) || wanted[i]) keep[i] = true;
   }
+  if (kept_nodes != nullptr) *kept_nodes = keep;
   std::vector<NodeId> old_to_new;
   QueryGraph result;
   result.graph = InducedSubgraph(graph, keep, &old_to_new);

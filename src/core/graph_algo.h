@@ -56,8 +56,13 @@ QueryGraph RestrictToQueryRelevantSubgraph(const QueryGraph& query_graph);
 /// `query_graph.answers` (the output's answer set is `answers`). Lets
 /// per-candidate callers (core/canonical.h) restrict to one target
 /// without first copying the whole graph just to swap the answer list.
+/// `kept_nodes` (optional out-param) receives the membership mask of the
+/// restriction, indexed by *original* NodeId — the provenance record the
+/// ingest layer's dependency index is built from.
 QueryGraph RestrictToQueryRelevantSubgraph(const QueryGraph& query_graph,
-                                           const std::vector<NodeId>& answers);
+                                           const std::vector<NodeId>& answers,
+                                           std::vector<bool>* kept_nodes =
+                                               nullptr);
 
 /// Graphviz DOT rendering (nodes annotated with p, edges with q; source
 /// drawn as a box, answers as double circles).

@@ -1,0 +1,189 @@
+#include "ingest/delta.h"
+
+#include <algorithm>
+#include <string>
+
+namespace biorank::ingest {
+
+namespace {
+
+bool InUnit(double value) { return value >= 0.0 && value <= 1.0; }
+
+std::string OpRef(const char* group, size_t index) {
+  return std::string("ingest: ") + group + "[" + std::to_string(index) + "]";
+}
+
+/// Checks one AddEdge endpoint: a live node id or an in-delta NewNodeRef.
+Status CheckEndpoint(NodeId id, size_t op_index, const char* which,
+                     const EvidenceDelta& delta, const QueryGraph& graph) {
+  int new_index = EvidenceDelta::NewNodeIndex(id);
+  if (new_index >= 0) {
+    if (new_index >= static_cast<int>(delta.add_nodes.size())) {
+      return Status::OutOfRange(OpRef("add_edges", op_index) + ": " + which +
+                                " references add_nodes[" +
+                                std::to_string(new_index) +
+                                "] beyond the delta");
+    }
+    return Status::OK();
+  }
+  if (!graph.graph.IsValidNode(id)) {
+    return Status::NotFound(OpRef("add_edges", op_index) + ": " + which +
+                            " node " + std::to_string(id) + " is not alive");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateDelta(const EvidenceDelta& delta, const QueryGraph& graph) {
+  BIORANK_RETURN_IF_ERROR(graph.Validate());
+  for (size_t i = 0; i < delta.add_nodes.size(); ++i) {
+    if (!InUnit(delta.add_nodes[i].p)) {
+      return Status::InvalidArgument(OpRef("add_nodes", i) +
+                                     ": p must be in [0,1]");
+    }
+  }
+  for (size_t i = 0; i < delta.add_edges.size(); ++i) {
+    const EvidenceDelta::AddEdge& op = delta.add_edges[i];
+    if (!InUnit(op.q)) {
+      return Status::InvalidArgument(OpRef("add_edges", i) +
+                                     ": q must be in [0,1]");
+    }
+    BIORANK_RETURN_IF_ERROR(CheckEndpoint(op.from, i, "from", delta, graph));
+    BIORANK_RETURN_IF_ERROR(CheckEndpoint(op.to, i, "to", delta, graph));
+    if (op.to == graph.source) {
+      return Status::InvalidArgument(OpRef("add_edges", i) +
+                                     ": the query source has no in-edges");
+    }
+    if (op.from == op.to) {
+      return Status::InvalidArgument(OpRef("add_edges", i) +
+                                     ": self-loop evidence is meaningless");
+    }
+  }
+  std::vector<EdgeId> removed;
+  for (size_t i = 0; i < delta.remove_edges.size(); ++i) {
+    EdgeId e = delta.remove_edges[i].edge;
+    if (!graph.graph.IsValidEdge(e)) {
+      return Status::NotFound(OpRef("remove_edges", i) + ": edge " +
+                              std::to_string(e) + " is not alive");
+    }
+    removed.push_back(e);
+  }
+  std::sort(removed.begin(), removed.end());
+  for (size_t i = 0; i < delta.reweight_edges.size(); ++i) {
+    const EvidenceDelta::ReweightEdge& op = delta.reweight_edges[i];
+    if (!graph.graph.IsValidEdge(op.edge)) {
+      return Status::NotFound(OpRef("reweight_edges", i) + ": edge " +
+                              std::to_string(op.edge) + " is not alive");
+    }
+    // Removes apply before reweights, so a delta naming the same edge in
+    // both groups would silently drop the reweight — reject it instead
+    // (this is what keeps the post-validation mutation loop infallible).
+    if (std::binary_search(removed.begin(), removed.end(), op.edge)) {
+      return Status::InvalidArgument(OpRef("reweight_edges", i) +
+                                     ": edge " + std::to_string(op.edge) +
+                                     " is also removed by this delta");
+    }
+    if (!InUnit(op.q)) {
+      return Status::InvalidArgument(OpRef("reweight_edges", i) +
+                                     ": q must be in [0,1]");
+    }
+  }
+  for (size_t i = 0; i < delta.revise_node_probs.size(); ++i) {
+    const EvidenceDelta::ReviseNodeProb& op = delta.revise_node_probs[i];
+    if (!graph.graph.IsValidNode(op.node)) {
+      return Status::NotFound(OpRef("revise_node_probs", i) + ": node " +
+                              std::to_string(op.node) + " is not alive");
+    }
+    if (op.node == graph.source) {
+      return Status::InvalidArgument(
+          OpRef("revise_node_probs", i) +
+          ": the query source's presence is certain by construction");
+    }
+    if (!InUnit(op.p)) {
+      return Status::InvalidArgument(OpRef("revise_node_probs", i) +
+                                     ": p must be in [0,1]");
+    }
+  }
+  for (size_t i = 0; i < delta.revise_source_priors.size(); ++i) {
+    const EvidenceDelta::ReviseSourcePrior& op = delta.revise_source_priors[i];
+    if (op.entity_set.empty()) {
+      return Status::InvalidArgument(OpRef("revise_source_priors", i) +
+                                     ": entity set must be named");
+    }
+    if (!(op.ratio >= 0.0)) {  // Also rejects NaN.
+      return Status::InvalidArgument(OpRef("revise_source_priors", i) +
+                                     ": ratio must be >= 0");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateDeltaSchema(const EvidenceDelta& delta,
+                           const ProbabilisticMetrics& metrics) {
+  for (size_t i = 0; i < delta.add_nodes.size(); ++i) {
+    const std::string& set = delta.add_nodes[i].entity_set;
+    if (!set.empty() && !metrics.HasSourceConfidence(set)) {
+      return Status::NotFound(OpRef("add_nodes", i) + ": entity set '" + set +
+                              "' has no registered source confidence");
+    }
+  }
+  for (size_t i = 0; i < delta.revise_source_priors.size(); ++i) {
+    const std::string& set = delta.revise_source_priors[i].entity_set;
+    if (!metrics.HasSourceConfidence(set)) {
+      return Status::NotFound(OpRef("revise_source_priors", i) +
+                              ": entity set '" + set +
+                              "' has no registered source confidence");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateDelta(const EvidenceDelta& delta, const QueryGraph& graph,
+                     const ProbabilisticMetrics& metrics) {
+  BIORANK_RETURN_IF_ERROR(ValidateDelta(delta, graph));
+  return ValidateDeltaSchema(delta, metrics);
+}
+
+Result<AppliedDelta> ApplyDeltaToGraph(const EvidenceDelta& delta,
+                                       QueryGraph& graph) {
+  BIORANK_RETURN_IF_ERROR(ValidateDelta(delta, graph));
+  AppliedDelta applied;
+  applied.new_nodes.reserve(delta.add_nodes.size());
+  applied.new_edges.reserve(delta.add_edges.size());
+  for (const EvidenceDelta::AddNode& op : delta.add_nodes) {
+    applied.new_nodes.push_back(
+        graph.graph.AddNode(op.p, op.label, op.entity_set));
+  }
+  auto resolve = [&](NodeId id) {
+    int new_index = EvidenceDelta::NewNodeIndex(id);
+    return new_index >= 0 ? applied.new_nodes[static_cast<size_t>(new_index)]
+                          : id;
+  };
+  for (const EvidenceDelta::AddEdge& op : delta.add_edges) {
+    applied.new_edges.push_back(
+        graph.graph.AddEdge(resolve(op.from), resolve(op.to), op.q).value());
+  }
+  // Pre-validated: none of the remaining mutations can fail.
+  for (const EvidenceDelta::RemoveEdge& op : delta.remove_edges) {
+    graph.graph.RemoveEdge(op.edge);
+  }
+  for (const EvidenceDelta::ReweightEdge& op : delta.reweight_edges) {
+    graph.graph.SetEdgeProb(op.edge, op.q);
+  }
+  for (const EvidenceDelta::ReviseNodeProb& op : delta.revise_node_probs) {
+    graph.graph.SetNodeProb(op.node, op.p);
+  }
+  for (const EvidenceDelta::ReviseSourcePrior& op :
+       delta.revise_source_priors) {
+    for (NodeId id : graph.graph.AliveNodes()) {
+      if (id == graph.source) continue;
+      if (graph.graph.node(id).entity_set != op.entity_set) continue;
+      double p = std::min(1.0, graph.graph.node(id).p * op.ratio);
+      graph.graph.SetNodeProb(id, p);
+    }
+  }
+  return applied;
+}
+
+}  // namespace biorank::ingest

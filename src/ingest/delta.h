@@ -1,0 +1,134 @@
+// Typed batches of evidence updates against a live query graph. The
+// paper's mediator integrates evidence that arrives continuously (fresh
+// BLAST runs, revised GO annotations, new Pfam releases); an
+// EvidenceDelta is the unit in which such arrivals hit a served graph:
+// add/remove evidence edges, re-weight edge probabilities, revise node
+// presence probabilities, or revise a whole source's reliability prior.
+// Validation happens against the graph (ids, probability ranges) and
+// optionally against the schema layer's ProbabilisticMetrics (revised
+// source priors must name registered entity sets).
+
+#ifndef BIORANK_INGEST_DELTA_H_
+#define BIORANK_INGEST_DELTA_H_
+
+#include <string>
+#include <vector>
+
+#include "core/query_graph.h"
+#include "schema/metrics.h"
+#include "util/status.h"
+
+namespace biorank::ingest {
+
+/// One batch of evidence updates. Ops are applied in a fixed group order
+/// — add_nodes, add_edges, remove_edges, reweight_edges,
+/// revise_node_probs, revise_source_priors, each group in declaration
+/// order — so applying a delta is deterministic and two replicas that
+/// apply the same deltas hold bit-identical graphs.
+struct EvidenceDelta {
+  /// A fresh evidence tuple (e.g. a new annotation record). New nodes are
+  /// referenced by later add_edges ops via NewNodeRef().
+  struct AddNode {
+    double p = 1.0;
+    std::string label;
+    std::string entity_set;
+  };
+  /// A fresh evidence link. Endpoints are live node ids or NewNodeRef()s.
+  struct AddEdge {
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    double q = 1.0;
+  };
+  /// Retraction of an evidence link (e.g. a withdrawn BLAST hit).
+  struct RemoveEdge {
+    EdgeId edge = -1;
+  };
+  /// Revision of a link's presence probability (e.g. a re-run BLAST
+  /// e-value).
+  struct ReweightEdge {
+    EdgeId edge = -1;
+    double q = 1.0;
+  };
+  /// Revision of a tuple's presence probability (e.g. an annotation
+  /// status upgrade).
+  struct ReviseNodeProb {
+    NodeId node = kInvalidNode;
+    double p = 1.0;
+  };
+  /// Revision of a source's set-level reliability prior: every alive
+  /// node of `entity_set` has its p multiplied by `ratio` (the new prior
+  /// over the old one), clamped to [0,1]. This is the Section 2 ps knob
+  /// turned after deployment — e.g. a Pfam release downgrade.
+  struct ReviseSourcePrior {
+    std::string entity_set;
+    double ratio = 1.0;
+  };
+
+  std::vector<AddNode> add_nodes;
+  std::vector<AddEdge> add_edges;
+  std::vector<RemoveEdge> remove_edges;
+  std::vector<ReweightEdge> reweight_edges;
+  std::vector<ReviseNodeProb> revise_node_probs;
+  std::vector<ReviseSourcePrior> revise_source_priors;
+
+  /// Placeholder id for the `index`-th add_nodes op of this delta, usable
+  /// as an AddEdge endpoint. Encoded below kInvalidNode so it can never
+  /// collide with a real node id.
+  static constexpr NodeId NewNodeRef(int index) {
+    return static_cast<NodeId>(-2 - index);
+  }
+  /// Inverse of NewNodeRef: the add_nodes index, or -1 for a real id.
+  static constexpr int NewNodeIndex(NodeId ref) {
+    return ref <= -2 ? static_cast<int>(-2 - ref) : -1;
+  }
+
+  bool empty() const {
+    return add_nodes.empty() && add_edges.empty() && remove_edges.empty() &&
+           reweight_edges.empty() && revise_node_probs.empty() &&
+           revise_source_priors.empty();
+  }
+  /// Total op count across all groups.
+  int size() const {
+    return static_cast<int>(add_nodes.size() + add_edges.size() +
+                            remove_edges.size() + reweight_edges.size() +
+                            revise_node_probs.size() +
+                            revise_source_priors.size());
+  }
+};
+
+/// Structural validation against the live graph: probabilities in [0,1],
+/// ratios >= 0, edge ids alive, node ids alive (or in-delta NewNodeRefs
+/// within range), and no op may touch the synthetic query source node
+/// (its presence is the mediator's invariant, not evidence).
+Status ValidateDelta(const EvidenceDelta& delta, const QueryGraph& graph);
+
+/// The schema-layer checks alone (no structural pass): every revised
+/// source prior must name an entity set with a registered set-level
+/// confidence, and every added node's entity set (when non-empty)
+/// likewise. Callers that go on to ApplyDeltaToGraph (which runs the
+/// structural pass itself) use this to avoid validating twice.
+Status ValidateDeltaSchema(const EvidenceDelta& delta,
+                           const ProbabilisticMetrics& metrics);
+
+/// ValidateDelta plus ValidateDeltaSchema.
+Status ValidateDelta(const EvidenceDelta& delta, const QueryGraph& graph,
+                     const ProbabilisticMetrics& metrics);
+
+/// Ids materialized by ApplyDeltaToGraph, aligned with the delta's
+/// add_nodes / add_edges ops.
+struct AppliedDelta {
+  std::vector<NodeId> new_nodes;  ///< new_nodes[i] = id of add_nodes[i].
+  std::vector<EdgeId> new_edges;  ///< new_edges[i] = id of add_edges[i].
+};
+
+/// Validates `delta` against `graph` and applies it in the fixed group
+/// order. On error the graph is untouched (validation is up-front; the
+/// mutation loop cannot fail). Both the incremental applier and the
+/// from-scratch rebuild references in tests/benches go through this one
+/// function, so "the updated graph" means the same graph everywhere.
+Result<AppliedDelta> ApplyDeltaToGraph(const EvidenceDelta& delta,
+                                       QueryGraph& graph);
+
+}  // namespace biorank::ingest
+
+#endif  // BIORANK_INGEST_DELTA_H_

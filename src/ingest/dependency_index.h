@@ -1,0 +1,108 @@
+// Reverse dependency index over a live query graph: which answers' (and
+// therefore which canonical cache keys') restricted evidence subgraphs
+// contain a given tuple (node), evidence link (edge), or source (entity
+// set). Populated from the provenance that core/canonical.cc records
+// during canonicalization, and consulted when an EvidenceDelta lands so
+// the update applier dirties exactly the affected answers and the
+// ReliabilityCache drops exactly the orphaned keys — instead of a full
+// rebuild plus cache flush.
+//
+// Soundness note: cache keys are pure functions of the subgraph (see
+// core/canonical.h), so a *missed* invalidation can never produce a
+// wrong value — a dirty answer re-canonicalizes to a fresh key. What the
+// index must get right is the dirty-answer cover: every answer whose
+// restricted subgraph an op can change must be listed. The rules:
+//   remove/reweight edge e  -> answers whose subgraph contains e
+//   revise node n           -> answers whose subgraph contains n
+//   revise source prior S   -> answers whose subgraph has a node of S
+//   add edge (u, v)         -> answers reachable from v in the *updated*
+//                              graph (every new source->t path through
+//                              the new edge continues from v, so any
+//                              affected target t is a descendant of v)
+// The first three are exact; the last is a conservative superset.
+
+#ifndef BIORANK_INGEST_DEPENDENCY_INDEX_H_
+#define BIORANK_INGEST_DEPENDENCY_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/canonical.h"
+#include "core/query_graph.h"
+#include "ingest/delta.h"
+
+namespace biorank::ingest {
+
+/// Maps graph elements to the answers (by index into the live graph's
+/// answer list) depending on them, and answers to their current
+/// canonical keys. Not internally synchronized: the update applier
+/// guards it with the same writer lock as the graph.
+class DependencyIndex {
+ public:
+  DependencyIndex() = default;
+
+  /// (Re)registers answer `answer_index`: its current canonical key and
+  /// the provenance of its restricted subgraph. Replaces any previous
+  /// registration of the same answer.
+  void Register(int answer_index, const CanonicalKey& key,
+                const CandidateProvenance& provenance,
+                const QueryGraph& graph);
+
+  /// Drops answer `answer_index`'s postings and key. No-op if absent.
+  void Unregister(int answer_index);
+
+  /// Current canonical key of an answer, or nullptr if unregistered.
+  const CanonicalKey* KeyOf(int answer_index) const;
+
+  /// Answer indices whose subgraphs `delta` can affect, sorted and
+  /// deduplicated. `updated_graph` must be the graph *after* the delta
+  /// was applied (the add-edge rule walks descendants in it);
+  /// `applied.new_edges` identifies the added edges.
+  std::vector<int> AffectedAnswers(const EvidenceDelta& delta,
+                                   const AppliedDelta& applied,
+                                   const QueryGraph& updated_graph) const;
+
+  /// Canonical keys used *only* by answers in `answers` (sorted input).
+  /// Once those answers are re-canonicalized these keys have no remaining
+  /// user in this graph — they are the entries worth evicting from the
+  /// reliability cache. Keys shared with a clean answer are kept (that
+  /// answer still hits them).
+  std::vector<CanonicalKey> ExclusiveKeys(
+      const std::vector<int>& answers) const;
+
+  /// Whether any registered answer currently maps to `key`. The applier
+  /// uses this after re-canonicalization to keep cache entries whose key
+  /// a dirty answer re-derived unchanged (a no-op revision must not cost
+  /// the cache).
+  bool HasKey(const CanonicalKey& key) const {
+    return by_key_.count(key.repr) > 0;
+  }
+
+  /// Registered answer count (for tests).
+  int registered() const { return static_cast<int>(by_answer_.size()); }
+
+  void Clear();
+
+ private:
+  struct AnswerEntry {
+    CanonicalKey key;
+    std::vector<NodeId> nodes;
+    std::vector<EdgeId> edges;
+    std::vector<std::string> entity_sets;  ///< Distinct sets among nodes.
+  };
+
+  /// Postings: element -> sorted answer indices. Kept sorted by the
+  /// (re)build in Register/Unregister.
+  std::unordered_map<int, AnswerEntry> by_answer_;
+  std::unordered_map<NodeId, std::vector<int>> by_node_;
+  std::unordered_map<EdgeId, std::vector<int>> by_edge_;
+  std::unordered_map<std::string, std::vector<int>> by_entity_set_;
+  /// Key repr -> answers currently mapped to it (the user sets behind
+  /// ExclusiveKeys).
+  std::unordered_map<std::string, std::vector<int>> by_key_;
+};
+
+}  // namespace biorank::ingest
+
+#endif  // BIORANK_INGEST_DEPENDENCY_INDEX_H_

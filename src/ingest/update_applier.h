@@ -1,0 +1,132 @@
+// Applies EvidenceDelta batches to a live, served query graph and keeps
+// its top-k ranking incrementally maintained. One UpdateApplier owns one
+// live graph plus the per-answer canonicalizations and the dependency
+// index built from their provenance; it shares a RankingService (and
+// therefore the process-wide reliability cache) with every other live
+// graph and with batch RankTopK callers.
+//
+//   delta -> validate -> apply to graph (writer lock)
+//         -> dependency index: dirty answers + orphaned canonical keys
+//         -> ReliabilityCache::InvalidateKeys(orphans)  [not Clear()!]
+//         -> re-canonicalize only the dirty answers
+//   query -> RankPrepared over the per-answer canonicals (reader lock):
+//            clean answers hit the warm cache, dirty answers re-enter
+//            the bound/prune/resolve pipeline.
+//
+// Concurrency: a single writer (ApplyDelta) excludes in-flight RankTopK
+// readers with a shared_mutex — readers of epoch E never observe writer
+// E+1's partial mutations, which is the epoch guarantee a seqlock would
+// give without forcing expensive ranking requests to retry. Readers run
+// concurrently with each other and fan their per-candidate work out over
+// util/parallel's shared pool as usual.
+//
+// Determinism contract (asserted in tests and bench_ingest_updates):
+// after any sequence of deltas, RankTopK output is bit-identical to a
+// from-scratch RankingService::RankTopK on a fresh copy of the updated
+// graph, at any thread count, cache on or off — every resolved value is
+// a pure function of the canonical key, and clean answers keep keys that
+// are provably unchanged (their restricted subgraphs were untouched).
+
+#ifndef BIORANK_INGEST_UPDATE_APPLIER_H_
+#define BIORANK_INGEST_UPDATE_APPLIER_H_
+
+#include <cstddef>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/canonical.h"
+#include "core/query_graph.h"
+#include "ingest/delta.h"
+#include "ingest/dependency_index.h"
+#include "serve/ranking_service.h"
+#include "util/status.h"
+
+namespace biorank::ingest {
+
+/// Configuration for UpdateApplier. Canonicalization always runs with the
+/// owning service's CanonicalizeOptions (plus provenance collection) so
+/// the applier's keys are interchangeable with RankTopK's.
+struct UpdateApplierOptions {
+  /// Erase orphaned canonical keys from the service's reliability cache
+  /// on every delta. Disabling keeps stale entries around (they can never
+  /// be *wrong* — keys are pure functions of the subgraph — but they
+  /// waste capacity until the LRU ages them out).
+  bool invalidate_stale_keys = true;
+};
+
+/// What one ApplyDelta did, for observability and the ingest bench.
+struct ApplyReport {
+  int ops = 0;                   ///< Ops in the delta, all groups.
+  int nodes_added = 0;
+  int edges_added = 0;
+  int edges_removed = 0;
+  int edges_reweighted = 0;
+  int node_probs_revised = 0;
+  int source_priors_revised = 0;
+  int dirty_answers = 0;         ///< Answers re-entering the pipeline.
+  int clean_answers = 0;         ///< Answers whose canonicals survived.
+  size_t stale_keys = 0;         ///< Canonical keys orphaned by the delta.
+  size_t invalidated_entries = 0;///< Live cache entries actually dropped.
+};
+
+/// A live, updatable served query graph. Thread-safe: any number of
+/// concurrent RankTopK/GraphSnapshot readers, one ApplyDelta writer at a
+/// time.
+class UpdateApplier {
+ public:
+  /// Takes ownership of `graph` (the answer set stays fixed for the
+  /// session; deltas revise evidence, not the question). `service` must
+  /// outlive the applier. Canonicalizes every answer up front; a
+  /// canonicalization failure surfaces on the first method call.
+  UpdateApplier(QueryGraph graph, serve::RankingService* service,
+                UpdateApplierOptions options = {});
+
+  /// Validates and applies one delta under the writer lock, invalidates
+  /// exactly the orphaned cache keys, and re-canonicalizes exactly the
+  /// dirty answers. When `metrics` is non-null the delta is additionally
+  /// validated against the schema layer (Mediator::ApplyDelta passes its
+  /// metrics). On validation failure nothing changes.
+  Result<ApplyReport> ApplyDelta(const EvidenceDelta& delta,
+                                 const ProbabilisticMetrics* metrics =
+                                     nullptr);
+
+  /// Ranks the live answer set under the reader lock: clean answers ride
+  /// their kept canonicals (warm cache), dirty ones were re-canonicalized
+  /// by the last delta. Same semantics as RankingService::RankTopK.
+  Result<serve::TopKResult> RankTopK(int k) const;
+
+  /// Copy of the live graph (reader lock) — the from-scratch rebuild
+  /// reference in tests and benches ranks this.
+  QueryGraph GraphSnapshot() const;
+
+  int answer_count() const;
+
+  /// The dependency index. Not synchronized — inspect only while no
+  /// writer is running (tests).
+  const DependencyIndex& dependency_index() const { return index_; }
+
+  const UpdateApplierOptions& options() const { return options_; }
+
+ private:
+  /// Canonicalizes the given answers of the live graph (parallel, pure
+  /// per answer) and registers them in the dependency index. Requires the
+  /// writer lock (or the constructor's exclusivity).
+  Status Recanonicalize(const std::vector<int>& answer_indices);
+
+  mutable std::shared_mutex mu_;
+  QueryGraph graph_;
+  serve::RankingService* service_;
+  UpdateApplierOptions options_;
+  CanonicalizeOptions canonicalize_;
+  /// Per-answer canonicalizations; unique_ptr for pointer stability
+  /// across the vector (RankPrepared holds raw pointers during a
+  /// request; dirty slots are swapped whole under the writer lock).
+  std::vector<std::unique_ptr<CanonicalCandidate>> canonicals_;
+  DependencyIndex index_;
+  Status init_status_;
+};
+
+}  // namespace biorank::ingest
+
+#endif  // BIORANK_INGEST_UPDATE_APPLIER_H_

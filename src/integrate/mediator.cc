@@ -294,4 +294,24 @@ Result<RankedExploratoryResult> Mediator::RunRanked(
   return ranked;
 }
 
+Result<Mediator::LiveExploratoryQuery> Mediator::ServeLive(
+    const ExploratoryQuery& query, serve::RankingService& service) const {
+  Result<ExploratoryQueryResult> run = Run(query);
+  if (!run.ok()) return run.status();
+  LiveExploratoryQuery live;
+  live.go_node = std::move(run.value().go_node);
+  live.matched_proteins = run.value().matched_proteins;
+  live.applier = std::make_unique<ingest::UpdateApplier>(
+      std::move(run.value().query_graph), &service);
+  return live;
+}
+
+Result<ingest::ApplyReport> Mediator::ApplyDelta(
+    LiveExploratoryQuery& live, const ingest::EvidenceDelta& delta) const {
+  if (live.applier == nullptr) {
+    return Status::InvalidArgument("mediator: live query has no applier");
+  }
+  return live.applier->ApplyDelta(delta, &options_.metrics);
+}
+
 }  // namespace biorank

@@ -5,10 +5,13 @@
 #ifndef BIORANK_INTEGRATE_MEDIATOR_H_
 #define BIORANK_INTEGRATE_MEDIATOR_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 
 #include "core/query_graph.h"
+#include "ingest/delta.h"
+#include "ingest/update_applier.h"
 #include "integrate/exploratory_query.h"
 #include "schema/metrics.h"
 #include "serve/ranking_service.h"
@@ -72,6 +75,31 @@ class Mediator {
   /// anything larger than the answer set) ranks every answer.
   Result<RankedExploratoryResult> RunRanked(
       const ExploratoryQuery& query, serve::RankingService& service) const;
+
+  /// A live served query: the materialized graph wrapped in an ingest
+  /// UpdateApplier bound to `service`, plus the crawl bookkeeping. Where
+  /// RunRanked answers once and forgets, a live query stays resident so
+  /// evidence deltas can be applied between rankings.
+  struct LiveExploratoryQuery {
+    std::unique_ptr<ingest::UpdateApplier> applier;
+    /// GO-term ontology index -> answer node id (for building deltas and
+    /// gold-standard lookups against the live graph).
+    std::unordered_map<int, NodeId> go_node;
+    int matched_proteins = 0;
+  };
+
+  /// Materializes `query` and stands it up as a live served graph on
+  /// `service`. `service` must outlive the returned session.
+  Result<LiveExploratoryQuery> ServeLive(
+      const ExploratoryQuery& query, serve::RankingService& service) const;
+
+  /// Applies one evidence delta to a live query, validating it against
+  /// this mediator's schema metrics first (a revised source prior must
+  /// name a registered entity set — see ingest::ValidateDelta). The
+  /// applier invalidates exactly the orphaned reliability-cache keys and
+  /// re-canonicalizes exactly the dirtied answers.
+  Result<ingest::ApplyReport> ApplyDelta(
+      LiveExploratoryQuery& live, const ingest::EvidenceDelta& delta) const;
 
   const MediatorOptions& options() const { return options_; }
 

@@ -39,6 +39,11 @@ Status ProbabilisticMetrics::SetRelationshipConfidence(
   return Status::OK();
 }
 
+bool ProbabilisticMetrics::HasSourceConfidence(
+    const std::string& entity_set) const {
+  return ps_.count(entity_set) > 0;
+}
+
 double ProbabilisticMetrics::SourceConfidence(
     const std::string& entity_set) const {
   auto it = ps_.find(entity_set);

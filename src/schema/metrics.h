@@ -35,6 +35,12 @@ class ProbabilisticMetrics {
   Status SetRelationshipConfidence(const std::string& relationship,
                                    double qs);
 
+  /// Whether a set-level confidence was ever registered for the entity
+  /// set. The ingest layer validates EvidenceDelta source-prior revisions
+  /// against this: revising a source the schema does not know is a typo,
+  /// not an update.
+  bool HasSourceConfidence(const std::string& entity_set) const;
+
   /// ps of an entity set; 1.0 if never registered.
   double SourceConfidence(const std::string& entity_set) const;
 

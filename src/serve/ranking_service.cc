@@ -14,15 +14,6 @@ namespace biorank::serve {
 
 namespace {
 
-/// Per-answer request state; `unique_index` points into the request's
-/// deduplicated canonical-key table.
-struct CandidateState {
-  NodeId node = kInvalidNode;
-  CanonicalCandidate canonical;
-  Status canonical_status;
-  int unique_index = -1;
-};
-
 /// Per-unique-canonical-key request state. All resolution work happens
 /// at this level: candidates sharing a key share one computation.
 struct UniqueState {
@@ -42,21 +33,82 @@ RankingService::RankingService(RankingServiceOptions options)
   mc_trials_ = trials.ok() ? trials.value() : 0;  // 0 => error per request.
 }
 
+Status RankingService::CanonicalizeTargets(
+    const QueryGraph& graph, const std::vector<NodeId>& targets,
+    const CanonicalizeOptions& canonicalize,
+    std::vector<CanonicalCandidate>& out) {
+  ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : ThreadPool::Global();
+  const int max_parallelism = options_.num_threads == 0
+                                  ? ThreadPool::kUnlimitedParallelism
+                                  : options_.num_threads;
+  out.clear();
+  out.resize(targets.size());
+  std::vector<Status> status(targets.size());
+  pool.ParallelFor(
+      static_cast<int64_t>(targets.size()),
+      [&](int, int64_t i) {
+        Result<CanonicalCandidate> canonical = CanonicalizeCandidate(
+            graph, targets[static_cast<size_t>(i)], canonicalize);
+        if (canonical.ok()) {
+          out[static_cast<size_t>(i)] = std::move(canonical.value());
+        } else {
+          status[static_cast<size_t>(i)] = canonical.status();
+        }
+      },
+      max_parallelism);
+  for (const Status& s : status) {
+    BIORANK_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
 Result<TopKResult> RankingService::RankTopK(const QueryGraph& query_graph,
                                             int k) {
   BIORANK_RETURN_IF_ERROR(query_graph.Validate());
   if (k < 1) return Status::InvalidArgument("serve: k must be >= 1");
   if (mc_trials_ <= 0) {
+    // Also checked in RankPrepared; here it precedes the phase-1 fan-out
+    // so a misconfigured service fails in O(1), not O(answers).
     return Status::InvalidArgument(
         "serve: mc_epsilon must be in (0,1] and mc_delta in (0,1)");
+  }
+  const std::vector<NodeId>& answers = query_graph.answers;
+
+  // Phase 1 — canonicalize every candidate (pure per candidate, so the
+  // fan-out is deterministic at any thread count).
+  std::vector<CanonicalCandidate> canonicals;
+  BIORANK_RETURN_IF_ERROR(CanonicalizeTargets(query_graph, answers,
+                                              options_.canonicalize,
+                                              canonicals));
+
+  std::vector<PreparedCandidate> prepared(answers.size());
+  for (size_t i = 0; i < answers.size(); ++i) {
+    prepared[i].node = answers[i];
+    prepared[i].canonical = &canonicals[i];
+  }
+  return RankPrepared(prepared, k);
+}
+
+Result<TopKResult> RankingService::RankPrepared(
+    const std::vector<PreparedCandidate>& candidates, int k) {
+  if (k < 1) return Status::InvalidArgument("serve: k must be >= 1");
+  if (mc_trials_ <= 0) {
+    return Status::InvalidArgument(
+        "serve: mc_epsilon must be in (0,1] and mc_delta in (0,1)");
+  }
+  for (const PreparedCandidate& c : candidates) {
+    if (c.canonical == nullptr) {
+      return Status::InvalidArgument(
+          "serve: prepared candidate without a canonicalization");
+    }
   }
 
   TopKResult result;
   RequestStats& stats = result.stats;
-  const std::vector<NodeId>& answers = query_graph.answers;
-  stats.candidates = static_cast<int>(answers.size());
-  if (answers.empty()) return result;
-  k = std::min(k, static_cast<int>(answers.size()));
+  stats.candidates = static_cast<int>(candidates.size());
+  if (candidates.empty()) return result;
+  k = std::min(k, static_cast<int>(candidates.size()));
 
   ThreadPool& pool =
       options_.pool != nullptr ? *options_.pool : ThreadPool::Global();
@@ -64,48 +116,29 @@ Result<TopKResult> RankingService::RankTopK(const QueryGraph& query_graph,
                                   ? ThreadPool::kUnlimitedParallelism
                                   : options_.num_threads;
 
-  // Phase 1 — canonicalize every candidate (pure per candidate, so the
-  // fan-out is deterministic at any thread count).
-  std::vector<CandidateState> candidates(answers.size());
-  pool.ParallelFor(
-      static_cast<int64_t>(answers.size()),
-      [&](int, int64_t i) {
-        CandidateState& c = candidates[static_cast<size_t>(i)];
-        c.node = answers[static_cast<size_t>(i)];
-        Result<CanonicalCandidate> canonical =
-            CanonicalizeCandidate(query_graph, c.node, options_.canonicalize);
-        if (canonical.ok()) {
-          c.canonical = std::move(canonical.value());
-        } else {
-          c.canonical_status = canonical.status();
-        }
-      },
-      max_parallelism);
-  for (const CandidateState& c : candidates) {
-    if (!c.canonical_status.ok()) return c.canonical_status;
-  }
-
   // Phase 2 — dedup by canonical repr and look the unique keys up in the
   // cache (sequential: hit/miss accounting and LRU order stay
   // deterministic). Request-local duplicates count as hits — they are
   // served from the shared computation.
   std::vector<UniqueState> uniques;
   uniques.reserve(candidates.size());
+  std::vector<int> unique_index(candidates.size(), -1);
   std::unordered_map<std::string_view, int> by_repr;
   by_repr.reserve(candidates.size());
-  for (CandidateState& c : candidates) {
+  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+    const PreparedCandidate& c = candidates[ci];
     auto [it, inserted] = by_repr.try_emplace(
-        std::string_view(c.canonical.key.repr),
+        std::string_view(c.canonical->key.repr),
         static_cast<int>(uniques.size()));
-    c.unique_index = it->second;
+    unique_index[ci] = it->second;
     if (!inserted) {
       ++stats.cache_hits;
       continue;
     }
     UniqueState u;
-    u.canonical = &c.canonical;
+    u.canonical = c.canonical;
     if (options_.enable_cache) {
-      std::optional<CacheEntry> got = cache_.Get(c.canonical.key);
+      std::optional<CacheEntry> got = cache_.Get(c.canonical->key);
       if (got.has_value()) {
         ++stats.cache_hits;
         u.entry = *got;
@@ -151,8 +184,8 @@ Result<TopKResult> RankingService::RankTopK(const QueryGraph& query_graph,
   // upper bound is strictly below this provably cannot make the top k.
   std::vector<double> lowers;
   lowers.reserve(candidates.size());
-  for (const CandidateState& c : candidates) {
-    const UniqueState& u = uniques[static_cast<size_t>(c.unique_index)];
+  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+    const UniqueState& u = uniques[static_cast<size_t>(unique_index[ci])];
     lowers.push_back(u.entry.has_value ? u.entry.value : u.entry.lower);
   }
   std::nth_element(lowers.begin(), lowers.begin() + (k - 1), lowers.end(),
@@ -257,11 +290,11 @@ Result<TopKResult> RankingService::RankTopK(const QueryGraph& query_graph,
   }
 
   // Phase 8 — rank the resolved candidates and truncate to k.
-  for (const CandidateState& c : candidates) {
-    const UniqueState& u = uniques[static_cast<size_t>(c.unique_index)];
+  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+    const UniqueState& u = uniques[static_cast<size_t>(unique_index[ci])];
     if (!u.entry.has_value) continue;  // Pruned: provably outside top k.
     RankedCandidate ranked;
-    ranked.node = c.node;
+    ranked.node = candidates[ci].node;
     ranked.reliability = u.entry.value;
     ranked.exact = u.entry.exact;
     ranked.resolution = u.resolution;
@@ -276,6 +309,10 @@ Result<TopKResult> RankingService::RankTopK(const QueryGraph& query_graph,
             });
   if (static_cast<int>(result.top.size()) > k) result.top.resize(k);
   return result;
+}
+
+size_t RankingService::OnDelta(const std::vector<CanonicalKey>& stale_keys) {
+  return cache_.InvalidateKeys(stale_keys);
 }
 
 }  // namespace biorank::serve

@@ -120,9 +120,21 @@ struct TopKResult {
   RequestStats stats;
 };
 
+/// A candidate whose canonicalization the caller already holds. The
+/// ingest layer keeps one CanonicalCandidate per live answer across
+/// deltas and re-canonicalizes only the answers a delta dirtied; ranking
+/// through RankPrepared then skips phase 1 for every clean answer while
+/// sharing the bound/prune/resolve pipeline (and therefore bit-identical
+/// output) with RankTopK.
+struct PreparedCandidate {
+  NodeId node = kInvalidNode;  ///< Answer id in the caller's graph.
+  const CanonicalCandidate* canonical = nullptr;  ///< Non-null, caller-owned.
+};
+
 /// Thread-compatible ranking service; one instance owns the process-wide
-/// reliability cache. Requests are answered sequentially (the
-/// parallelism is inside a request, across candidates and MC shards).
+/// reliability cache. RankTopK / RankPrepared may be called from multiple
+/// threads (all request state is local and the cache is sharded); the
+/// parallelism of one request fans out across candidates and MC shards.
 class RankingService {
  public:
   explicit RankingService(RankingServiceOptions options = {});
@@ -130,6 +142,37 @@ class RankingService {
   /// Ranks `query_graph`'s answer set by reliability and returns the top
   /// k (clamped to the answer count; k < 1 is an error).
   Result<TopKResult> RankTopK(const QueryGraph& query_graph, int k);
+
+  /// Same pipeline starting from caller-held canonicalizations (phases
+  /// 2-8 of RankTopK). Because every resolved value is a pure function of
+  /// the canonical key, the output for a graph is bit-identical whether
+  /// the canonicals were computed fresh (RankTopK) or carried across
+  /// deltas by the ingest layer.
+  Result<TopKResult> RankPrepared(
+      const std::vector<PreparedCandidate>& candidates, int k);
+
+  /// Ingest invalidation hook: erases the given canonical keys from the
+  /// reliability cache (the keys an applied EvidenceDelta orphaned) and
+  /// returns how many live entries were dropped. Everything else in the
+  /// cache stays warm — this is the "invalidate exactly the affected
+  /// entries instead of flushing" contract. Exactness is per live graph:
+  /// a caller's orphan may be isomorphic to an answer of *another* live
+  /// graph on this service, in which case that graph re-resolves it on
+  /// its next request — wasted work, never a wrong value (keys are pure
+  /// functions of the subgraph). A service-wide key refcount would close
+  /// this; at current sharing rates the conservative drop is cheaper.
+  size_t OnDelta(const std::vector<CanonicalKey>& stale_keys);
+
+  /// Canonicalizes `targets` of `graph` in parallel over the
+  /// service-configured pool (pure per target; deterministic at any
+  /// thread count), writing `out[i]` for `targets[i]`. RankTopK's phase
+  /// 1 and the ingest applier's dirty-answer re-canonicalization share
+  /// this one fan-out, so pool selection, parallelism caps, and error
+  /// propagation cannot drift apart.
+  Status CanonicalizeTargets(const QueryGraph& graph,
+                             const std::vector<NodeId>& targets,
+                             const CanonicalizeOptions& canonicalize,
+                             std::vector<CanonicalCandidate>& out);
 
   ReliabilityCache& cache() { return cache_; }
   const ReliabilityCache& cache() const { return cache_; }

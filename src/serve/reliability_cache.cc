@@ -56,14 +56,40 @@ void ReliabilityCache::Put(const CanonicalKey& key, const CacheEntry& entry) {
   }
 }
 
+bool ReliabilityCache::Erase(const CanonicalKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key.repr);
+  if (it == shard.index.end()) return false;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+  ++shard.invalidations;
+  return true;
+}
+
+size_t ReliabilityCache::InvalidateKeys(const std::vector<CanonicalKey>& keys) {
+  size_t erased = 0;
+  for (const CanonicalKey& key : keys) {
+    if (Erase(key)) ++erased;
+  }
+  return erased;
+}
+
 CacheStats ReliabilityCache::Stats() const {
+  // Hold every shard lock at once so the aggregated snapshot is a true
+  // point-in-time state, not a smear across in-flight mutations. Stats()
+  // is the only site locking more than one shard, so the fixed ascending
+  // order cannot deadlock against the single-shard operations.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mu);
   CacheStats stats;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
     stats.hits += shard->hits;
     stats.misses += shard->misses;
     stats.insertions += shard->insertions;
     stats.evictions += shard->evictions;
+    stats.invalidations += shard->invalidations;
     stats.entries += shard->index.size();
   }
   return stats;
@@ -72,6 +98,7 @@ CacheStats ReliabilityCache::Stats() const {
 void ReliabilityCache::Clear() {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
+    shard->invalidations += shard->index.size();
     shard->lru.clear();
     shard->index.clear();
   }

@@ -36,12 +36,15 @@ struct CacheEntry {
   int64_t trials = 0;       ///< MC trials spent (0 for exact values).
 };
 
-/// Monotonic counters; `entries` is the current live total.
+/// Monotonic counters; `entries` is the current live total. The snapshot
+/// satisfies `insertions - evictions - invalidations == entries` because
+/// Stats() holds every shard lock at once (see Stats()).
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t insertions = 0;
-  uint64_t evictions = 0;
+  uint64_t evictions = 0;       ///< Capacity-driven LRU drops.
+  uint64_t invalidations = 0;   ///< Entries dropped by Erase/InvalidateKeys/Clear.
   uint64_t entries = 0;
 
   double HitRate() const {
@@ -77,10 +80,27 @@ class ReliabilityCache {
   /// recently used; evicts the shard's LRU tail beyond capacity.
   void Put(const CanonicalKey& key, const CacheEntry& entry);
 
-  /// Snapshot of the counters.
+  /// Removes the entry for `key` if present; returns whether one was
+  /// removed. Counts one invalidation when it was. Never counts a
+  /// hit/miss — invalidation is bookkeeping, not a lookup.
+  bool Erase(const CanonicalKey& key);
+
+  /// Batch Erase: removes every present key and returns how many entries
+  /// were dropped. The ingest layer calls this with exactly the canonical
+  /// keys an applied EvidenceDelta orphaned, so the rest of the cache
+  /// stays warm across updates (the alternative — Clear() — discards
+  /// every unaffected answer's bounds and values too).
+  size_t InvalidateKeys(const std::vector<CanonicalKey>& keys);
+
+  /// Race-free aggregated snapshot: all shard locks are held at once (the
+  /// only multi-shard lock site, so lock order is trivially consistent),
+  /// making the cross-shard totals a true point-in-time state — under
+  /// concurrent mutation, `insertions - evictions - invalidations ==
+  /// entries` still holds in the returned value.
   CacheStats Stats() const;
 
-  /// Drops every entry (counters are kept).
+  /// Drops every entry (monotonic counters are kept; the dropped entries
+  /// count as invalidations).
   void Clear();
 
   const ReliabilityCacheOptions& options() const { return options_; }
@@ -97,6 +117,7 @@ class ReliabilityCache {
     uint64_t misses = 0;
     uint64_t insertions = 0;
     uint64_t evictions = 0;
+    uint64_t invalidations = 0;
   };
 
   Shard& ShardFor(const CanonicalKey& key);

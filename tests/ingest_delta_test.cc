@@ -1,0 +1,203 @@
+// EvidenceDelta validation and application semantics: ids and
+// probability ranges checked up front, schema-layer entity-set checks,
+// in-delta new-node references, and the fixed deterministic apply order.
+
+#include "ingest/delta.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query_graph.h"
+#include "integrate/mediator.h"
+
+namespace biorank::ingest {
+namespace {
+
+/// s -(0.5)-> a -(0.8)-> t, with entity sets on a and t.
+struct SmallGraph {
+  QueryGraph graph;
+  NodeId a = kInvalidNode;
+  NodeId t = kInvalidNode;
+  EdgeId sa = -1;
+  EdgeId at = -1;
+};
+
+SmallGraph MakeSmall() {
+  SmallGraph g;
+  QueryGraphBuilder b;
+  NodeId s = b.Source();
+  g.a = b.Node(0.9, "ann", "AmiGO");
+  g.t = b.Node(1.0, "go", "GO");
+  g.sa = b.Edge(s, g.a, 0.5);
+  g.at = b.Edge(g.a, g.t, 0.8);
+  g.graph = std::move(b).Build({g.t});
+  return g;
+}
+
+TEST(EvidenceDeltaTest, EmptyDeltaIsValidAndEmpty) {
+  SmallGraph g = MakeSmall();
+  EvidenceDelta delta;
+  EXPECT_TRUE(delta.empty());
+  EXPECT_EQ(delta.size(), 0);
+  EXPECT_TRUE(ValidateDelta(delta, g.graph).ok());
+  Result<AppliedDelta> applied = ApplyDeltaToGraph(delta, g.graph);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_TRUE(applied.value().new_nodes.empty());
+}
+
+TEST(EvidenceDeltaTest, ProbabilityRangesAreChecked) {
+  SmallGraph g = MakeSmall();
+  EvidenceDelta bad_node;
+  bad_node.add_nodes.push_back({1.5, "x", "AmiGO"});
+  EXPECT_EQ(ValidateDelta(bad_node, g.graph).code(),
+            StatusCode::kInvalidArgument);
+
+  EvidenceDelta bad_reweight;
+  bad_reweight.reweight_edges.push_back({g.sa, -0.1});
+  EXPECT_EQ(ValidateDelta(bad_reweight, g.graph).code(),
+            StatusCode::kInvalidArgument);
+
+  EvidenceDelta bad_ratio;
+  bad_ratio.revise_source_priors.push_back({"AmiGO", -1.0});
+  EXPECT_EQ(ValidateDelta(bad_ratio, g.graph).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EvidenceDeltaTest, DeadIdsAreRejected) {
+  SmallGraph g = MakeSmall();
+  EvidenceDelta bad_edge;
+  bad_edge.remove_edges.push_back({99});
+  EXPECT_EQ(ValidateDelta(bad_edge, g.graph).code(), StatusCode::kNotFound);
+
+  EvidenceDelta bad_node;
+  bad_node.revise_node_probs.push_back({42, 0.5});
+  EXPECT_EQ(ValidateDelta(bad_node, g.graph).code(), StatusCode::kNotFound);
+
+  EvidenceDelta bad_endpoint;
+  bad_endpoint.add_edges.push_back({g.a, 42, 0.5});
+  EXPECT_EQ(ValidateDelta(bad_endpoint, g.graph).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(EvidenceDeltaTest, SourceNodeIsProtected) {
+  SmallGraph g = MakeSmall();
+  EvidenceDelta revise_source;
+  revise_source.revise_node_probs.push_back({g.graph.source, 0.5});
+  EXPECT_EQ(ValidateDelta(revise_source, g.graph).code(),
+            StatusCode::kInvalidArgument);
+
+  EvidenceDelta edge_into_source;
+  edge_into_source.add_edges.push_back({g.a, g.graph.source, 0.5});
+  EXPECT_EQ(ValidateDelta(edge_into_source, g.graph).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EvidenceDeltaTest, NewNodeRefsResolveWithinTheDelta) {
+  SmallGraph g = MakeSmall();
+  EvidenceDelta delta;
+  delta.add_nodes.push_back({0.7, "fresh-ann", "AmiGO"});
+  delta.add_edges.push_back(
+      {g.graph.source, EvidenceDelta::NewNodeRef(0), 0.6});
+  delta.add_edges.push_back({EvidenceDelta::NewNodeRef(0), g.t, 0.4});
+  ASSERT_TRUE(ValidateDelta(delta, g.graph).ok());
+
+  EvidenceDelta out_of_range;
+  out_of_range.add_edges.push_back(
+      {g.graph.source, EvidenceDelta::NewNodeRef(3), 0.6});
+  EXPECT_EQ(ValidateDelta(out_of_range, g.graph).code(),
+            StatusCode::kOutOfRange);
+
+  int nodes_before = g.graph.graph.num_nodes();
+  int edges_before = g.graph.graph.num_edges();
+  Result<AppliedDelta> applied = ApplyDeltaToGraph(delta, g.graph);
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  ASSERT_EQ(applied.value().new_nodes.size(), 1u);
+  ASSERT_EQ(applied.value().new_edges.size(), 2u);
+  EXPECT_EQ(g.graph.graph.num_nodes(), nodes_before + 1);
+  EXPECT_EQ(g.graph.graph.num_edges(), edges_before + 2);
+  NodeId fresh = applied.value().new_nodes[0];
+  EXPECT_DOUBLE_EQ(g.graph.graph.node(fresh).p, 0.7);
+  EXPECT_EQ(g.graph.graph.node(fresh).entity_set, "AmiGO");
+  EXPECT_EQ(g.graph.graph.edge(applied.value().new_edges[1]).from, fresh);
+  EXPECT_EQ(g.graph.graph.edge(applied.value().new_edges[1]).to, g.t);
+}
+
+TEST(EvidenceDeltaTest, SelfLoopEvidenceIsRejected) {
+  SmallGraph g = MakeSmall();
+  EvidenceDelta delta;
+  delta.add_edges.push_back({g.a, g.a, 0.5});
+  EXPECT_EQ(ValidateDelta(delta, g.graph).code(),
+            StatusCode::kInvalidArgument);
+  EvidenceDelta new_self;
+  new_self.add_nodes.push_back({0.5, "", ""});
+  new_self.add_edges.push_back(
+      {EvidenceDelta::NewNodeRef(0), EvidenceDelta::NewNodeRef(0), 0.5});
+  EXPECT_EQ(ValidateDelta(new_self, g.graph).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EvidenceDeltaTest, RemoveAndReweightOfOneEdgeIsRejected) {
+  // Removes apply before reweights; allowing both on one edge would
+  // silently drop the reweight, so validation rejects the combination.
+  SmallGraph g = MakeSmall();
+  EvidenceDelta delta;
+  delta.remove_edges.push_back({g.at});
+  delta.reweight_edges.push_back({g.at, 0.9});
+  EXPECT_EQ(ValidateDelta(delta, g.graph).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EvidenceDeltaTest, ApplyMutatesInFixedGroupOrder) {
+  SmallGraph g = MakeSmall();
+  EvidenceDelta delta;
+  delta.reweight_edges.push_back({g.sa, 0.25});
+  delta.remove_edges.push_back({g.at});
+  delta.revise_node_probs.push_back({g.a, 0.4});
+  Result<AppliedDelta> applied = ApplyDeltaToGraph(delta, g.graph);
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  EXPECT_DOUBLE_EQ(g.graph.graph.edge(g.sa).q, 0.25);
+  EXPECT_FALSE(g.graph.graph.IsValidEdge(g.at));
+  EXPECT_DOUBLE_EQ(g.graph.graph.node(g.a).p, 0.4);
+}
+
+TEST(EvidenceDeltaTest, SourcePriorScalesEveryNodeOfTheSetClamped) {
+  SmallGraph g = MakeSmall();
+  EvidenceDelta delta;
+  delta.revise_source_priors.push_back({"AmiGO", 0.5});
+  delta.revise_source_priors.push_back({"GO", 1.5});  // Clamps at 1.
+  ASSERT_TRUE(ApplyDeltaToGraph(delta, g.graph).ok());
+  EXPECT_DOUBLE_EQ(g.graph.graph.node(g.a).p, 0.45);  // 0.9 * 0.5.
+  EXPECT_DOUBLE_EQ(g.graph.graph.node(g.t).p, 1.0);   // min(1, 1 * 1.5).
+}
+
+TEST(EvidenceDeltaTest, SchemaValidationRequiresRegisteredEntitySets) {
+  SmallGraph g = MakeSmall();
+  ProbabilisticMetrics metrics = MakeDefaultBioRankMetrics();
+  EvidenceDelta unknown_prior;
+  unknown_prior.revise_source_priors.push_back({"NoSuchSource", 0.9});
+  EXPECT_TRUE(ValidateDelta(unknown_prior, g.graph).ok())
+      << "structural validation does not know the schema";
+  EXPECT_EQ(ValidateDelta(unknown_prior, g.graph, metrics).code(),
+            StatusCode::kNotFound);
+
+  EvidenceDelta unknown_node;
+  unknown_node.add_nodes.push_back({0.5, "x", "NoSuchSource"});
+  EXPECT_EQ(ValidateDelta(unknown_node, g.graph, metrics).code(),
+            StatusCode::kNotFound);
+
+  EvidenceDelta known;
+  known.revise_source_priors.push_back({"AmiGO", 0.9});
+  known.add_nodes.push_back({0.5, "x", "PfamDomain"});
+  EXPECT_TRUE(ValidateDelta(known, g.graph, metrics).ok());
+}
+
+TEST(EvidenceDeltaTest, ValidationFailureLeavesTheGraphUntouched) {
+  SmallGraph g = MakeSmall();
+  EvidenceDelta delta;
+  delta.reweight_edges.push_back({g.sa, 0.25});  // Valid...
+  delta.revise_node_probs.push_back({42, 0.5});  // ...but this is not.
+  ASSERT_FALSE(ApplyDeltaToGraph(delta, g.graph).ok());
+  EXPECT_DOUBLE_EQ(g.graph.graph.edge(g.sa).q, 0.5) << "partial apply";
+}
+
+}  // namespace
+}  // namespace biorank::ingest

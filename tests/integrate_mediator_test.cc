@@ -218,6 +218,112 @@ TEST_F(MediatorTest, RunRankedServesTopKThroughTheRankingService) {
   EXPECT_GE(full.value().ranked.top.size(), 5u);
 }
 
+TEST_F(MediatorTest, RunRankedKEdgeCases) {
+  const Protein& protein = universe_.protein(universe_.well_studied()[1]);
+  serve::RankingService service;
+
+  // k = 0 ranks the full answer set.
+  Result<RankedExploratoryResult> full = mediator_.RunRanked(
+      MakeProteinFunctionTopKQuery(protein.gene_symbol, 0), service);
+  ASSERT_TRUE(full.ok()) << full.status();
+  size_t answers = full.value().result.query_graph.answers.size();
+  ASSERT_GT(answers, 0u);
+  EXPECT_EQ(full.value().ranked.top.size(), answers);
+
+  // k far beyond the answer count clamps to the answer count and yields
+  // the same ranking as k = 0.
+  Result<RankedExploratoryResult> huge = mediator_.RunRanked(
+      MakeProteinFunctionTopKQuery(protein.gene_symbol,
+                                   static_cast<int>(answers) + 1000),
+      service);
+  ASSERT_TRUE(huge.ok()) << huge.status();
+  ASSERT_EQ(huge.value().ranked.top.size(), answers);
+  for (size_t i = 0; i < answers; ++i) {
+    EXPECT_EQ(huge.value().ranked.top[i].node,
+              full.value().ranked.top[i].node);
+    EXPECT_EQ(huge.value().ranked.top[i].reliability,
+              full.value().ranked.top[i].reliability);
+  }
+
+  // Negative top_k behaves like 0 (RunRanked treats <= 0 as "rank all").
+  Result<RankedExploratoryResult> negative = mediator_.RunRanked(
+      MakeProteinFunctionTopKQuery(protein.gene_symbol, -3), service);
+  ASSERT_TRUE(negative.ok()) << negative.status();
+  EXPECT_EQ(negative.value().ranked.top.size(), answers);
+}
+
+TEST_F(MediatorTest, RunRankedEmptyQueryRelevantSubgraphAnswers) {
+  // Answers whose evidence subgraph is empty (reliability exactly 0)
+  // must survive a full ranking: the mediator's graphs always support
+  // every answer, so serve the request through the service on a
+  // mediator graph with one answer's evidence severed.
+  const Protein& protein = universe_.protein(universe_.well_studied()[2]);
+  Result<ExploratoryQueryResult> run =
+      mediator_.Run(MakeProteinFunctionQuery(protein.gene_symbol));
+  ASSERT_TRUE(run.ok()) << run.status();
+  QueryGraph graph = std::move(run.value().query_graph);
+  ASSERT_GT(graph.answers.size(), 1u);
+  // Sever every in-edge of the first answer: its query-relevant
+  // subgraph becomes empty.
+  NodeId severed = graph.answers[0];
+  for (EdgeId e : graph.graph.InEdges(severed)) {
+    graph.graph.RemoveEdge(e);
+  }
+  serve::RankingService service;
+  Result<serve::TopKResult> ranked =
+      service.RankTopK(graph, static_cast<int>(graph.answers.size()));
+  ASSERT_TRUE(ranked.ok()) << ranked.status();
+  ASSERT_EQ(ranked.value().top.size(), graph.answers.size());
+  const serve::RankedCandidate& last = ranked.value().top.back();
+  EXPECT_EQ(last.node, severed);
+  EXPECT_DOUBLE_EQ(last.reliability, 0.0);
+}
+
+TEST_F(MediatorTest, ServeLiveAppliesDeltasIncrementally) {
+  const Protein& protein = universe_.protein(universe_.well_studied()[0]);
+  serve::RankingService service;
+  Result<Mediator::LiveExploratoryQuery> live = mediator_.ServeLive(
+      MakeProteinFunctionQuery(protein.gene_symbol), service);
+  ASSERT_TRUE(live.ok()) << live.status();
+  ASSERT_NE(live.value().applier, nullptr);
+  EXPECT_FALSE(live.value().go_node.empty());
+
+  Result<serve::TopKResult> before = live.value().applier->RankTopK(5);
+  ASSERT_TRUE(before.ok()) << before.status();
+
+  // A schema-validated delta: AmiGO's prior is revised downward.
+  ingest::EvidenceDelta delta;
+  delta.revise_source_priors.push_back({"AmiGO", 0.9});
+  Result<ingest::ApplyReport> report =
+      mediator_.ApplyDelta(live.value(), delta);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT(report.value().dirty_answers, 0);
+
+  // An unknown source is rejected by the mediator's schema metrics.
+  ingest::EvidenceDelta unknown;
+  unknown.revise_source_priors.push_back({"NoSuchSource", 0.9});
+  EXPECT_EQ(mediator_.ApplyDelta(live.value(), unknown).status().code(),
+            StatusCode::kNotFound);
+
+  // The live ranking after the delta matches a from-scratch service on
+  // the updated graph.
+  Result<serve::TopKResult> after = live.value().applier->RankTopK(5);
+  ASSERT_TRUE(after.ok()) << after.status();
+  serve::RankingServiceOptions reference_options;
+  reference_options.enable_cache = false;
+  reference_options.num_threads = 1;
+  serve::RankingService reference(reference_options);
+  Result<serve::TopKResult> rebuilt =
+      reference.RankTopK(live.value().applier->GraphSnapshot(), 5);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  ASSERT_EQ(after.value().top.size(), rebuilt.value().top.size());
+  for (size_t i = 0; i < after.value().top.size(); ++i) {
+    EXPECT_EQ(after.value().top[i].node, rebuilt.value().top[i].node);
+    EXPECT_EQ(after.value().top[i].reliability,
+              rebuilt.value().top[i].reliability);
+  }
+}
+
 TEST_F(MediatorTest, DefaultMetricsMatchSection2Narrative) {
   ProbabilisticMetrics metrics = MakeDefaultBioRankMetrics();
   // PIRSF is trusted more than Pfam; profile HMMs more than raw BLAST.

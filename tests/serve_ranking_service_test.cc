@@ -196,6 +196,48 @@ TEST(RankingServiceTest, IsomorphicAnswersShareOneResolution) {
             result.value().top[1].reliability);
 }
 
+TEST(RankingServiceTest, EmptyAnswerSetReturnsEmptyResult) {
+  QueryGraphBuilder b;
+  NodeId s = b.Source();
+  NodeId m = b.Node(0.9);
+  b.Edge(s, m, 0.5);
+  QueryGraph g = std::move(b).Build({});
+  RankingService service;
+  Result<TopKResult> result = service.RankTopK(g, 3);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result.value().top.empty());
+  EXPECT_EQ(result.value().stats.candidates, 0);
+}
+
+TEST(RankingServiceTest, UnreachableAnswerHasEmptyEvidenceSubgraph) {
+  // An answer with no path from the query node: its query-relevant
+  // subgraph is empty, its reliability is exactly 0, and it must still
+  // appear in a full ranking (below every supported answer).
+  QueryGraphBuilder b;
+  NodeId s = b.Source();
+  NodeId supported = b.Node(1.0);
+  NodeId stranded = b.Node(1.0);
+  b.Edge(s, supported, 0.7);
+  QueryGraph g = std::move(b).Build({supported, stranded});
+  RankingService service;
+  Result<TopKResult> result = service.RankTopK(g, 2);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result.value().top.size(), 2u);
+  EXPECT_EQ(result.value().top[0].node, supported);
+  EXPECT_DOUBLE_EQ(result.value().top[0].reliability, 0.7);
+  EXPECT_EQ(result.value().top[1].node, stranded);
+  EXPECT_DOUBLE_EQ(result.value().top[1].reliability, 0.0);
+  EXPECT_TRUE(result.value().top[1].exact);
+}
+
+TEST(RankingServiceTest, RankPreparedRejectsNullCanonicals) {
+  RankingService service;
+  std::vector<PreparedCandidate> prepared(1);
+  prepared[0].node = 1;
+  EXPECT_EQ(service.RankPrepared(prepared, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(RankingServiceTest, InvalidRequestsAreRejected) {
   QueryGraph g = MakeFig4aSerialParallel();
   RankingService service;

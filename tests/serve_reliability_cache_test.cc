@@ -107,6 +107,111 @@ TEST(ReliabilityCacheTest, ClearDropsEntriesKeepsCounters) {
   EXPECT_EQ(stats.hits, 1u);
 }
 
+TEST(ReliabilityCacheTest, EraseDropsOneEntryAndCounts) {
+  ReliabilityCache cache;
+  cache.Put(Key("a"), Value(0.1));
+  cache.Put(Key("b"), Value(0.2));
+  EXPECT_TRUE(cache.Erase(Key("a")));
+  EXPECT_FALSE(cache.Erase(Key("a"))) << "second erase finds nothing";
+  EXPECT_FALSE(cache.Erase(Key("never-inserted")));
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.invalidations, 1u);
+  // Erase is bookkeeping, not a lookup: no hit/miss accounting.
+  EXPECT_EQ(stats.hits + stats.misses, 0u);
+  EXPECT_FALSE(cache.Get(Key("a")).has_value());
+  EXPECT_TRUE(cache.Get(Key("b")).has_value());
+}
+
+TEST(ReliabilityCacheTest, InvalidateKeysReportsOnlyLiveDrops) {
+  ReliabilityCache cache;
+  cache.Put(Key("a"), Value(0.1));
+  cache.Put(Key("b"), Value(0.2));
+  cache.Put(Key("c"), Value(0.3));
+  EXPECT_EQ(cache.InvalidateKeys({Key("a"), Key("c"), Key("ghost")}), 2u);
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.invalidations, 2u);
+  EXPECT_TRUE(cache.Get(Key("b")).has_value());
+}
+
+TEST(ReliabilityCacheTest, ClearCountsDroppedEntriesAsInvalidations) {
+  ReliabilityCache cache;
+  cache.Put(Key("a"), Value(0.1));
+  cache.Put(Key("b"), Value(0.2));
+  cache.Clear();
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.invalidations, 2u);
+  EXPECT_EQ(stats.insertions, 2u);
+}
+
+TEST(ReliabilityCacheTest, StatsSnapshotBalancesAcrossShards) {
+  // insertions - evictions - invalidations == entries must hold in any
+  // Stats() snapshot; with the all-shard lock it holds even while other
+  // threads mutate (checked concurrently below).
+  ReliabilityCacheOptions options;
+  options.capacity = 16;
+  options.shards = 4;
+  ReliabilityCache cache(options);
+  for (int i = 0; i < 100; ++i) {
+    cache.Put(Key("k" + std::to_string(i)), Value(0.5));
+    if (i % 3 == 0) cache.Erase(Key("k" + std::to_string(i / 2)));
+    if (i == 50) cache.Clear();
+  }
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.insertions - stats.evictions - stats.invalidations,
+            stats.entries);
+}
+
+TEST(ReliabilityCacheTest, ConcurrentEvictionEraseAndClearAreRaceFree) {
+  // The satellite concurrency test: every pool thread mixes puts, gets,
+  // erases, batch invalidations, clears, and Stats() snapshots on a
+  // cache small enough to evict constantly. Run under TSan in CI; the
+  // inline assertion is the snapshot balance invariant, which the
+  // all-shard Stats() lock must keep true at any instant.
+  ReliabilityCacheOptions options;
+  options.capacity = 24;
+  options.shards = 4;
+  ReliabilityCache cache(options);
+  ThreadPool pool(3);
+  constexpr int kShards = 48;
+  constexpr int kOpsPerShard = 150;
+  pool.ParallelFor(kShards, [&](int, int64_t shard) {
+    for (int op = 0; op < kOpsPerShard; ++op) {
+      int key_index = (static_cast<int>(shard) * 11 + op) % 64;
+      CanonicalKey key = Key("k" + std::to_string(key_index));
+      switch ((static_cast<int>(shard) + op) % 5) {
+        case 0:
+          cache.Put(key, Value(key_index / 100.0));
+          break;
+        case 1:
+          cache.Get(key);
+          break;
+        case 2:
+          cache.Erase(key);
+          break;
+        case 3:
+          cache.InvalidateKeys(
+              {key, Key("k" + std::to_string((key_index + 1) % 64))});
+          break;
+        default: {
+          if (op % 50 == 0) cache.Clear();
+          CacheStats stats = cache.Stats();
+          EXPECT_EQ(
+              stats.insertions - stats.evictions - stats.invalidations,
+              stats.entries);
+          break;
+        }
+      }
+    }
+  });
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.insertions - stats.evictions - stats.invalidations,
+            stats.entries);
+  EXPECT_LE(stats.entries, 24u);
+}
+
 TEST(ReliabilityCacheTest, ConcurrentMixedGetsAndPutsAreRaceFree) {
   // Hammer a small cache from every pool thread with overlapping keys so
   // shards see concurrent hits, inserts, upgrades, and evictions. The
