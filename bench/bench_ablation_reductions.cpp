@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "api/server.h"
 #include "bench_json.h"
 #include "bench_util.h"
 #include "core/reduction.h"
@@ -36,7 +37,8 @@ int main() {
 
   bench::WallTimer total_timer;
   bench::JsonReport json("ablation_reductions");
-  ScenarioHarness harness;
+  api::Server server;
+  const ScenarioHarness& harness = server.harness();
   Result<std::vector<ScenarioQuery>> queries =
       harness.BuildQueries(ScenarioId::kScenario1WellKnown);
   if (!queries.ok()) {

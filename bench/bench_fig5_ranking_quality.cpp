@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "api/server.h"
 #include "bench_json.h"
 #include "bench_util.h"
 #include "eval/experiment_stats.h"
@@ -24,7 +25,8 @@ int main() {
   std::cout << "=== Figure 5: ranking quality across scenarios ===\n\n";
 
   bench::WallTimer total_timer;
-  ScenarioHarness harness;
+  api::Server server;
+  const ScenarioHarness& harness = server.harness();
   CsvWriter csv({"scenario", "method", "mean_ap", "stdev"});
   bench::JsonReport report("fig5_ranking_quality");
 

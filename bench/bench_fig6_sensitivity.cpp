@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "api/server.h"
 #include "bench_json.h"
 #include "bench_util.h"
 #include "eval/experiment_stats.h"
@@ -27,7 +28,8 @@ int main() {
             << ") ===\n\n";
 
   bench::WallTimer total_timer;
-  ScenarioHarness harness;
+  api::Server server;
+  const ScenarioHarness& harness = server.harness();
   CsvWriter csv({"scenario", "method", "sigma", "mean_ap", "stdev"});
   bench::JsonReport report("fig6_sensitivity");
   uint64_t seed = 0xF16;

@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "api/server.h"
 #include "bench_json.h"
 #include "bench_util.h"
 #include "eval/experiment_stats.h"
@@ -26,7 +27,8 @@ int main() {
             << ") ===\n\n";
 
   bench::WallTimer total_timer;
-  ScenarioHarness harness;
+  api::Server server;
+  const ScenarioHarness& harness = server.harness();
   Result<std::vector<ScenarioQuery>> queries =
       harness.BuildQueries(ScenarioId::kScenario1WellKnown);
   if (!queries.ok()) {

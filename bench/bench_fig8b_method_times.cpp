@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "api/server.h"
 #include "bench_gbench_json.h"
 
 #include "core/ranking.h"
@@ -20,8 +21,8 @@ namespace {
 
 const std::vector<ScenarioQuery>& Scenario1Queries() {
   static const std::vector<ScenarioQuery>* queries = [] {
-    static ScenarioHarness harness;
-    auto result = harness.BuildQueries(ScenarioId::kScenario1WellKnown);
+    static api::Server server;
+    auto result = server.harness().BuildQueries(ScenarioId::kScenario1WellKnown);
     return new std::vector<ScenarioQuery>(std::move(result.value()));
   }();
   return *queries;

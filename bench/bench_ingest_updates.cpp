@@ -1,7 +1,8 @@
 // The mixed query/update workload of the ingest layer: the 20 Table-1
-// scenario graphs stood up as live UpdateApplier sessions on one shared
-// RankingService, then alternating phases of evidence deltas (each
-// touching <= 10% of a graph's tuples) and top-k query passes.
+// scenario graphs stood up as live api::Server sessions (all sharing the
+// server's canonical reliability cache), then alternating phases of
+// evidence deltas (each touching <= 10% of a graph's tuples) and top-k
+// query passes through the session API.
 //
 // What the serving story claims — and this bench gates — is that an
 // update does NOT cost the reliability cache: only the dirtied answers'
@@ -22,11 +23,9 @@
 #include <memory>
 #include <vector>
 
+#include "api/server.h"
 #include "bench_json.h"
 #include "bench_util.h"
-#include "ingest/update_applier.h"
-#include "integrate/scenario_harness.h"
-#include "serve/ranking_service.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -34,15 +33,6 @@
 using namespace biorank;
 
 namespace {
-
-std::vector<std::pair<NodeId, double>> Flatten(
-    const serve::TopKResult& result) {
-  std::vector<std::pair<NodeId, double>> out;
-  for (const serve::RankedCandidate& c : result.top) {
-    out.emplace_back(c.node, c.reliability);
-  }
-  return out;
-}
 
 /// One update phase's delta for a live graph: reweights ~3% of evidence
 /// edges, revises ~1% of tuple probabilities, retracts one evidence
@@ -124,25 +114,23 @@ int main() {
   std::cout << "=== Ingest updates: scenario-1 live graphs, " << phases
             << " update/query phases (top-" << k << ") ===\n\n";
 
-  ScenarioHarness harness;
-  Result<std::vector<ScenarioQuery>> queries =
-      harness.BuildQueries(ScenarioId::kScenario1WellKnown);
-  if (!queries.ok()) {
-    std::cerr << queries.status() << "\n";
-    return 1;
-  }
-
+  api::Server server;
   bench::WallTimer total_timer;
-  serve::RankingService service;
-  std::vector<std::unique_ptr<ingest::UpdateApplier>> live;
-  for (const ScenarioQuery& query : queries.value()) {
-    live.push_back(
-        std::make_unique<ingest::UpdateApplier>(query.graph, &service));
+  std::vector<api::SessionId> live;
+  for (const ScenarioCase& spec :
+       BuildScenarioCases(server.universe(), ScenarioId::kScenario1WellKnown)) {
+    api::Result<api::SessionInfo> session = server.OpenSession(
+        api::MakeProteinFunctionRequest(spec.gene_symbol));
+    if (!session.ok()) {
+      std::cerr << session.status() << "\n";
+      return 1;
+    }
+    live.push_back(session.value().id);
   }
 
   // Warm pass: resolve and cache every answer's canonical key.
-  for (const auto& applier : live) {
-    Result<serve::TopKResult> r = applier->RankTopK(k);
+  for (api::SessionId id : live) {
+    api::Result<api::QueryResponse> r = server.QuerySession(id, k);
     if (!r.ok()) {
       std::cerr << r.status() << "\n";
       return 1;
@@ -173,7 +161,12 @@ int main() {
     int64_t invalidated = 0;
     double phase_update_ms = 0.0;
     for (size_t i = 0; i < live.size(); ++i) {
-      QueryGraph snapshot = live[i]->GraphSnapshot();
+      api::Result<QueryGraph> snapshot_result = server.SessionSnapshot(live[i]);
+      if (!snapshot_result.ok()) {
+        std::cerr << snapshot_result.status() << "\n";
+        return 1;
+      }
+      QueryGraph snapshot = std::move(snapshot_result.value());
       BuiltDelta built = BuildDelta(snapshot, i, static_cast<uint64_t>(phase));
       int tuples =
           snapshot.graph.num_nodes() + snapshot.graph.num_edges();
@@ -181,7 +174,8 @@ int main() {
           std::max(touched_fraction_max,
                    static_cast<double>(built.touched_tuples) / tuples);
       bench::WallTimer update_timer;
-      Result<ingest::ApplyReport> applied = live[i]->ApplyDelta(built.delta);
+      Result<ingest::ApplyReport> applied =
+          server.ApplyDelta(live[i], built.delta);
       double ms = update_timer.Seconds() * 1e3;
       if (!applied.ok()) {
         std::cerr << "phase " << phase << " graph " << i << ": "
@@ -206,8 +200,8 @@ int main() {
     // answer should ride its surviving cache entry.
     serve::RequestStats pass_stats;
     bench::WallTimer query_timer;
-    for (const auto& applier : live) {
-      Result<serve::TopKResult> r = applier->RankTopK(k);
+    for (api::SessionId id : live) {
+      api::Result<api::QueryResponse> r = server.QuerySession(id, k);
       if (!r.ok()) {
         std::cerr << r.status() << "\n";
         return 1;
@@ -245,24 +239,30 @@ int main() {
   // cache-on 4-thread reference (the "any thread count, cache on or
   // off" acceptance clause).
   bool deterministic = true;
-  serve::RankingServiceOptions cold_options;
-  cold_options.enable_cache = false;
-  cold_options.num_threads = 1;
-  serve::RankingService cold(cold_options);
-  serve::RankingServiceOptions warm_options;
-  warm_options.num_threads = 4;
-  serve::RankingService warm(warm_options);
-  for (const auto& applier : live) {
-    QueryGraph updated = applier->GraphSnapshot();
-    Result<serve::TopKResult> incremental = applier->RankTopK(k);
-    Result<serve::TopKResult> cold_rebuild = cold.RankTopK(updated, k);
-    Result<serve::TopKResult> warm_rebuild = warm.RankTopK(updated, k);
-    if (!incremental.ok() || !cold_rebuild.ok() || !warm_rebuild.ok()) {
+  api::ServerOptions cold_options;
+  cold_options.ranking.enable_cache = false;
+  cold_options.ranking.num_threads = 1;
+  api::Server cold(cold_options);
+  api::ServerOptions warm_options;
+  warm_options.ranking.num_threads = 4;
+  api::Server warm(warm_options);
+  for (api::SessionId id : live) {
+    api::Result<QueryGraph> updated = server.SessionSnapshot(id);
+    api::Result<api::QueryResponse> incremental = server.QuerySession(id, k);
+    if (!updated.ok() || !incremental.ok()) {
+      std::cerr << "session readback failed\n";
+      return 1;
+    }
+    api::Result<api::QueryResponse> cold_rebuild =
+        cold.RankGraph(updated.value(), k);
+    api::Result<api::QueryResponse> warm_rebuild =
+        warm.RankGraph(updated.value(), k);
+    if (!cold_rebuild.ok() || !warm_rebuild.ok()) {
       std::cerr << "rebuild reference failed\n";
       return 1;
     }
-    if (Flatten(incremental.value()) != Flatten(cold_rebuild.value()) ||
-        Flatten(incremental.value()) != Flatten(warm_rebuild.value())) {
+    if (api::RankingFingerprint(incremental.value()) != api::RankingFingerprint(cold_rebuild.value()) ||
+        api::RankingFingerprint(incremental.value()) != api::RankingFingerprint(warm_rebuild.value())) {
       deterministic = false;
     }
   }
@@ -271,7 +271,7 @@ int main() {
   double preserved_hit_rate = preserved_total.CacheHitRate();
   double update_ms_mean =
       updates == 0 ? 0.0 : update_ms_total / static_cast<double>(updates);
-  serve::CacheStats cache = service.cache().Stats();
+  serve::CacheStats cache = server.Stats().cache;
 
   std::cout << "\nAggregate: preserved hit rate "
             << FormatDouble(preserved_hit_rate, 3) << " over " << phases

@@ -118,7 +118,10 @@ std::string JsonReport::ToJson() const {
   // (preserved_hit_rate, update_latency_ms_mean/_max,
   // touched_fraction_max, stale_keys, invalidated_entries); the layout
   // of existing fields is again unchanged.
-  out += "  \"schema_version\": 3,\n";
+  // v4: adds the api front-door metrics emitted by bench_api_server
+  // (mixed_hit_rate, deterministic_batch, session_rebuild_identical,
+  // batch_s_mean, session/eviction counters); layout unchanged again.
+  out += "  \"schema_version\": 4,\n";
   out += "  \"bench\": \"" + JsonEscape(name_) + "\",\n";
   out += "  \"threads\": " + std::to_string(threads_) + ",\n";
   out += "  \"wall_time_s\": " + FormatNumber(wall_time_s_) + ",\n";

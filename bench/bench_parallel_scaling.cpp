@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/server.h"
 #include "bench_json.h"
 #include "bench_util.h"
 #include "core/reliability_mc.h"
@@ -62,7 +63,8 @@ int main() {
             << " trials/graph) ===\n\n";
 
   bench::WallTimer total_timer;
-  ScenarioHarness harness;
+  api::Server server;
+  const ScenarioHarness& harness = server.harness();
   Result<std::vector<ScenarioQuery>> queries =
       harness.BuildQueries(ScenarioId::kScenario1WellKnown);
   if (!queries.ok()) {

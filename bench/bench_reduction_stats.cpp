@@ -8,6 +8,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "api/server.h"
 #include "bench_json.h"
 #include "bench_util.h"
 #include "core/reduction.h"
@@ -44,7 +45,8 @@ int main() {
 
   bench::WallTimer total_timer;
   bench::JsonReport report("reduction_stats");
-  ScenarioHarness harness;
+  api::Server server;
+  const ScenarioHarness& harness = server.harness();
   Result<std::vector<ScenarioQuery>> queries =
       harness.BuildQueries(ScenarioId::kScenario1WellKnown);
   if (!queries.ok()) {

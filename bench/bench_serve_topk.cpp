@@ -1,10 +1,10 @@
 // Serving-shaped hot path on the Table 1 workload: batched top-k
 // reliability ranking of the 20 scenario-1 query graphs through the
-// RankingService (canonical keys -> sharded reliability cache ->
+// api::Server front door (canonical keys -> sharded reliability cache ->
 // deterministic bounds -> top-k pruning -> exact/MC only where
 // needed). Reports the cache hit rate and the fraction of fresh
-// candidates the bounds pruned, and checks that service output is
-// bit-identical to a cache-off single-thread reference — the
+// candidates the bounds pruned, and checks that served output is
+// bit-identical to a cache-off single-thread reference server — the
 // acceptance gates of the serve layer.
 //
 // BENCH_serve_topk.json metrics: cache_hit_rate (> 0.5 expected on this
@@ -14,25 +14,16 @@
 #include <iostream>
 #include <vector>
 
+#include "api/server.h"
 #include "bench_json.h"
 #include "bench_util.h"
 #include "integrate/scenario_harness.h"
-#include "serve/ranking_service.h"
 #include "util/strings.h"
 #include "util/table.h"
 
 using namespace biorank;
 
 namespace {
-
-std::vector<std::pair<NodeId, double>> Flatten(
-    const serve::TopKResult& result) {
-  std::vector<std::pair<NodeId, double>> out;
-  for (const serve::RankedCandidate& c : result.top) {
-    out.emplace_back(c.node, c.reliability);
-  }
-  return out;
-}
 
 /// A Wheatstone-bridge query graph (the canonical irreducible residue):
 /// per-target reduction cannot collapse it, so serving it exercises the
@@ -65,32 +56,31 @@ int main() {
             << ": scenario-1 workload through the ranking service ("
             << passes << " passes) ===\n\n";
 
-  ScenarioHarness harness;
+  api::Server server;
   Result<std::vector<ScenarioQuery>> queries =
-      harness.BuildQueries(ScenarioId::kScenario1WellKnown);
+      server.harness().BuildQueries(ScenarioId::kScenario1WellKnown);
   if (!queries.ok()) {
     std::cerr << queries.status() << "\n";
     return 1;
   }
 
-  // Reference outputs: cache off, inline single thread. The serving
-  // contract says the cached, pooled service must reproduce these
+  // Reference outputs: a cache-off, inline single-thread server. The
+  // serving contract says the cached, pooled server must reproduce these
   // bit-identically on every pass.
-  serve::RankingServiceOptions reference_options;
-  reference_options.enable_cache = false;
-  reference_options.num_threads = 1;
-  serve::RankingService reference(reference_options);
+  api::ServerOptions reference_options;
+  reference_options.ranking.enable_cache = false;
+  reference_options.ranking.num_threads = 1;
+  api::Server reference(reference_options);
   std::vector<std::vector<std::pair<NodeId, double>>> expected;
   for (const ScenarioQuery& query : queries.value()) {
-    Result<serve::TopKResult> r = reference.RankTopK(query.graph, k);
+    api::Result<api::QueryResponse> r = reference.RankGraph(query.graph, k);
     if (!r.ok()) {
       std::cerr << r.status() << "\n";
       return 1;
     }
-    expected.push_back(Flatten(r.value()));
+    expected.push_back(api::RankingFingerprint(r.value()));
   }
 
-  serve::RankingService service;
   bool deterministic = true;
   serve::RequestStats total;
   TextTable table({"pass", "hit rate", "pruned", "bound=", "exact", "MC",
@@ -103,14 +93,14 @@ int main() {
     serve::RequestStats pass_stats;
     bench::WallTimer pass_timer;
     for (size_t i = 0; i < queries.value().size(); ++i) {
-      Result<serve::TopKResult> r =
-          service.RankTopK(queries.value()[i].graph, k);
+      api::Result<api::QueryResponse> r =
+          server.RankGraph(queries.value()[i].graph, k);
       if (!r.ok()) {
         std::cerr << r.status() << "\n";
         return 1;
       }
       pass_stats.Add(r.value().stats);
-      if (Flatten(r.value()) != expected[i]) deterministic = false;
+      if (api::RankingFingerprint(r.value()) != expected[i]) deterministic = false;
     }
     double pass_s = pass_timer.Seconds();
     std::vector<std::string> cells = {
@@ -139,28 +129,32 @@ int main() {
   // resolution phases the Table-1 workload never reaches. The MC run is
   // checked bit-identical against its own cache-off single-thread
   // reference.
-  serve::RankingService exact_service;
-  serve::RankingServiceOptions mc_options;
-  mc_options.exact_max_edges = 0;
-  serve::RankingService mc_service(mc_options);
-  serve::RankingServiceOptions mc_reference_options = mc_options;
-  mc_reference_options.enable_cache = false;
-  mc_reference_options.num_threads = 1;
-  serve::RankingService mc_reference(mc_reference_options);
+  // The factoring pass reuses the cache-off reference server (factoring
+  // is forced either way on a fresh bridge; a fifth server would only
+  // regenerate the synthetic world for six RankGraph calls).
+  api::Server& exact_server = reference;
+  api::ServerOptions mc_options;
+  mc_options.ranking.exact_max_edges = 0;
+  api::Server mc_server(mc_options);
+  api::ServerOptions mc_reference_options = mc_options;
+  mc_reference_options.ranking.enable_cache = false;
+  mc_reference_options.ranking.num_threads = 1;
+  api::Server mc_reference(mc_reference_options);
   int irreducible_exact = 0;
   int irreducible_mc = 0;
   for (int i = 0; i < 6; ++i) {
     QueryGraph bridge = MakeBridge(0.30 + 0.05 * i);
-    Result<serve::TopKResult> by_factoring = exact_service.RankTopK(bridge, 1);
-    Result<serve::TopKResult> by_mc = mc_service.RankTopK(bridge, 1);
-    Result<serve::TopKResult> by_mc_ref = mc_reference.RankTopK(bridge, 1);
+    api::Result<api::QueryResponse> by_factoring =
+        exact_server.RankGraph(bridge, 1);
+    api::Result<api::QueryResponse> by_mc = mc_server.RankGraph(bridge, 1);
+    api::Result<api::QueryResponse> by_mc_ref = mc_reference.RankGraph(bridge, 1);
     if (!by_factoring.ok() || !by_mc.ok() || !by_mc_ref.ok()) {
       std::cerr << "irreducible workload failed\n";
       return 1;
     }
     irreducible_exact += by_factoring.value().stats.exact;
     irreducible_mc += by_mc.value().stats.monte_carlo;
-    if (Flatten(by_mc.value()) != Flatten(by_mc_ref.value())) {
+    if (api::RankingFingerprint(by_mc.value()) != api::RankingFingerprint(by_mc_ref.value())) {
       deterministic = false;
     }
   }
@@ -169,7 +163,7 @@ int main() {
             << " factoring and " << irreducible_mc
             << " MC resolutions exercised.\n";
 
-  serve::CacheStats cache = service.cache().Stats();
+  serve::CacheStats cache = server.Stats().cache;
   double hit_rate = total.CacheHitRate();
   double pruned_fraction = total.PrunedFraction();
   std::cout << "\nAggregate: " << total.candidates << " candidates, "

@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "api/server.h"
 #include "bench_json.h"
 #include "bench_util.h"
 #include "integrate/scenario_harness.h"
@@ -19,7 +20,8 @@ int main() {
 
   bench::WallTimer total_timer;
   bench::JsonReport report("table1_scenario1");
-  ScenarioHarness harness;
+  api::Server server;
+  const ScenarioHarness& harness = server.harness();
   Result<std::vector<ScenarioQuery>> queries =
       harness.BuildQueries(ScenarioId::kScenario1WellKnown);
   if (!queries.ok()) {

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <map>
 
+#include "api/server.h"
 #include "bench_json.h"
 #include "bench_util.h"
 #include "integrate/scenario_harness.h"
@@ -25,7 +26,8 @@ int main() {
 
   bench::WallTimer total_timer;
   bench::JsonReport report("table2_scenario2");
-  ScenarioHarness harness;
+  api::Server server;
+  const ScenarioHarness& harness = server.harness();
   Result<std::vector<ScenarioQuery>> queries =
       harness.BuildQueries(ScenarioId::kScenario2LessKnown);
   if (!queries.ok()) {

@@ -6,6 +6,7 @@
 #include <iostream>
 #include <map>
 
+#include "api/server.h"
 #include "bench_json.h"
 #include "bench_util.h"
 #include "integrate/scenario_harness.h"
@@ -20,7 +21,8 @@ int main() {
 
   bench::WallTimer total_timer;
   bench::JsonReport report("table3_scenario3");
-  ScenarioHarness harness;
+  api::Server server;
+  const ScenarioHarness& harness = server.harness();
   Result<std::vector<ScenarioQuery>> queries =
       harness.BuildQueries(ScenarioId::kScenario3Hypothetical);
   if (!queries.ok()) {

@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "api/server.h"
 #include "bench_json.h"
 #include "bench_util.h"
 #include "core/closed_form.h"
@@ -88,7 +89,8 @@ int main() {
 
   // The Section 4 observation on real query graphs.
   std::cout << "\nFigure 1 query graphs (scenario 1):\n";
-  ScenarioHarness harness;
+  api::Server server;
+  const ScenarioHarness& harness = server.harness();
   Result<std::vector<ScenarioQuery>> queries =
       harness.BuildQueries(ScenarioId::kScenario1WellKnown);
   if (!queries.ok()) {

@@ -14,6 +14,9 @@ job summary. Exit status is nonzero when
     acceptance floors (0.5 / 0.3), or
   * the ingest bench's preserved_hit_rate falls below its 0.5 floor or
     its output diverged from the from-scratch rebuild, or
+  * the api bench's mixed_hit_rate falls below its 0.5 floor, its
+    RunBatch output diverged from serial single-request execution, or
+    its live sessions diverged from their from-scratch rebuilds, or
   * a baseline bench produced no report at all (a silently skipped bench
     would otherwise look like a perf win).
 
@@ -41,6 +44,7 @@ from pathlib import Path
 HIT_RATE_FLOOR = 0.5
 PRUNED_FRACTION_FLOOR = 0.3
 PRESERVED_HIT_RATE_FLOOR = 0.5
+MIXED_HIT_RATE_FLOOR = 0.5
 
 # Benches that may legitimately be absent from a run (Google-Benchmark
 # harnesses are skipped when libbenchmark-dev is not installed).
@@ -52,7 +56,8 @@ OPTIONAL_BENCHES = {
 
 # Headline metrics worth a column when both sides have them.
 TRACKED_METRICS = ("cache_hit_rate", "pruned_fraction", "trials_per_sec",
-                   "preserved_hit_rate", "update_latency_ms_mean")
+                   "preserved_hit_rate", "update_latency_ms_mean",
+                   "mixed_hit_rate", "batch_s_mean")
 
 
 def load_reports(directory: Path):
@@ -184,6 +189,20 @@ def main() -> int:
         if not metrics.get("deterministic_output", False):
             failures.append("ingest_updates: incremental output diverged "
                             "from the from-scratch rebuild")
+
+    api = current.get("api_server")
+    if api is not None:
+        metrics = api.get("metrics", {})
+        mixed = float(metrics.get("mixed_hit_rate", 0.0))
+        if mixed <= MIXED_HIT_RATE_FLOOR:
+            failures.append(f"api_server: mixed_hit_rate {mixed:.3f} is at "
+                            f"or below the {MIXED_HIT_RATE_FLOOR} floor")
+        if not metrics.get("deterministic_batch", False):
+            failures.append("api_server: RunBatch output diverged from "
+                            "serial single-request execution")
+        if not metrics.get("session_rebuild_identical", False):
+            failures.append("api_server: live-session output diverged from "
+                            "the from-scratch rebuild")
 
     lines.append("")
     if warnings:

@@ -1,7 +1,9 @@
-// Interactive-style CLI over the BioRank pipeline: run an exploratory
-// query for a protein, rank its candidate functions with a chosen method,
+// Interactive-style CLI over the BioRank front door: run an exploratory
+// query for a protein through api::Server, rank its candidate functions,
 // and print the top answers with their strongest evidence paths
-// (provenance).
+// (provenance). Reliability ranking rides the serving layer (canonical
+// cache + bounds-driven pruning); the other relevance functions are
+// scored offline via the server's evaluation harness.
 //
 // Usage:
 //   ./build/examples/explore_cli [gene_symbol] [method] [top_n]
@@ -12,6 +14,7 @@
 #include <iostream>
 #include <string>
 
+#include "api/server.h"
 #include "core/explanation.h"
 #include "core/ranking.h"
 #include "integrate/scenario_harness.h"
@@ -30,17 +33,28 @@ Result<RankingMethod> ParseMethod(const std::string& name) {
       "unknown method '" + name + "' (use Rel, Prop, Diff, InEdge, PathC)");
 }
 
+void PrintEvidence(const QueryGraph& graph, NodeId answer) {
+  ExplanationOptions explain;
+  explain.max_paths = 2;
+  Result<std::vector<EvidencePath>> paths =
+      ExplainAnswer(graph, answer, explain);
+  if (!paths.ok()) return;
+  for (const EvidencePath& path : paths.value()) {
+    std::cout << "        " << FormatEvidencePath(graph, path) << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  ScenarioHarness harness;
+  api::Server server;
 
   std::string symbol;
   if (argc > 1) {
     symbol = argv[1];
   } else {
-    symbol = harness.universe()
-                 .protein(harness.universe().well_studied()[0])
+    symbol = server.universe()
+                 .protein(server.universe().well_studied()[0])
                  .gene_symbol;
     std::cout << "(no gene symbol given; using " << symbol << ")\n";
   }
@@ -55,25 +69,56 @@ int main(int argc, char** argv) {
   }
   int top_n = argc > 3 ? std::atoi(argv[3]) : 8;
 
-  Result<ExploratoryQueryResult> run =
-      harness.mediator().Run(MakeProteinFunctionQuery(symbol));
+  if (method == RankingMethod::kReliability) {
+    // The served path: typed request in, typed response out.
+    api::Result<api::QueryResponse> response =
+        server.Query(api::MakeProteinFunctionRequest(symbol, top_n));
+    if (!response.ok()) {
+      std::cerr << response.status() << "\n";
+      return 1;
+    }
+    const api::QueryResponse& r = response.value();
+    const QueryGraph& graph = r.result.query_graph;
+    std::cout << "Query (EntrezProtein.name = \"" << symbol << "\", AmiGO): "
+              << graph.graph.num_nodes() << " nodes, "
+              << graph.graph.num_edges() << " edges, "
+              << graph.answers.size() << " candidate functions.\n\n";
+    std::cout << "Top " << top_n << " functions by served reliability ("
+              << FormatCompact(r.timing.rank_s * 1e3, 3) << " ms, "
+              << r.stats.cache_hits << " cache hits, " << r.stats.pruned
+              << " pruned):\n";
+    for (size_t i = 0; i < r.top.size(); ++i) {
+      const api::RankedAnswer& answer = r.top[i];
+      std::cout << " " << PadLeft(std::to_string(i + 1), 5) << "  "
+                << answer.label << "  (r " << FormatCompact(answer.reliability, 4)
+                << " in [" << FormatCompact(answer.lower, 4) << ", "
+                << FormatCompact(answer.upper, 4) << "])\n";
+      PrintEvidence(graph, answer.node);
+    }
+    return 0;
+  }
+
+  // Offline methods: materialize the graph through the facade, score
+  // with the harness's Ranker.
+  api::QueryRequest graph_only = api::MakeProteinFunctionRequest(symbol);
+  graph_only.rank = false;
+  api::Result<api::QueryResponse> run = server.Query(graph_only);
   if (!run.ok()) {
     std::cerr << run.status() << "\n";
     return 1;
   }
-  const QueryGraph& graph = run.value().query_graph;
+  const QueryGraph& graph = run.value().result.query_graph;
   std::cout << "Query (EntrezProtein.name = \"" << symbol << "\", AmiGO): "
             << graph.graph.num_nodes() << " nodes, "
             << graph.graph.num_edges() << " edges, "
             << graph.answers.size() << " candidate functions.\n\n";
 
   Result<std::vector<RankedAnswer>> ranked =
-      harness.ranker().Rank(graph, method);
+      server.harness().ranker().Rank(graph, method);
   if (!ranked.ok()) {
     std::cerr << ranked.status() << "\n";
     return 1;
   }
-
   std::cout << "Top " << top_n << " functions by "
             << RankingMethodName(method) << ":\n";
   for (int i = 0; i < top_n && i < static_cast<int>(ranked.value().size());
@@ -84,15 +129,7 @@ int main(int argc, char** argv) {
                          5)
               << "  " << graph.graph.node(answer.node).label << "  (score "
               << FormatCompact(answer.score, 4) << ")\n";
-    ExplanationOptions explain;
-    explain.max_paths = 2;
-    Result<std::vector<EvidencePath>> paths =
-        ExplainAnswer(graph, answer.node, explain);
-    if (paths.ok()) {
-      for (const EvidencePath& path : paths.value()) {
-        std::cout << "        " << FormatEvidencePath(graph, path) << "\n";
-      }
-    }
+    PrintEvidence(graph, answer.node);
   }
   return 0;
 }

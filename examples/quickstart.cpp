@@ -1,65 +1,140 @@
-// Quickstart: build a small probabilistic query graph by hand and rank its
-// answers with all five relevance functions of the paper.
+// Quickstart: the api::Server front door in five minutes. Stand the
+// whole BioRank stack up behind one object, ask for a protein's
+// functions with a typed request, inspect the typed response (ranked
+// answers with reliability values and bounds, per-phase timing, cache
+// counters), fan a batch out, and keep a live session open across an
+// evidence update.
 //
-// Run:  ./build/examples/quickstart
+// Run:  ./build/quickstart
 
 #include <iostream>
+#include <vector>
 
-#include "core/query_graph.h"
-#include "core/ranking.h"
-#include "core/reduction.h"
-#include "core/trial_bound.h"
+#include "api/server.h"
 #include "util/strings.h"
 #include "util/table.h"
 
 using namespace biorank;
 
+namespace {
+
+const char* ResolutionName(serve::Resolution resolution) {
+  switch (resolution) {
+    case serve::Resolution::kCacheValue: return "cache";
+    case serve::Resolution::kPruned: return "pruned";
+    case serve::Resolution::kBoundExact: return "bounds";
+    case serve::Resolution::kExact: return "exact";
+    case serve::Resolution::kMonteCarlo: return "MC";
+  }
+  return "?";
+}
+
+}  // namespace
+
 int main() {
-  std::cout << "== BioRank quickstart ==\n\n"
-            << "Figure 4's two canonical topologies, scored by all five\n"
-            << "relevance functions.\n\n";
+  std::cout << "== BioRank quickstart: the api::Server front door ==\n\n";
 
-  struct Example {
-    const char* title;
-    QueryGraph graph;
-  };
-  Example examples[] = {
-      {"Figure 4a: serial-parallel graph", MakeFig4aSerialParallel()},
-      {"Figure 4b: Wheatstone bridge", MakeFig4bWheatstoneBridge()},
-  };
+  // One server is one deployment: it owns the synthetic universe, the
+  // eleven federated sources, the mediator, and the shared ranking
+  // service (canonical reliability cache + thread pool).
+  api::Server server;
+  const ProteinUniverse& universe = server.universe();
+  std::string symbol =
+      universe.protein(universe.well_studied()[0]).gene_symbol;
 
-  Ranker ranker;
-  for (Example& example : examples) {
-    std::cout << example.title << " (" << example.graph.graph.num_nodes()
-              << " nodes, " << example.graph.graph.num_edges()
-              << " edges)\n";
-    TextTable table({"Method", "Score of answer node u"});
-    for (RankingMethod method : AllRankingMethods()) {
-      Result<std::vector<RankedAnswer>> ranked =
-          ranker.Rank(example.graph, method);
-      if (!ranked.ok()) {
-        table.AddRow({RankingMethodName(method), ranked.status().ToString()});
-        continue;
-      }
-      table.AddRow({RankingMethodName(method),
-                    FormatCompact(ranked.value()[0].score, 4)});
+  // 1. A one-shot typed request: the paper's running question, top 8.
+  api::QueryRequest request = api::MakeProteinFunctionRequest(symbol, 8);
+  api::Result<api::QueryResponse> response = server.Query(request);
+  if (!response.ok()) {
+    std::cerr << response.status() << "\n";
+    return 1;
+  }
+  const api::QueryResponse& r = response.value();
+  std::cout << "Query (EntrezProtein.name = \"" << symbol << "\", AmiGO): "
+            << r.result.query_graph.graph.num_nodes() << " nodes, "
+            << r.result.query_graph.graph.num_edges() << " edges, "
+            << r.result.query_graph.answers.size()
+            << " candidate functions.\n\n";
+  TextTable table({"#", "GO term", "reliability", "[lower, upper]", "via"});
+  for (size_t i = 0; i < r.top.size(); ++i) {
+    const api::RankedAnswer& answer = r.top[i];
+    table.AddRow({std::to_string(i + 1), answer.label,
+                  FormatDouble(answer.reliability, 4),
+                  "[" + FormatCompact(answer.lower, 4) + ", " +
+                      FormatCompact(answer.upper, 4) + "]",
+                  ResolutionName(answer.resolution)});
+  }
+  table.Print(std::cout);
+  std::cout << "Timing: integrate " << FormatCompact(r.timing.integrate_s, 4)
+            << " s, rank " << FormatCompact(r.timing.rank_s, 4)
+            << " s; scheduler saw " << r.stats.candidates << " candidates ("
+            << r.stats.cache_hits << " cache hits, " << r.stats.pruned
+            << " pruned by bounds).\n\n";
+
+  // 2. The same request again: the canonical reliability cache answers.
+  api::Result<api::QueryResponse> again = server.Query(request);
+  if (again.ok()) {
+    std::cout << "Repeated request: " << again.value().stats.cache_misses
+              << " cache misses (hit rate "
+              << FormatDouble(again.value().stats.CacheHitRate(), 3)
+              << "), bit-identical ranking.\n\n";
+  }
+
+  // 3. A batch: independent requests fanned across the shared pool,
+  // output bit-identical to running them one by one.
+  std::vector<api::QueryRequest> batch;
+  for (int i = 1; i <= 3; ++i) {
+    batch.push_back(api::MakeProteinFunctionRequest(
+        universe.protein(universe.well_studied()[static_cast<size_t>(i)])
+            .gene_symbol,
+        3));
+  }
+  api::Result<std::vector<api::QueryResponse>> fanned = server.RunBatch(batch);
+  if (fanned.ok()) {
+    std::cout << "RunBatch over " << fanned.value().size()
+              << " proteins; best function of each:\n";
+    for (size_t i = 0; i < fanned.value().size(); ++i) {
+      const api::QueryResponse& b = fanned.value()[i];
+      std::cout << "  " << batch[i].query.value << " -> "
+                << (b.top.empty() ? "(none)" : b.top[0].label) << " ("
+                << FormatCompact(b.top.empty() ? 0.0 : b.top[0].reliability, 4)
+                << ")\n";
     }
-    table.Print(std::cout);
     std::cout << "\n";
   }
 
-  std::cout << "Graph reductions (Section 3.1) on Figure 4a:\n";
-  QueryGraph reducible = MakeFig4aSerialParallel();
-  ReductionStats stats = ReduceQueryGraph(reducible);
-  std::cout << "  " << stats.nodes_before << " nodes / " << stats.edges_before
-            << " edges  ->  " << stats.nodes_after << " nodes / "
-            << stats.edges_after << " edges  ("
-            << FormatCompact(stats.RemovedFraction() * 100, 1)
-            << "% of elements removed)\n\n";
+  // 4. A live session: the graph stays resident server-side, evidence
+  // deltas apply incrementally, rankings stay bit-identical to a
+  // from-scratch rebuild.
+  api::Result<api::SessionInfo> session =
+      server.OpenSession(api::MakeProteinFunctionRequest(symbol));
+  if (!session.ok()) {
+    std::cerr << session.status() << "\n";
+    return 1;
+  }
+  ingest::EvidenceDelta delta;
+  delta.revise_source_priors.push_back({"AmiGO", 0.9});
+  api::Result<ingest::ApplyReport> applied =
+      server.ApplyDelta(session.value().id, delta);
+  api::Result<api::QueryResponse> live =
+      server.QuerySession(session.value().id, 3);
+  if (applied.ok() && live.ok()) {
+    std::cout << "Live session " << session.value().id
+              << ": revised the AmiGO prior; delta dirtied "
+              << applied.value().dirty_answers << " of "
+              << session.value().answers << " answers ("
+              << applied.value().invalidated_entries
+              << " cache entries invalidated). New best function: "
+              << live.value().top[0].label << ".\n";
+  }
+  server.CloseSession(session.value().id).ok();
 
-  std::cout << "Theorem 3.1: Monte Carlo trials needed to separate scores\n"
-            << "eps = 0.02 apart with 95% confidence: "
-            << RequiredMcTrials(0.02, 0.05).value()
-            << " (the paper rounds this to 10,000)\n";
+  api::ServerStats stats = server.Stats();
+  std::cout << "\nServer stats: " << stats.queries << " queries ("
+            << stats.batch_requests << " batched), " << stats.session_queries
+            << " session queries, " << stats.deltas_applied
+            << " deltas; cache holds " << stats.cache.entries
+            << " canonical entries (hit rate "
+            << FormatDouble(stats.cache.HitRate(), 3) << ").\n";
   return 0;
 }

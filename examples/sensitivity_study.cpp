@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "api/server.h"
 #include "eval/perturbation.h"
 #include "eval/rank_correlation.h"
 #include "integrate/scenario_harness.h"
@@ -24,7 +25,8 @@ int main() {
             << "(p' = sigmoid(logit(p) + N(0, sigma))) and watches the\n"
             << "ranking quality.\n\n";
 
-  ScenarioHarness harness;
+  api::Server server;
+  const ScenarioHarness& harness = server.harness();
   Result<std::vector<ScenarioQuery>> queries =
       harness.BuildQueries(ScenarioId::kScenario1WellKnown);
   if (!queries.ok()) {

@@ -1,0 +1,23 @@
+#include "api/query.h"
+
+namespace biorank::api {
+
+QueryRequest MakeProteinFunctionRequest(const std::string& gene_symbol,
+                                        int top_k) {
+  QueryRequest request;
+  request.query = MakeProteinFunctionQuery(gene_symbol);
+  request.top_k = top_k;
+  return request;
+}
+
+std::vector<std::pair<NodeId, double>> RankingFingerprint(
+    const QueryResponse& response) {
+  std::vector<std::pair<NodeId, double>> fingerprint;
+  fingerprint.reserve(response.top.size());
+  for (const RankedAnswer& answer : response.top) {
+    fingerprint.emplace_back(answer.node, answer.reliability);
+  }
+  return fingerprint;
+}
+
+}  // namespace biorank::api

@@ -1,0 +1,116 @@
+// Typed request/response value objects of the biorank front door
+// (api::Server). A QueryRequest carries the query *shape*
+// (integrate/exploratory_query.h) plus every per-request serving knob —
+// top_k, MC seed, rank toggle — that used to be baked into the query or
+// hand-threaded through the serving stack. A QueryResponse carries the
+// ranked answers (reliability values *and* the deterministic bounds the
+// scheduler held), per-phase timing, and the request's cache hit/miss
+// counters, so callers observe the serving layer without touching it.
+
+#ifndef BIORANK_API_QUERY_H_
+#define BIORANK_API_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "integrate/exploratory_query.h"
+#include "integrate/mediator.h"
+#include "serve/ranking_service.h"
+#include "util/status.h"
+
+namespace biorank::api {
+
+/// The api layer speaks the library's Status/Result vocabulary; the
+/// aliases make the front-door surface self-contained for callers that
+/// include only api/ headers.
+using Status = ::biorank::Status;
+using StatusCode = ::biorank::StatusCode;
+template <typename T>
+using Result = ::biorank::Result<T>;
+
+/// One typed query request against api::Server.
+struct QueryRequest {
+  /// The exploratory query shape (Definition 2.2): input entity match and
+  /// output entity sets. Shape only — serving knobs live below.
+  ExploratoryQuery query;
+  /// How many top-ranked answers to return; <= 0 ranks the full answer
+  /// set (both clamp to the answer count).
+  int top_k = 0;
+  /// Monte Carlo root seed for irreducible residues. 0 = the server's
+  /// canonical seed, served through the shared reliability cache. A
+  /// different explicit seed is served by a request-private ranking
+  /// service (cached values are pure functions of (key, seed), so a
+  /// foreign seed must never read or publish through the shared cache).
+  uint64_t seed = 0;
+  /// When false, only materialize the integrated query graph (the
+  /// Mediator::Run half); the response carries no ranking.
+  bool rank = true;
+};
+
+/// One ranked answer of a response: the serve-layer resolution plus the
+/// answer node's label, so session responses are useful without a graph.
+struct RankedAnswer {
+  NodeId node = kInvalidNode;
+  std::string label;           ///< The answer record's label (GO term id).
+  double reliability = 0.0;
+  double lower = 0.0;          ///< Deterministic reliability bracket the
+  double upper = 1.0;          ///< scheduler held (== value when exact).
+  bool exact = false;
+  serve::Resolution resolution = serve::Resolution::kPruned;
+};
+
+/// Wall-clock spent per pipeline phase of one request.
+struct PhaseTiming {
+  double integrate_s = 0.0;  ///< Source fan-out + graph stitching.
+  double rank_s = 0.0;       ///< Serving-layer top-k ranking.
+  double total_s = 0.0;
+};
+
+/// The typed response to a QueryRequest (or a session query).
+struct QueryResponse {
+  /// The materialized integration result: query graph, GO-term -> node
+  /// map, matched-protein count. Session queries fill only
+  /// matched_proteins: the live graph stays resident server-side (use
+  /// Server::SessionSnapshot for a copy) and the go_node map was already
+  /// delivered once by OpenSession's SessionInfo.
+  ExploratoryQueryResult result;
+  std::vector<RankedAnswer> top;
+  /// Scheduler counters of the ranking pass (cache hits/misses, pruned,
+  /// per-phase resolution counts). Zero when the request skipped ranking.
+  serve::RequestStats stats;
+  PhaseTiming timing;
+};
+
+/// A live query session handle. Handles are never reused; a stale handle
+/// (closed or evicted session) fails lookups with NotFound.
+using SessionId = uint64_t;
+
+/// What OpenSession returns: the handle plus the crawl bookkeeping a
+/// delta-building caller needs.
+struct SessionInfo {
+  SessionId id = 0;
+  int answers = 0;             ///< Answer-set size (fixed for the session).
+  int matched_proteins = 0;
+  /// GO-term ontology index -> answer node id in the live graph.
+  std::unordered_map<int, NodeId> go_node;
+};
+
+/// The paper's canonical request: the k highest-reliability functions of
+/// a protein (k <= 0 ranks all). Replaces the removed
+/// MakeProteinFunctionTopKQuery + ExploratoryQuery::top_k pairing.
+QueryRequest MakeProteinFunctionRequest(const std::string& gene_symbol,
+                                        int top_k = 0);
+
+/// The (node, reliability) pairs of a response — the bit-identity
+/// fingerprint every determinism gate compares (RunBatch vs serial,
+/// session vs from-scratch rebuild, cached vs cache-off). One shared
+/// definition so the gates can never diverge in what they compare.
+std::vector<std::pair<NodeId, double>> RankingFingerprint(
+    const QueryResponse& response);
+
+}  // namespace biorank::api
+
+#endif  // BIORANK_API_QUERY_H_

@@ -1,0 +1,306 @@
+#include "api/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "util/parallel.h"
+
+namespace biorank::api {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double SecondsSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      universe_(ProteinUniverse::Generate(options_.universe)),
+      registry_(universe_, options_.sources),
+      mediator_(registry_, options_.mediator),
+      service_(options_.ranking),
+      harness_(universe_, registry_, mediator_, options_.ranker) {}
+
+namespace {
+
+/// Clamps a caller-facing top_k to the serve layer's contract
+/// (<= 0 means "rank all", k never exceeds the answer count).
+int ClampTopK(int top_k, int answers) {
+  return top_k > 0 ? std::min(top_k, answers) : answers;
+}
+
+/// Converts a serve-layer result into the response's labeled answers +
+/// stats; `label(node)` supplies the answer label (graph lookup for
+/// one-shot requests, the session's captured labels for live queries).
+template <typename LabelFn>
+void FillRanked(const serve::TopKResult& top, LabelFn label,
+                QueryResponse& response) {
+  response.stats = top.stats;
+  response.top.reserve(top.top.size());
+  for (const serve::RankedCandidate& candidate : top.top) {
+    RankedAnswer answer;
+    answer.node = candidate.node;
+    answer.label = label(candidate.node);
+    answer.reliability = candidate.reliability;
+    answer.lower = candidate.lower;
+    answer.upper = candidate.upper;
+    answer.exact = candidate.exact;
+    answer.resolution = candidate.resolution;
+    response.top.push_back(std::move(answer));
+  }
+}
+
+}  // namespace
+
+Status Server::RankAnswers(const QueryGraph& graph, int top_k,
+                           serve::RankingService& service,
+                           QueryResponse& response) {
+  int answers = static_cast<int>(graph.answers.size());
+  if (answers == 0) return Status::OK();  // Nothing to rank.
+  Result<serve::TopKResult> top =
+      service.RankTopK(graph, ClampTopK(top_k, answers));
+  if (!top.ok()) return top.status();
+  FillRanked(top.value(),
+             [&graph](NodeId node) { return graph.graph.node(node).label; },
+             response);
+  return Status::OK();
+}
+
+Result<QueryResponse> Server::Query(const QueryRequest& request) {
+  Tick();
+  SteadyClock::time_point start = SteadyClock::now();
+  Result<ExploratoryQueryResult> run = mediator_.Run(request.query);
+  if (!run.ok()) return run.status();
+  QueryResponse response;
+  response.result = std::move(run.value());
+  response.timing.integrate_s = SecondsSince(start);
+  if (request.rank) {
+    SteadyClock::time_point rank_start = SteadyClock::now();
+    Status ranked;
+    if (request.seed == 0 || request.seed == options_.ranking.seed) {
+      ranked = RankAnswers(response.result.query_graph, request.top_k,
+                           service_, response);
+    } else {
+      // A foreign MC seed changes every irreducible residue's value, so
+      // it must not read or publish through the shared cache; serve it
+      // from a request-private service instead.
+      serve::RankingServiceOptions foreign = options_.ranking;
+      foreign.seed = request.seed;
+      serve::RankingService private_service(foreign);
+      ranked = RankAnswers(response.result.query_graph, request.top_k,
+                           private_service, response);
+    }
+    if (!ranked.ok()) return ranked;
+    response.timing.rank_s = SecondsSince(rank_start);
+  }
+  response.timing.total_s = SecondsSince(start);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+Result<std::vector<QueryResponse>> Server::RunBatch(
+    const std::vector<QueryRequest>& batch) {
+  Tick();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<QueryResponse> responses(batch.size());
+  if (batch.empty()) return responses;
+  ThreadPool& pool = options_.ranking.pool != nullptr
+                         ? *options_.ranking.pool
+                         : ThreadPool::Global();
+  const int max_parallelism = options_.ranking.num_threads == 0
+                                  ? ThreadPool::kUnlimitedParallelism
+                                  : options_.ranking.num_threads;
+  std::vector<Status> errors(batch.size());
+  std::atomic<bool> failed{false};
+  // Each request is independent and each ranking is a pure function of
+  // its request (cache state and shard interleaving never change values),
+  // so the fan-out is bit-identical to a serial loop. Per-request
+  // parallelism collapses inline inside a shard (same-pool nesting), so
+  // batch-level concurrency is the one fan-out.
+  pool.ParallelFor(
+      static_cast<int64_t>(batch.size()),
+      [&](int, int64_t i) {
+        Result<QueryResponse> response = Query(batch[static_cast<size_t>(i)]);
+        if (response.ok()) {
+          responses[static_cast<size_t>(i)] = std::move(response.value());
+          // Counted per served request (not in bulk on success) so the
+          // stats stay reconciled with `queries` when a batch fails
+          // partway: every request Query() served still shows up here.
+          batch_requests_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          errors[static_cast<size_t>(i)] = response.status();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      },
+      max_parallelism);
+  if (failed.load(std::memory_order_relaxed)) {
+    for (const Status& status : errors) {
+      if (!status.ok()) return status;  // First (lowest-index) error wins.
+    }
+  }
+  return responses;
+}
+
+Result<QueryResponse> Server::RankGraph(const QueryGraph& graph, int top_k) {
+  Tick();
+  SteadyClock::time_point start = SteadyClock::now();
+  QueryResponse response;
+  BIORANK_RETURN_IF_ERROR(RankAnswers(graph, top_k, service_, response));
+  response.timing.rank_s = SecondsSince(start);
+  response.timing.total_s = response.timing.rank_s;
+  graph_rankings_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+Result<SessionInfo> Server::OpenSession(const QueryRequest& request) {
+  uint64_t now = Tick();
+  if (request.seed != 0 && request.seed != options_.ranking.seed) {
+    return Status::InvalidArgument(
+        "api: sessions share the canonical reliability cache and must use "
+        "the server's MC seed (leave request.seed = 0)");
+  }
+  Result<Mediator::LiveExploratoryQuery> live =
+      mediator_.ServeLive(request.query, service_);
+  if (!live.ok()) return live.status();
+  auto session = std::make_shared<Session>();
+  session->live = std::move(live.value());
+  session->last_touch.store(now, std::memory_order_relaxed);
+  SessionInfo info;
+  info.answers = session->live.applier->answer_count();
+  info.matched_proteins = session->live.matched_proteins;
+  info.go_node = session->live.go_node;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (options_.session_idle_ops > 0) {
+      EvictIdleLocked(options_.session_idle_ops, now);
+    }
+    info.id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+    sessions_.emplace(info.id, std::move(session));
+  }
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  return info;
+}
+
+Result<std::shared_ptr<Server::Session>> Server::FindSession(SessionId id,
+                                                             uint64_t now) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("api: no live session with handle " +
+                            std::to_string(id));
+  }
+  it->second->last_touch.store(now, std::memory_order_relaxed);
+  return it->second;
+}
+
+Result<QueryResponse> Server::QuerySession(SessionId id, int top_k) {
+  uint64_t now = Tick();
+  SteadyClock::time_point start = SteadyClock::now();
+  Result<std::shared_ptr<Session>> session = FindSession(id, now);
+  if (!session.ok()) return session.status();
+  Session& live = *session.value();
+  QueryResponse response;
+  response.result.matched_proteins = live.live.matched_proteins;
+  int answers = live.live.applier->answer_count();
+  if (answers > 0) {
+    Result<serve::TopKResult> top =
+        live.live.applier->RankTopK(ClampTopK(top_k, answers));
+    if (!top.ok()) return top.status();
+    const auto& labels = live.live.answer_labels;
+    FillRanked(top.value(),
+               [&labels](NodeId node) {
+                 auto it = labels.find(node);
+                 return it != labels.end() ? it->second : std::string();
+               },
+               response);
+  }
+  response.timing.rank_s = SecondsSince(start);
+  response.timing.total_s = response.timing.rank_s;
+  session_queries_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+Result<ingest::ApplyReport> Server::ApplyDelta(
+    SessionId id, const ingest::EvidenceDelta& delta) {
+  uint64_t now = Tick();
+  Result<std::shared_ptr<Session>> session = FindSession(id, now);
+  if (!session.ok()) return session.status();
+  Result<ingest::ApplyReport> report =
+      mediator_.ApplyDelta(session.value()->live, delta);
+  if (report.ok()) deltas_applied_.fetch_add(1, std::memory_order_relaxed);
+  return report;
+}
+
+Result<QueryGraph> Server::SessionSnapshot(SessionId id) {
+  uint64_t now = Tick();
+  Result<std::shared_ptr<Session>> session = FindSession(id, now);
+  if (!session.ok()) return session.status();
+  return session.value()->live.applier->GraphSnapshot();
+}
+
+Status Server::CloseSession(SessionId id) {
+  Tick();
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("api: no live session with handle " +
+                            std::to_string(id));
+  }
+  sessions_.erase(it);
+  sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+size_t Server::EvictIdleLocked(uint64_t min_idle_ops, uint64_t now) {
+  size_t evicted = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    uint64_t touched = it->second->last_touch.load(std::memory_order_relaxed);
+    // touched > now happens when a concurrent operation with a later
+    // tick touched the session before we acquired the registry lock;
+    // such a session is active, not idle (unsigned subtraction would
+    // wrap and evict it).
+    if (touched <= now && now - touched > min_idle_ops) {
+      it = sessions_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  sessions_evicted_.fetch_add(evicted, std::memory_order_relaxed);
+  return evicted;
+}
+
+size_t Server::EvictIdleSessions(uint64_t min_idle_ops) {
+  uint64_t now = Tick();
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return EvictIdleLocked(min_idle_ops, now);
+}
+
+size_t Server::session_count() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+ServerStats Server::Stats() const {
+  ServerStats stats;
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.batch_requests = batch_requests_.load(std::memory_order_relaxed);
+  stats.graph_rankings = graph_rankings_.load(std::memory_order_relaxed);
+  stats.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  stats.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
+  stats.sessions_evicted = sessions_evicted_.load(std::memory_order_relaxed);
+  stats.session_queries = session_queries_.load(std::memory_order_relaxed);
+  stats.deltas_applied = deltas_applied_.load(std::memory_order_relaxed);
+  stats.open_sessions = session_count();
+  stats.cache = service_.cache().Stats();
+  return stats;
+}
+
+}  // namespace biorank::api

@@ -1,0 +1,204 @@
+// The one public entry point of the biorank serving system (the paper's
+// Section 2 / Figure 1 mediator as a *service*): api::Server owns the
+// whole integration stack — protein universe, source registry, mediator,
+// the shared RankingService (canonical reliability cache + thread pool)
+// — plus a concurrent session registry for live queries. Callers speak
+// typed value objects (api/query.h) and never assemble the stack by
+// hand:
+//
+//   Query     — one-shot: materialize the graph, rank top-k through the
+//               shared cache, return values + bounds + timing + counters.
+//   RunBatch  — N independent requests fanned across the shared pool;
+//               output bit-identical to running them serially (every
+//               ranking is a pure function of the request, never of
+//               interleaving, thread count, or cache state).
+//   OpenSession / ApplyDelta / QuerySession / CloseSession — a live
+//               query held resident behind a handle: evidence deltas
+//               apply incrementally (ingest/), rankings stay
+//               bit-identical to a from-scratch rebuild, and any number
+//               of sessions share the one canonical reliability cache.
+//   RankGraph — the serving facade for a caller-provided graph (benches,
+//               rebuild references).
+//
+// Thread safety: every public method may be called concurrently. The
+// registry is a mutex-guarded handle map holding shared_ptr sessions, so
+// a CloseSession racing an in-flight QuerySession is safe (the applier
+// dies with its last reference); per-session reader/writer coordination
+// is the UpdateApplier's shared_mutex; the cache is sharded. Idle
+// sessions are evicted by server-operation age (a deterministic op
+// clock, not wall time), so eviction is testable and replayable.
+
+#ifndef BIORANK_API_SERVER_H_
+#define BIORANK_API_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "api/query.h"
+#include "core/ranking.h"
+#include "datagen/protein_universe.h"
+#include "ingest/delta.h"
+#include "integrate/mediator.h"
+#include "integrate/scenario_harness.h"
+#include "serve/ranking_service.h"
+#include "sources/source_registry.h"
+
+namespace biorank::api {
+
+/// Everything a server instance is built from. One options bundle, one
+/// world: the universe seed determines the sources, the mediator metrics
+/// determine every node/edge probability, and the ranking options
+/// determine the shared service (canonical seed, cache capacity, pool).
+struct ServerOptions {
+  UniverseOptions universe;
+  SourceRegistryOptions sources;
+  MediatorOptions mediator;
+  serve::RankingServiceOptions ranking;
+  /// Offline scoring (the five relevance functions) used by the
+  /// evaluation harness this server exposes via harness().
+  RankerOptions ranker;
+  /// Idle-session auto-eviction: on OpenSession, sessions untouched for
+  /// more than this many server operations are closed first. 0 disables
+  /// auto-eviction (EvictIdleSessions remains available).
+  uint64_t session_idle_ops = 0;
+};
+
+/// Monotonic service counters plus a point-in-time cache snapshot.
+struct ServerStats {
+  uint64_t queries = 0;          ///< Query requests served OK (batched included).
+  uint64_t batches = 0;          ///< RunBatch calls.
+  uint64_t batch_requests = 0;   ///< Requests served inside batches.
+  uint64_t graph_rankings = 0;   ///< RankGraph calls served OK.
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_closed = 0;  ///< Explicit CloseSession calls.
+  uint64_t sessions_evicted = 0; ///< Idle-eviction closures.
+  uint64_t session_queries = 0;  ///< QuerySession requests served OK.
+  uint64_t deltas_applied = 0;
+  uint64_t open_sessions = 0;    ///< Currently live sessions.
+  serve::CacheStats cache;       ///< Shared reliability cache snapshot.
+};
+
+/// The front door. Construction generates the synthetic world and wires
+/// the full stack; one instance is one deployment, shared by any number
+/// of client threads.
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serves one typed request end to end: mediator crawl, then (unless
+  /// request.rank is false or the answer set is empty) a top-k ranking
+  /// pass through the shared service — or through a request-private
+  /// service when the request pins a foreign MC seed.
+  Result<QueryResponse> Query(const QueryRequest& request);
+
+  /// Fans `batch` (independent requests) across the shared pool and
+  /// returns one response per request, in request order. Output is
+  /// bit-identical to calling Query serially at any thread count; on any
+  /// request failure the first (lowest-index) error is returned.
+  Result<std::vector<QueryResponse>> RunBatch(
+      const std::vector<QueryRequest>& batch);
+
+  /// Ranks a caller-provided query graph through the shared service —
+  /// the facade for pre-materialized or synthetic graphs. The response's
+  /// `result` is empty (the caller holds the graph).
+  Result<QueryResponse> RankGraph(const QueryGraph& graph, int top_k);
+
+  /// Stands `request.query` up as a live session: the materialized graph
+  /// stays resident, evidence deltas apply incrementally, and queries
+  /// ride the per-answer canonicals. `request.top_k` is ignored (k is
+  /// per QuerySession call) and a foreign `request.seed` — nonzero and
+  /// different from the server's canonical seed — is rejected: sessions
+  /// share the canonical cache, which is only valid under that seed.
+  Result<SessionInfo> OpenSession(const QueryRequest& request);
+
+  /// Ranks a live session's answer set (top_k <= 0 ranks all). The
+  /// response carries labeled answers and matched_proteins but no graph
+  /// copy (see SessionSnapshot) and no go_node map (OpenSession's
+  /// SessionInfo delivered it once; it is fixed for the session).
+  Result<QueryResponse> QuerySession(SessionId id, int top_k = 0);
+
+  /// Validates (graph + schema metrics) and applies one evidence delta
+  /// to a live session; exactly the orphaned cache keys are invalidated
+  /// and exactly the dirtied answers re-canonicalized.
+  Result<ingest::ApplyReport> ApplyDelta(SessionId id,
+                                         const ingest::EvidenceDelta& delta);
+
+  /// Copy of a session's live graph (the from-scratch rebuild reference
+  /// in tests/benches, and the base for building structural deltas).
+  Result<QueryGraph> SessionSnapshot(SessionId id);
+
+  /// Closes a session; its handle is never reused. In-flight requests
+  /// holding the session finish safely. NotFound for stale handles.
+  Status CloseSession(SessionId id);
+
+  /// Closes every session idle for more than `min_idle_ops` server
+  /// operations; returns how many were evicted.
+  size_t EvictIdleSessions(uint64_t min_idle_ops);
+
+  size_t session_count() const;
+
+  ServerStats Stats() const;
+
+  const ProteinUniverse& universe() const { return universe_; }
+  const SourceRegistry& sources() const { return registry_; }
+  const Mediator& mediator() const { return mediator_; }
+  /// The evaluation harness over this server's world (scenario queries,
+  /// AP scoring, perturbation/MC repetition loops). Borrowed; lives as
+  /// long as the server.
+  const ScenarioHarness& harness() const { return harness_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Session {
+    Mediator::LiveExploratoryQuery live;
+    /// Op-clock value of the last operation that touched this session.
+    std::atomic<uint64_t> last_touch{0};
+  };
+
+  /// Bumps the op clock (every public operation is one tick).
+  uint64_t Tick() { return op_clock_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  /// Handle lookup; touches the session's idle clock on success.
+  Result<std::shared_ptr<Session>> FindSession(SessionId id, uint64_t now);
+
+  /// Ranks `graph`'s answers on `service` and appends labeled answers +
+  /// stats to `response`. k <= 0 ranks the full answer set.
+  Status RankAnswers(const QueryGraph& graph, int top_k,
+                     serve::RankingService& service, QueryResponse& response);
+
+  /// Evicts sessions idle for more than `min_idle_ops` at clock `now`.
+  size_t EvictIdleLocked(uint64_t min_idle_ops, uint64_t now);
+
+  ServerOptions options_;
+  ProteinUniverse universe_;
+  SourceRegistry registry_;
+  Mediator mediator_;
+  serve::RankingService service_;
+  ScenarioHarness harness_;
+
+  std::atomic<uint64_t> op_clock_{0};
+  std::atomic<uint64_t> next_session_id_{1};
+  mutable std::mutex sessions_mu_;
+  std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
+
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batch_requests_{0};
+  std::atomic<uint64_t> graph_rankings_{0};
+  std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<uint64_t> sessions_closed_{0};
+  std::atomic<uint64_t> sessions_evicted_{0};
+  std::atomic<uint64_t> session_queries_{0};
+  std::atomic<uint64_t> deltas_applied_{0};
+};
+
+}  // namespace biorank::api
+
+#endif  // BIORANK_API_SERVER_H_

@@ -11,11 +11,4 @@ ExploratoryQuery MakeProteinFunctionQuery(const std::string& gene_symbol) {
   return query;
 }
 
-ExploratoryQuery MakeProteinFunctionTopKQuery(const std::string& gene_symbol,
-                                              int top_k) {
-  ExploratoryQuery query = MakeProteinFunctionQuery(gene_symbol);
-  query.top_k = top_k;
-  return query;
-}
-
 }  // namespace biorank

@@ -16,21 +16,15 @@ namespace biorank {
 ///
 /// The paper's running example is
 ///   (EntrezProtein.name = "ABCC8", {AmiGO}).
+/// The query describes only its *shape*; serving-layer knobs (how many
+/// answers to return, which MC seed to use) live on `api::QueryRequest`,
+/// the front door's request object.
 struct ExploratoryQuery {
   std::string entity_set = "EntrezProtein";
   std::string attribute = "name";
   std::string value;
   std::vector<std::string> output_sets = {"AmiGO"};
-  /// How many top-ranked answers the caller wants when the query is
-  /// served through the ranking service (Mediator::RunRanked). 0 means
-  /// rank the full answer set. Ignored by the graph-only Mediator::Run.
-  int top_k = 0;
 };
-
-/// Builds the paper's canonical query shape, asking only for the k
-/// highest-reliability functions (the serving-layer request shape).
-ExploratoryQuery MakeProteinFunctionTopKQuery(const std::string& gene_symbol,
-                                              int top_k);
 
 /// Builds the paper's canonical query shape for a protein symbol.
 ExploratoryQuery MakeProteinFunctionQuery(const std::string& gene_symbol);

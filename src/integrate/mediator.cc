@@ -277,7 +277,8 @@ Result<ExploratoryQueryResult> Mediator::Run(
 }
 
 Result<RankedExploratoryResult> Mediator::RunRanked(
-    const ExploratoryQuery& query, serve::RankingService& service) const {
+    const ExploratoryQuery& query, int top_k,
+    serve::RankingService& service) const {
   Result<ExploratoryQueryResult> run = Run(query);
   if (!run.ok()) return run.status();
   RankedExploratoryResult ranked;
@@ -285,8 +286,7 @@ Result<RankedExploratoryResult> Mediator::RunRanked(
   int answer_count =
       static_cast<int>(ranked.result.query_graph.answers.size());
   if (answer_count == 0) return ranked;  // Nothing to rank.
-  int k = query.top_k > 0 ? std::min(query.top_k, answer_count)
-                          : answer_count;
+  int k = top_k > 0 ? std::min(top_k, answer_count) : answer_count;
   Result<serve::TopKResult> top =
       service.RankTopK(ranked.result.query_graph, k);
   if (!top.ok()) return top.status();
@@ -301,6 +301,11 @@ Result<Mediator::LiveExploratoryQuery> Mediator::ServeLive(
   LiveExploratoryQuery live;
   live.go_node = std::move(run.value().go_node);
   live.matched_proteins = run.value().matched_proteins;
+  const QueryGraph& graph = run.value().query_graph;
+  live.answer_labels.reserve(graph.answers.size());
+  for (NodeId answer : graph.answers) {
+    live.answer_labels.emplace(answer, graph.graph.node(answer).label);
+  }
   live.applier = std::make_unique<ingest::UpdateApplier>(
       std::move(run.value().query_graph), &service);
   return live;

@@ -71,10 +71,13 @@ class Mediator {
 
   /// Runs an exploratory query and answers it through the serving layer:
   /// the answer set is ranked by reliability via `service` (canonical
-  /// cache, deterministic bounds, top-k pruning). `query.top_k` of 0 (or
-  /// anything larger than the answer set) ranks every answer.
+  /// cache, deterministic bounds, top-k pruning). `top_k` <= 0 (or
+  /// anything larger than the answer set) ranks every answer. The
+  /// serving-layer knobs travel with the request (`api::QueryRequest`),
+  /// never inside the query shape itself.
   Result<RankedExploratoryResult> RunRanked(
-      const ExploratoryQuery& query, serve::RankingService& service) const;
+      const ExploratoryQuery& query, int top_k,
+      serve::RankingService& service) const;
 
   /// A live served query: the materialized graph wrapped in an ingest
   /// UpdateApplier bound to `service`, plus the crawl bookkeeping. Where
@@ -85,6 +88,11 @@ class Mediator {
     /// GO-term ontology index -> answer node id (for building deltas and
     /// gold-standard lookups against the live graph).
     std::unordered_map<int, NodeId> go_node;
+    /// Answer node id -> record label, captured at materialization (the
+    /// answer set is fixed for the session, so labels never go stale).
+    /// Lets the api layer label session responses without snapshotting
+    /// the live graph.
+    std::unordered_map<NodeId, std::string> answer_labels;
     int matched_proteins = 0;
   };
 

@@ -43,12 +43,14 @@ Result<std::vector<double>> RunRepeated(
 
 }  // namespace
 
-ScenarioHarness::ScenarioHarness(HarnessOptions options)
-    : options_(options),
-      universe_(ProteinUniverse::Generate(options.universe)),
-      registry_(universe_, options.sources),
-      mediator_(registry_, options.mediator),
-      ranker_(options.ranker) {}
+ScenarioHarness::ScenarioHarness(const ProteinUniverse& universe,
+                                 const SourceRegistry& sources,
+                                 const Mediator& mediator,
+                                 RankerOptions ranker)
+    : universe_(universe),
+      sources_(sources),
+      mediator_(mediator),
+      ranker_(ranker) {}
 
 Result<std::vector<ScenarioQuery>> ScenarioHarness::BuildQueries(
     ScenarioId scenario) const {

@@ -31,24 +31,21 @@ struct ScenarioQuery {
   int gold_retrieved = 0; ///< Gold functions present in the answer set.
 };
 
-/// Everything the experiments need, bundled.
-struct HarnessOptions {
-  UniverseOptions universe;
-  SourceRegistryOptions sources;
-  MediatorOptions mediator;
-  RankerOptions ranker;
-};
-
-/// End-to-end experiment driver: generates the universe, instantiates the
-/// sources and the mediator, materializes scenario queries, and scores
-/// rankings. Every bench binary goes through this class, so the paper's
-/// tables and figures all share one world per seed.
+/// End-to-end experiment driver: materializes scenario queries through a
+/// *borrowed* integration stack and scores rankings offline. The harness
+/// no longer owns the universe/sources/mediator — `api::Server` does, and
+/// exposes its harness via `Server::harness()`, so every bench and
+/// example shares one world (and one reliability cache) per server.
 class ScenarioHarness {
  public:
-  explicit ScenarioHarness(HarnessOptions options = {});
+  /// Borrows the stack; all three referents must outlive the harness
+  /// (api::Server owns them all and constructs the harness last).
+  ScenarioHarness(const ProteinUniverse& universe,
+                  const SourceRegistry& sources, const Mediator& mediator,
+                  RankerOptions ranker = {});
 
   const ProteinUniverse& universe() const { return universe_; }
-  const SourceRegistry& sources() const { return registry_; }
+  const SourceRegistry& sources() const { return sources_; }
   const Mediator& mediator() const { return mediator_; }
   const Ranker& ranker() const { return ranker_; }
 
@@ -91,10 +88,9 @@ class ScenarioHarness {
                                           ThreadPool* pool = nullptr) const;
 
  private:
-  HarnessOptions options_;
-  ProteinUniverse universe_;
-  SourceRegistry registry_;
-  Mediator mediator_;
+  const ProteinUniverse& universe_;
+  const SourceRegistry& sources_;
+  const Mediator& mediator_;
   Ranker ranker_;
 };
 

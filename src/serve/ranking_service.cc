@@ -296,6 +296,8 @@ Result<TopKResult> RankingService::RankPrepared(
     RankedCandidate ranked;
     ranked.node = candidates[ci].node;
     ranked.reliability = u.entry.value;
+    ranked.lower = u.entry.exact ? u.entry.value : u.entry.lower;
+    ranked.upper = u.entry.exact ? u.entry.value : u.entry.upper;
     ranked.exact = u.entry.exact;
     ranked.resolution = u.resolution;
     result.top.push_back(ranked);

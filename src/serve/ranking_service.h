@@ -41,6 +41,11 @@ enum class Resolution {
 struct RankedCandidate {
   NodeId node = kInvalidNode;  ///< Answer node id in the *request's* graph.
   double reliability = 0.0;
+  /// The deterministic reliability bracket the scheduler held for this
+  /// candidate (lower == upper == reliability for exact resolutions;
+  /// MC estimates are clamped into [lower, upper]).
+  double lower = 0.0;
+  double upper = 1.0;
   bool exact = false;          ///< False when the value is a converged MC estimate.
   Resolution resolution = Resolution::kPruned;
 };

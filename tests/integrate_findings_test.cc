@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/server.h"
 #include "eval/perturbation.h"
 #include "integrate/scenario_harness.h"
 #include "util/rng.h"
@@ -18,9 +19,11 @@
 namespace biorank {
 namespace {
 
-ScenarioHarness& Harness() {
-  static ScenarioHarness* harness = new ScenarioHarness();
-  return *harness;
+const ScenarioHarness& Harness() {
+  // One server (and so one world + one reliability cache) for the whole
+  // file; BuildQueries does the crawling.
+  static api::Server* server = new api::Server();
+  return server->harness();
 }
 
 double MeanAp(const std::vector<ScenarioQuery>& queries,

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "api/server.h"
+
 #include "core/closed_form.h"
 #include "core/reliability_mc.h"
 #include "eval/perturbation.h"
@@ -10,10 +12,11 @@
 namespace biorank {
 namespace {
 
-// One harness for the whole file; construction crawls 34 queries.
-ScenarioHarness& Harness() {
-  static ScenarioHarness* harness = new ScenarioHarness();
-  return *harness;
+const ScenarioHarness& Harness() {
+  // One server (and so one world + one reliability cache) for the whole
+  // file; BuildQueries does the crawling.
+  static api::Server* server = new api::Server();
+  return server->harness();
 }
 
 TEST(HarnessTest, BuildsAllThreeScenarios) {

@@ -47,6 +47,47 @@ TEST_F(MediatorTest, UnsupportedQueryShapesAreRejected) {
             StatusCode::kUnimplemented);
 }
 
+TEST_F(MediatorTest, RunErrorPathsAreTyped) {
+  const std::string known =
+      universe_.protein(universe_.well_studied()[0]).gene_symbol;
+
+  // Unknown input entity set: rejected before any source is queried,
+  // even when the value would match a real protein.
+  ExploratoryQuery wrong_set = MakeProteinFunctionQuery(known);
+  wrong_set.entity_set = "NoSuchEntitySet";
+  EXPECT_EQ(mediator_.Run(wrong_set).status().code(),
+            StatusCode::kUnimplemented);
+
+  // Unsupported match attribute on the supported entity set.
+  ExploratoryQuery wrong_attribute = MakeProteinFunctionQuery(known);
+  wrong_attribute.attribute = "sequence";
+  EXPECT_EQ(mediator_.Run(wrong_attribute).status().code(),
+            StatusCode::kUnimplemented);
+
+  // Unsupported output sets: a foreign set, several sets, and none.
+  ExploratoryQuery extra_outputs = MakeProteinFunctionQuery(known);
+  extra_outputs.output_sets = {"AmiGO", "PDB"};
+  EXPECT_EQ(mediator_.Run(extra_outputs).status().code(),
+            StatusCode::kUnimplemented);
+  ExploratoryQuery no_outputs = MakeProteinFunctionQuery(known);
+  no_outputs.output_sets.clear();
+  EXPECT_EQ(mediator_.Run(no_outputs).status().code(),
+            StatusCode::kUnimplemented);
+
+  // Empty match: a well-formed query whose value matches no record.
+  ExploratoryQuery no_match = MakeProteinFunctionQuery("");
+  Result<ExploratoryQueryResult> empty = mediator_.Run(no_match);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kNotFound);
+
+  // The ranked entry point surfaces the same statuses (no swallow).
+  serve::RankingService service;
+  EXPECT_EQ(mediator_.RunRanked(wrong_set, 5, service).status().code(),
+            StatusCode::kUnimplemented);
+  EXPECT_EQ(mediator_.RunRanked(no_match, 5, service).status().code(),
+            StatusCode::kNotFound);
+}
+
 TEST_F(MediatorTest, GraphValidatesAndHasAnswers) {
   ExploratoryQueryResult result = RunFor(universe_.well_studied()[0]);
   EXPECT_TRUE(result.query_graph.Validate().ok());
@@ -192,7 +233,7 @@ TEST_F(MediatorTest, RunRankedServesTopKThroughTheRankingService) {
   const Protein& protein = universe_.protein(universe_.well_studied()[0]);
   serve::RankingService service;
   Result<RankedExploratoryResult> ranked = mediator_.RunRanked(
-      MakeProteinFunctionTopKQuery(protein.gene_symbol, 5), service);
+      MakeProteinFunctionQuery(protein.gene_symbol), 5, service);
   ASSERT_TRUE(ranked.ok()) << ranked.status();
   EXPECT_FALSE(ranked.value().result.query_graph.answers.empty());
   ASSERT_EQ(ranked.value().ranked.top.size(), 5u);
@@ -202,7 +243,7 @@ TEST_F(MediatorTest, RunRankedServesTopKThroughTheRankingService) {
   }
   // A repeated request is answered from the service's canonical cache.
   Result<RankedExploratoryResult> again = mediator_.RunRanked(
-      MakeProteinFunctionTopKQuery(protein.gene_symbol, 5), service);
+      MakeProteinFunctionQuery(protein.gene_symbol), 5, service);
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(again.value().ranked.stats.cache_misses, 0);
   for (size_t i = 0; i < 5; ++i) {
@@ -211,9 +252,9 @@ TEST_F(MediatorTest, RunRankedServesTopKThroughTheRankingService) {
     EXPECT_EQ(again.value().ranked.top[i].reliability,
               ranked.value().ranked.top[i].reliability);
   }
-  // top_k = 0 ranks the full answer set.
+  // k = 0 ranks the full answer set.
   Result<RankedExploratoryResult> full = mediator_.RunRanked(
-      MakeProteinFunctionQuery(protein.gene_symbol), service);
+      MakeProteinFunctionQuery(protein.gene_symbol), 0, service);
   ASSERT_TRUE(full.ok());
   EXPECT_GE(full.value().ranked.top.size(), 5u);
 }
@@ -224,7 +265,7 @@ TEST_F(MediatorTest, RunRankedKEdgeCases) {
 
   // k = 0 ranks the full answer set.
   Result<RankedExploratoryResult> full = mediator_.RunRanked(
-      MakeProteinFunctionTopKQuery(protein.gene_symbol, 0), service);
+      MakeProteinFunctionQuery(protein.gene_symbol), 0, service);
   ASSERT_TRUE(full.ok()) << full.status();
   size_t answers = full.value().result.query_graph.answers.size();
   ASSERT_GT(answers, 0u);
@@ -233,9 +274,8 @@ TEST_F(MediatorTest, RunRankedKEdgeCases) {
   // k far beyond the answer count clamps to the answer count and yields
   // the same ranking as k = 0.
   Result<RankedExploratoryResult> huge = mediator_.RunRanked(
-      MakeProteinFunctionTopKQuery(protein.gene_symbol,
-                                   static_cast<int>(answers) + 1000),
-      service);
+      MakeProteinFunctionQuery(protein.gene_symbol),
+      static_cast<int>(answers) + 1000, service);
   ASSERT_TRUE(huge.ok()) << huge.status();
   ASSERT_EQ(huge.value().ranked.top.size(), answers);
   for (size_t i = 0; i < answers; ++i) {
@@ -245,9 +285,9 @@ TEST_F(MediatorTest, RunRankedKEdgeCases) {
               full.value().ranked.top[i].reliability);
   }
 
-  // Negative top_k behaves like 0 (RunRanked treats <= 0 as "rank all").
+  // Negative k behaves like 0 (RunRanked treats <= 0 as "rank all").
   Result<RankedExploratoryResult> negative = mediator_.RunRanked(
-      MakeProteinFunctionTopKQuery(protein.gene_symbol, -3), service);
+      MakeProteinFunctionQuery(protein.gene_symbol), -3, service);
   ASSERT_TRUE(negative.ok()) << negative.status();
   EXPECT_EQ(negative.value().ranked.top.size(), answers);
 }
