@@ -35,13 +35,16 @@ namespace {
 /// One timed pass: MC reliability for every query at the given
 /// parallelism. Returns concatenated scores for the determinism check.
 std::vector<double> RunAllQueries(const std::vector<ScenarioQuery>& queries,
-                                  int64_t trials, ThreadPool& pool) {
+                                  int64_t trials, ThreadPool& pool,
+                                  McOptions::Backend backend =
+                                      McOptions::Backend::kCsrSnapshot) {
   std::vector<double> all_scores;
   for (const ScenarioQuery& query : queries) {
     McOptions mc;
     mc.trials = trials;
     mc.seed = 42;
     mc.pool = &pool;
+    mc.backend = backend;
     Result<McEstimate> estimate = EstimateReliabilityMc(query.graph, mc);
     if (!estimate.ok()) {
       std::cerr << estimate.status() << "\n";
@@ -138,6 +141,37 @@ int main() {
   }
   table.Print(std::cout);
 
+  // CSR-vs-pointer head-to-head at 1 thread: the seed-era pointer path
+  // is kept verbatim as the reference backend, so this measures exactly
+  // what the flat snapshot bought — and asserts that both backends flip
+  // the same coins (bit-identical concatenated scores).
+  double csr_speedup = 0.0;
+  bool csr_bit_identical = true;
+  {
+    ThreadPool pool(0);
+    std::vector<double> pointer_scores = RunAllQueries(
+        queries.value(), trials, pool, McOptions::Backend::kPointerView);
+    csr_bit_identical = pointer_scores == reference_scores;
+    bench::WallTimer timer;
+    for (int rep = 0; rep < reps; ++rep) {
+      RunAllQueries(queries.value(), trials, pool,
+                    McOptions::Backend::kPointerView);
+    }
+    double pointer_s = timer.Seconds();
+    csr_speedup =
+        single_thread_s > 0.0 ? pointer_s / single_thread_s : 0.0;
+    double pointer_trials_per_sec =
+        pointer_s > 0.0 ? static_cast<double>(total_trials) / pointer_s : 0.0;
+    report.SetMetric("pointer_trials_per_sec", pointer_trials_per_sec);
+    report.SetMetric("csr_speedup", csr_speedup);
+    report.SetMetric("csr_bit_identical", csr_bit_identical);
+    std::cout << "\nCSR snapshot vs pointer view (1 thread): "
+              << FormatDouble(csr_speedup, 2) << "x, scores "
+              << (csr_bit_identical ? "bit-identical"
+                                    : "NOT IDENTICAL (BUG)")
+              << ".\n";
+  }
+
   std::cout << "\nDeterminism: scores at 2/4/8 threads are "
             << (deterministic ? "bit-identical" : "NOT IDENTICAL (BUG)")
             << " to the single-thread path.\n"
@@ -161,5 +195,5 @@ int main() {
   report.SetMetric("threads_swept", static_cast<int64_t>(sweep.size()));
   report.SetMetric("max_threads_timed", sweep.back());
   Status write_status = report.Write();
-  return deterministic && write_status.ok() ? 0 : 1;
+  return deterministic && csr_bit_identical && write_status.ok() ? 0 : 1;
 }

@@ -17,6 +17,10 @@ job summary. Exit status is nonzero when
   * the api bench's mixed_hit_rate falls below its 0.5 floor, its
     RunBatch output diverged from serial single-request execution, or
     its live sessions diverged from their from-scratch rebuilds, or
+  * an MC bench's CSR backend diverged bitwise from the pointer-view
+    reference (csr_bit_identical false), or its csr_speedup fell below
+    the floor (3.0x, clamped to 1.0x on single-core runners where the
+    duel measures little beyond RNG inlining), or
   * a baseline bench produced no report at all (a silently skipped bench
     would otherwise look like a perf win).
 
@@ -45,6 +49,13 @@ HIT_RATE_FLOOR = 0.5
 PRUNED_FRACTION_FLOOR = 0.3
 PRESERVED_HIT_RATE_FLOOR = 0.5
 MIXED_HIT_RATE_FLOOR = 0.5
+# CSR-vs-pointer duel floor. On a single-core runner the pointer path is
+# already CSR-shaped (CompactGraphView), so the duel only measures the
+# inlined sampler and threshold tables — clamp the floor to 1.0 there
+# rather than institutionalising a number the hardware cannot produce.
+CSR_SPEEDUP_FLOOR = 3.0
+CSR_SPEEDUP_FLOOR_SINGLE_CORE = 1.0
+CSR_DUEL_BENCHES = ("parallel_scaling", "fig7_mc_convergence")
 
 # Benches that may legitimately be absent from a run (Google-Benchmark
 # harnesses are skipped when libbenchmark-dev is not installed).
@@ -57,7 +68,7 @@ OPTIONAL_BENCHES = {
 # Headline metrics worth a column when both sides have them.
 TRACKED_METRICS = ("cache_hit_rate", "pruned_fraction", "trials_per_sec",
                    "preserved_hit_rate", "update_latency_ms_mean",
-                   "mixed_hit_rate", "batch_s_mean")
+                   "mixed_hit_rate", "batch_s_mean", "csr_speedup")
 
 
 def load_reports(directory: Path):
@@ -189,6 +200,27 @@ def main() -> int:
         if not metrics.get("deterministic_output", False):
             failures.append("ingest_updates: incremental output diverged "
                             "from the from-scratch rebuild")
+
+    for name in CSR_DUEL_BENCHES:
+        duel = current.get(name)
+        if duel is None:
+            continue
+        metrics = duel.get("metrics", {})
+        if "csr_speedup" not in metrics:
+            continue
+        if not metrics.get("csr_bit_identical", False):
+            failures.append(f"{name}: CSR backend scores diverged bitwise "
+                            f"from the pointer-view reference")
+        single_core = int(metrics.get("hardware_concurrency", 0)) <= 1
+        floor = (CSR_SPEEDUP_FLOOR_SINGLE_CORE if single_core
+                 else CSR_SPEEDUP_FLOOR)
+        speedup = float(metrics.get("csr_speedup", 0.0))
+        if speedup < floor:
+            failures.append(
+                f"{name}: csr_speedup {speedup:.2f}x is below the "
+                f"{floor:g}x floor"
+                + (" (clamped for a single-core runner)" if single_core
+                   else ""))
 
     api = current.get("api_server")
     if api is not None:

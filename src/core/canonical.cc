@@ -268,7 +268,7 @@ CanonicalKey CanonicalizeView(const LabelView& view,
 
 Result<CanonicalCandidate> CanonicalizeCandidate(
     const QueryGraph& query_graph, NodeId target,
-    const CanonicalizeOptions& options) {
+    const CanonicalizeOptions& options, const CsrSnapshot* graph_csr) {
   BIORANK_RETURN_IF_ERROR(query_graph.Validate());
   if (std::find(query_graph.answers.begin(), query_graph.answers.end(),
                 target) == query_graph.answers.end()) {
@@ -281,8 +281,12 @@ Result<CanonicalCandidate> CanonicalizeCandidate(
   // interior nodes here, which is what lets distinct tuples share a
   // canonical form.
   std::vector<bool> kept;
-  QueryGraph restricted = RestrictToQueryRelevantSubgraph(
-      query_graph, {target}, options.collect_provenance ? &kept : nullptr);
+  std::vector<bool>* kept_out = options.collect_provenance ? &kept : nullptr;
+  QueryGraph restricted =
+      graph_csr != nullptr
+          ? RestrictToQueryRelevantSubgraph(query_graph, {target}, *graph_csr,
+                                            kept_out)
+          : RestrictToQueryRelevantSubgraph(query_graph, {target}, kept_out);
 
   CanonicalCandidate out;
   if (options.collect_provenance) {

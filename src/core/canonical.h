@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/csr_snapshot.h"
 #include "core/query_graph.h"
 #include "core/reduction.h"
 #include "util/status.h"
@@ -88,9 +89,18 @@ struct CanonicalCandidate {
 /// reductions with only the source and `target` protected, and computes
 /// the canonical form. Fails on invalid query graphs or if `target` is
 /// not one of the answers.
+///
+/// `graph_csr`, when given, must be an unmasked flat snapshot of
+/// `query_graph.graph` (core/csr_snapshot.h); the per-target restriction
+/// traversal then runs over its packed arrays instead of the pointer
+/// adjacency. Callers canonicalizing many targets against one graph (the
+/// serving fan-out, ingest recanonicalization) build the snapshot once
+/// and pass it to every call; the produced candidate is identical either
+/// way.
 Result<CanonicalCandidate> CanonicalizeCandidate(
     const QueryGraph& query_graph, NodeId target,
-    const CanonicalizeOptions& options = {});
+    const CanonicalizeOptions& options = {},
+    const CsrSnapshot* graph_csr = nullptr);
 
 /// Canonical key of a query graph as-is (no restriction, no reduction).
 /// The graph must validate; all answers are marked with the target role.

@@ -68,11 +68,81 @@ double SolveDiffusionInflow(const std::vector<double>& parent_scores,
   return SolveBisection(parents, bisection_steps);
 }
 
+Result<IterativeScores> DiffuseOnSnapshot(const CsrQuerySnapshot& snapshot,
+                                          const DiffusionOptions& options) {
+  if (options.max_iterations < 1) {
+    return Status::InvalidArgument("diffusion: max_iterations must be >= 1");
+  }
+  const CsrSnapshot& csr = snapshot.csr;
+  const uint32_t source = snapshot.source;
+  if (source == kCsrInvalid || source >= csr.num_nodes()) {
+    return Status::InvalidArgument("diffusion snapshot has no valid source");
+  }
+  const uint32_t n = csr.num_nodes();
+
+  // Dense sweep state; expanded back to original NodeId indexing at the
+  // end. Dropped (dead) nodes would compute 0 every iteration in the
+  // pointer path, so skipping them changes neither scores nor max_delta.
+  std::vector<double> scores(n, 0.0);
+  scores[source] = 1.0;
+  std::vector<double> next(n, 0.0);
+  std::vector<std::pair<double, double>> parents;
+
+  IterativeScores result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double max_delta = 0.0;
+    for (uint32_t y = 0; y < n; ++y) {
+      if (y == source) {
+        next[y] = 1.0;
+        continue;
+      }
+      if (csr.node_p[y] <= 0.0) {
+        next[y] = 0.0;
+        continue;
+      }
+      parents.clear();
+      const uint32_t end = csr.in_offset[y + 1];
+      for (uint32_t i = csr.in_offset[y]; i < end; ++i) {
+        const double r = scores[csr.in_from[i]];
+        const double q = csr.in_q[i];
+        if (r > 0.0 && q > 0.0) parents.emplace_back(r, q);
+      }
+      double inflow;
+      if (parents.empty()) {
+        inflow = 0.0;
+      } else if (options.solver == DiffusionInnerSolver::kAnalytic) {
+        inflow = SolveAnalytic(parents);
+      } else {
+        inflow = SolveBisection(parents, options.bisection_steps);
+      }
+      next[y] = inflow * csr.node_p[y];
+      max_delta = std::max(max_delta, std::abs(next[y] - scores[y]));
+    }
+    std::swap(scores, next);
+    result.iterations = iter + 1;
+    if (max_delta <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.scores.assign(static_cast<size_t>(csr.orig_capacity()), 0.0);
+  for (uint32_t d = 0; d < n; ++d) {
+    result.scores[static_cast<size_t>(csr.orig_id[d])] = scores[d];
+  }
+  return result;
+}
+
 Result<IterativeScores> Diffuse(const QueryGraph& query_graph,
                                 const DiffusionOptions& options) {
   BIORANK_RETURN_IF_ERROR(query_graph.Validate());
   if (options.max_iterations < 1) {
     return Status::InvalidArgument("diffusion: max_iterations must be >= 1");
+  }
+  if (options.backend == DiffusionOptions::Backend::kCsrSnapshot) {
+    Result<CsrQuerySnapshot> snapshot = BuildCsrQuerySnapshot(query_graph);
+    if (!snapshot.ok()) return snapshot.status();
+    return DiffuseOnSnapshot(snapshot.value(), options);
   }
 
   CompactGraphView view = CompactGraphView::FromGraph(query_graph.graph);

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "core/csr_snapshot.h"
 #include "core/propagation.h"
 #include "core/query_graph.h"
 #include "util/status.h"
@@ -28,10 +29,20 @@ enum class DiffusionInnerSolver {
 
 /// Options for relevance diffusion (Algorithm 3.3).
 struct DiffusionOptions {
+  /// Graph substrate of the Jacobi sweep. The parent lists both backends
+  /// enumerate are identical (ascending original EdgeId), so every score,
+  /// iteration count, and convergence flag is bit-identical between them
+  /// (pinned by tests/core_csr_differential_test.cc).
+  enum class Backend {
+    kCsrSnapshot,  ///< Flat transposed-CSR sweep (default, hot path).
+    kPointerView,  ///< Seed-era CompactGraphView sweep, the reference.
+  };
+
   int max_iterations = 200;     ///< Outer synchronous iterations cap.
   double tolerance = 1e-10;     ///< Outer convergence threshold.
   DiffusionInnerSolver solver = DiffusionInnerSolver::kAnalytic;
   int bisection_steps = 64;     ///< Inner iterations for kBisection.
+  Backend backend = Backend::kCsrSnapshot;
 };
 
 /// Relevance diffusion (Section 3.3): relevance flows from x to y only
@@ -44,6 +55,13 @@ struct DiffusionOptions {
 /// few strong paths over many weak ones and penalizes long paths.
 Result<IterativeScores> Diffuse(const QueryGraph& query_graph,
                                 const DiffusionOptions& options = {});
+
+/// Diffusion on a prebuilt CSR query snapshot, skipping the per-call
+/// snapshot build. `options.backend` is ignored (the snapshot *is* the
+/// backend). Scores come back indexed by the snapshot's original NodeIds
+/// (dropped nodes score 0), exactly like Diffuse.
+Result<IterativeScores> DiffuseOnSnapshot(const CsrQuerySnapshot& snapshot,
+                                          const DiffusionOptions& options = {});
 
 /// Solves t = sum_i max((r[i] - t) * q[i], 0) for the unique t >= 0.
 /// Exposed for tests and the inner-solver ablation benchmark.

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/csr_snapshot.h"
 #include "core/graph.h"
 #include "core/query_graph.h"
 #include "util/status.h"
@@ -61,6 +62,19 @@ QueryGraph RestrictToQueryRelevantSubgraph(const QueryGraph& query_graph);
 /// ingest layer's dependency index is built from.
 QueryGraph RestrictToQueryRelevantSubgraph(const QueryGraph& query_graph,
                                            const std::vector<NodeId>& answers,
+                                           std::vector<bool>* kept_nodes =
+                                               nullptr);
+
+/// Same restriction, but the membership mask is computed by BFS over a
+/// prebuilt flat snapshot of `query_graph.graph` (core/csr_snapshot.h)
+/// instead of walking the pointer graph's tombstone-filtered adjacency.
+/// `graph_csr` must be an unmasked snapshot of exactly that graph — the
+/// per-candidate fan-out in canonicalization builds it once per request
+/// and reuses it for every target. The produced mask, subgraph, and
+/// answer mapping are identical to the pointer overload's.
+QueryGraph RestrictToQueryRelevantSubgraph(const QueryGraph& query_graph,
+                                           const std::vector<NodeId>& answers,
+                                           const CsrSnapshot& graph_csr,
                                            std::vector<bool>* kept_nodes =
                                                nullptr);
 

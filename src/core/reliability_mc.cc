@@ -1,6 +1,7 @@
 #include "core/reliability_mc.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/trial_bound.h"
 #include "util/rng.h"
@@ -8,6 +9,20 @@
 namespace biorank {
 
 namespace {
+
+Status ValidateMcOptions(const McOptions& options) {
+  if (options.trials <= 0) {
+    return Status::InvalidArgument("MC trials must be positive");
+  }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument(
+        "MC num_threads must be >= 0 (0 = full shared pool)");
+  }
+  if (options.shard_trials < 1) {
+    return Status::InvalidArgument("MC shard_trials must be >= 1");
+  }
+  return Status::OK();
+}
 
 /// Per-executor scratch reused across every shard a thread runs, so shard
 /// granularity costs no allocations. Reach counts are integers, which is
@@ -100,22 +115,198 @@ void RunNaiveTrials(const CompactGraphView& view, NodeId source,
   }
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// CSR-snapshot backend. Same trials, same coins, flat arrays, and a
+// fully inlined sampler: the pointer path pays an out-of-line Rng call
+// per coin, which dominates the per-edge cost of the traversal kernel.
+// ---------------------------------------------------------------------------
 
-Result<McEstimate> EstimateReliabilityMc(const QueryGraph& query_graph,
+/// xoshiro256++ inlined into the kernel, bit-compatible with util/rng.h's
+/// Rng: same SplitMix64 seeding, same output function, same top-53-bit
+/// double mapping, and the same "certain elements consume no draw"
+/// shortcut. Any divergence from Rng breaks the pointer-vs-CSR
+/// bit-identity the differential suite asserts, so it cannot rot quietly.
+struct InlineRng {
+  uint64_t s[4];
+
+  explicit InlineRng(uint64_t seed) {
+    for (auto& word : s) word = SplitMix64Next(seed);
+  }
+
+  inline uint64_t Next() {
+    const uint64_t rotated = s[0] + s[3];
+    const uint64_t result = ((rotated << 23) | (rotated >> 41)) + s[0];
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = ((s[3] << 45) | (s[3] >> 19));
+    return result;
+  }
+
+  inline bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53 < p;
+  }
+};
+
+/// Probabilities pre-scaled to 53-bit integer thresholds so the kernel
+/// compares the raw 53-bit draw directly: for integer x < 2^53 and
+/// p in (0,1), (double)x * 2^-53 < p  ⟺  x < ceil(p * 2^53) — both
+/// sides are exact (power-of-two scaling is lossless and x has ≤ 53
+/// bits), so the accept/reject decision is bit-identical to
+/// Rng::NextBernoulli. Certain and impossible elements get sentinel
+/// values that preserve the "no draw consumed" shortcut. On the Fig. 7
+/// workload 76% of edges are certain, so the hot loop's common case
+/// collapses to one integer compare with no RNG advance.
+constexpr uint64_t kThreshNever = 0;                     // p <= 0: false, no draw
+constexpr uint64_t kThreshCertain = ~uint64_t{0};        // p >= 1: true, no draw
+
+inline uint64_t BernoulliThreshold(double p) {
+  if (p <= 0.0) return kThreshNever;
+  if (p >= 1.0) return kThreshCertain;
+  // ceil(p * 2^53); p < 1 so the product is < 2^53 and never collides
+  // with kThreshCertain. p > 0 so it is >= 1 and never kThreshNever.
+  return static_cast<uint64_t>(std::ceil(p * 9007199254740992.0));
+}
+
+/// Draw-consuming path only; callers must have peeled the sentinels.
+inline bool DrawAgainst(InlineRng& rng, uint64_t threshold) {
+  return (rng.Next() >> 11) < threshold;
+}
+
+/// Per-call threshold tables mirroring node_p / out_q, built once before
+/// the shard fan-out and shared read-only by every worker.
+struct CsrThresholds {
+  std::vector<uint64_t> node;
+  std::vector<uint64_t> edge;
+
+  explicit CsrThresholds(const CsrSnapshot& csr) {
+    node.reserve(csr.node_p.size());
+    for (double p : csr.node_p) node.push_back(BernoulliThreshold(p));
+    edge.reserve(csr.out_q.size());
+    for (double q : csr.out_q) edge.push_back(BernoulliThreshold(q));
+  }
+};
+
+/// Dense scratch for the CSR kernels; arrays are sized to the snapshot's
+/// node count (no tombstone slack), so the per-trial working set is as
+/// small as the kept subgraph.
+struct CsrTrialWorkspace {
+  std::vector<int64_t> reach_count;
+  std::vector<int64_t> last_sim;
+  std::vector<uint32_t> stack;
+  int64_t epoch = 0;
+  std::vector<uint8_t> node_present;
+  std::vector<uint8_t> edge_present;
+
+  void Init(uint32_t node_count, uint32_t edge_count, McOptions::Mode mode) {
+    reach_count.assign(node_count, 0);
+    last_sim.assign(node_count, -1);
+    stack.reserve(64);
+    if (mode == McOptions::Mode::kNaive) {
+      node_present.assign(node_count, 0);
+      edge_present.assign(edge_count, 0);
+    }
+  }
+};
+
+void RunCsrTraversalTrials(const CsrSnapshot& csr,
+                           const CsrThresholds& thresholds, uint32_t source,
+                           int64_t trials, InlineRng rng,
+                           CsrTrialWorkspace& ws) {
+  const uint64_t* const node_t = thresholds.node.data();
+  const uint64_t* const edge_t = thresholds.edge.data();
+  const uint32_t* const out_offset = csr.out_offset.data();
+  const uint32_t* const out_to = csr.out_to.data();
+  for (int64_t trial = 0; trial < trials; ++trial) {
+    const int64_t epoch = ++ws.epoch;
+    ws.stack.clear();
+    ws.last_sim[source] = epoch;
+    const uint64_t source_t = node_t[source];
+    if (source_t == kThreshCertain ||
+        (source_t != kThreshNever && DrawAgainst(rng, source_t))) {
+      ++ws.reach_count[source];
+      ws.stack.push_back(source);
+    }
+    while (!ws.stack.empty()) {
+      const uint32_t x = ws.stack.back();
+      ws.stack.pop_back();
+      const uint32_t end = out_offset[x + 1];
+      for (uint32_t i = out_offset[x]; i < end; ++i) {
+        const uint64_t et = edge_t[i];
+        if (et != kThreshCertain &&
+            (et == kThreshNever || !DrawAgainst(rng, et))) {
+          continue;
+        }
+        const uint32_t y = out_to[i];
+        if (ws.last_sim[y] == epoch) continue;
+        ws.last_sim[y] = epoch;
+        const uint64_t nt = node_t[y];
+        if (nt == kThreshCertain ||
+            (nt != kThreshNever && DrawAgainst(rng, nt))) {
+          ++ws.reach_count[y];
+          ws.stack.push_back(y);
+        }
+      }
+    }
+  }
+}
+
+void RunCsrNaiveTrials(const CsrSnapshot& csr,
+                       const CsrThresholds& thresholds, uint32_t source,
+                       int64_t trials, InlineRng rng,
+                       CsrTrialWorkspace& ws) {
+  const uint32_t n = csr.num_nodes();
+  const uint32_t m = csr.num_edges();
+  const uint64_t* const node_t = thresholds.node.data();
+  const uint64_t* const edge_t = thresholds.edge.data();
+  for (int64_t trial = 0; trial < trials; ++trial) {
+    const int64_t epoch = ++ws.epoch;
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint64_t t = node_t[i];
+      ws.node_present[i] =
+          (t == kThreshCertain ||
+           (t != kThreshNever && DrawAgainst(rng, t)))
+              ? 1
+              : 0;
+    }
+    for (uint32_t i = 0; i < m; ++i) {
+      const uint64_t t = edge_t[i];
+      ws.edge_present[i] =
+          (t == kThreshCertain ||
+           (t != kThreshNever && DrawAgainst(rng, t)))
+              ? 1
+              : 0;
+    }
+    if (!ws.node_present[source]) continue;
+    ws.stack.clear();
+    ws.stack.push_back(source);
+    ws.last_sim[source] = epoch;
+    ++ws.reach_count[source];
+    while (!ws.stack.empty()) {
+      const uint32_t x = ws.stack.back();
+      ws.stack.pop_back();
+      const uint32_t end = csr.out_offset[x + 1];
+      for (uint32_t i = csr.out_offset[x]; i < end; ++i) {
+        if (!ws.edge_present[i]) continue;
+        const uint32_t y = csr.out_to[i];
+        if (ws.last_sim[y] == epoch || !ws.node_present[y]) continue;
+        ws.last_sim[y] = epoch;
+        ++ws.reach_count[y];
+        ws.stack.push_back(y);
+      }
+    }
+  }
+}
+
+/// The seed-era pointer-view estimator, byte-for-byte the original hot
+/// path — now the differential reference backend.
+Result<McEstimate> EstimateOnPointerView(const QueryGraph& query_graph,
                                          const McOptions& options) {
-  BIORANK_RETURN_IF_ERROR(query_graph.Validate());
-  if (options.trials <= 0) {
-    return Status::InvalidArgument("MC trials must be positive");
-  }
-  if (options.num_threads < 0) {
-    return Status::InvalidArgument(
-        "MC num_threads must be >= 0 (0 = full shared pool)");
-  }
-  if (options.shard_trials < 1) {
-    return Status::InvalidArgument("MC shard_trials must be >= 1");
-  }
-
   CompactGraphView view = CompactGraphView::FromGraph(query_graph.graph);
   const int n = view.node_count();
   const int m = static_cast<int>(view.edge_q.size());
@@ -161,6 +352,79 @@ Result<McEstimate> EstimateReliabilityMc(const QueryGraph& query_graph,
                          static_cast<double>(options.trials);
   }
   return estimate;
+}
+
+}  // namespace
+
+Result<McEstimate> EstimateReliabilityMcOnSnapshot(
+    const CsrQuerySnapshot& snapshot, const McOptions& options) {
+  BIORANK_RETURN_IF_ERROR(ValidateMcOptions(options));
+  if (snapshot.source == kCsrInvalid ||
+      snapshot.source >= snapshot.csr.num_nodes()) {
+    return Status::InvalidArgument("MC snapshot has no valid source node");
+  }
+  const CsrSnapshot& csr = snapshot.csr;
+  const uint32_t n = csr.num_nodes();
+  const uint32_t m = csr.num_edges();
+
+  Result<std::vector<int64_t>> plan =
+      PlanTrialShards(options.trials, options.shard_trials);
+  if (!plan.ok()) return plan.status();
+  const std::vector<int64_t>& shards = plan.value();
+
+  ThreadPool& pool = options.pool != nullptr ? *options.pool
+                                             : ThreadPool::Global();
+  const int max_parallelism = options.num_threads == 0
+                                  ? ThreadPool::kUnlimitedParallelism
+                                  : options.num_threads;
+
+  const CsrThresholds thresholds(csr);
+  std::vector<CsrTrialWorkspace> workspaces(pool.slot_count());
+  pool.ParallelFor(
+      static_cast<int64_t>(shards.size()),
+      [&](int slot, int64_t shard) {
+        CsrTrialWorkspace& ws = workspaces[slot];
+        if (ws.reach_count.empty()) ws.Init(n, m, options.mode);
+        // Same per-shard stream as Rng::ForStream(seed, shard).
+        InlineRng rng(DeriveStreamSeed(options.seed,
+                                       static_cast<uint64_t>(shard)));
+        if (options.mode == McOptions::Mode::kTraversal) {
+          RunCsrTraversalTrials(csr, thresholds, snapshot.source,
+                                shards[shard], rng, ws);
+        } else {
+          RunCsrNaiveTrials(csr, thresholds, snapshot.source, shards[shard],
+                            rng, ws);
+        }
+      },
+      max_parallelism);
+
+  // Dense integer totals, then one expansion back to original NodeId
+  // indexing (dead nodes score 0) so callers are backend-agnostic.
+  std::vector<int64_t> totals(n, 0);
+  for (const CsrTrialWorkspace& ws : workspaces) {
+    if (ws.reach_count.empty()) continue;
+    for (uint32_t i = 0; i < n; ++i) totals[i] += ws.reach_count[i];
+  }
+  McEstimate estimate;
+  estimate.trials = options.trials;
+  estimate.scores.assign(static_cast<size_t>(csr.orig_capacity()), 0.0);
+  for (uint32_t i = 0; i < n; ++i) {
+    estimate.scores[static_cast<size_t>(csr.orig_id[i])] =
+        static_cast<double>(totals[i]) / static_cast<double>(options.trials);
+  }
+  return estimate;
+}
+
+Result<McEstimate> EstimateReliabilityMc(const QueryGraph& query_graph,
+                                         const McOptions& options) {
+  BIORANK_RETURN_IF_ERROR(query_graph.Validate());
+  BIORANK_RETURN_IF_ERROR(ValidateMcOptions(options));
+  if (options.backend == McOptions::Backend::kPointerView) {
+    return EstimateOnPointerView(query_graph, options);
+  }
+  Result<CsrQuerySnapshot> snapshot = BuildCsrQuerySnapshot(query_graph);
+  if (!snapshot.ok()) return snapshot.status();
+  return EstimateReliabilityMcOnSnapshot(snapshot.value(), options);
 }
 
 }  // namespace biorank

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/csr_snapshot.h"
 #include "core/query_graph.h"
 #include "util/parallel.h"
 #include "util/status.h"
@@ -29,9 +30,22 @@ struct McOptions {
     kNaive,
   };
 
+  /// Which graph substrate the trials run on. Both backends flip the
+  /// same coins in the same order, so every estimate is bit-identical
+  /// between them (pinned by tests/core_csr_differential_test.cc).
+  enum class Backend {
+    /// Flat CSR snapshot (core/csr_snapshot.h) with an inlined sampler —
+    /// the hot path. Default.
+    kCsrSnapshot,
+    /// The seed-era CompactGraphView walk. Kept verbatim as the
+    /// differential reference and for A/B timing in the benches.
+    kPointerView,
+  };
+
   int64_t trials = 10000;
   uint64_t seed = 42;
   Mode mode = Mode::kTraversal;
+  Backend backend = Backend::kCsrSnapshot;
   /// Parallelism. Trials are split into fixed shards of `shard_trials`
   /// whose RNG streams depend only on (seed, shard index), and the
   /// per-shard reach counts are integers, so the estimate is bit-identical
@@ -64,6 +78,15 @@ struct McEstimate {
 /// graphs or non-positive trial counts.
 Result<McEstimate> EstimateReliabilityMc(const QueryGraph& query_graph,
                                          const McOptions& options = {});
+
+/// Same estimator on a prebuilt CSR query snapshot, skipping the
+/// per-call snapshot build — the fast path for callers that run many
+/// batches against one graph (topk_mc's adaptive rounds, the Figure 7
+/// repetition harness). `options.backend` is ignored (the snapshot *is*
+/// the backend); scores come back indexed by the snapshot's original
+/// NodeIds, exactly like EstimateReliabilityMc.
+Result<McEstimate> EstimateReliabilityMcOnSnapshot(
+    const CsrQuerySnapshot& snapshot, const McOptions& options = {});
 
 }  // namespace biorank
 

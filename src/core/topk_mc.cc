@@ -54,6 +54,17 @@ Result<TopKResult> RankTopKAdaptive(const QueryGraph& query_graph,
   QueryGraph working = query_graph;
   if (options.reduce_first) ReduceQueryGraph(working);
 
+  // One snapshot for the whole adaptive run: every round simulates the
+  // same (reduced) graph and differs only in RNG stream.
+  CsrQuerySnapshot snapshot;
+  const bool use_snapshot =
+      options.backend == McOptions::Backend::kCsrSnapshot;
+  if (use_snapshot) {
+    Result<CsrQuerySnapshot> built = BuildCsrQuerySnapshot(working);
+    if (!built.ok()) return built.status();
+    snapshot = std::move(built.value());
+  }
+
   const double z = NormalQuantile(options.confidence);
   const size_t answer_count = working.answers.size();
 
@@ -72,7 +83,10 @@ Result<TopKResult> RankTopKAdaptive(const QueryGraph& query_graph,
     mc.seed = DeriveStreamSeed(options.seed, batch_index++);
     mc.num_threads = options.num_threads;
     mc.pool = options.pool;
-    Result<McEstimate> estimate = EstimateReliabilityMc(working, mc);
+    mc.backend = options.backend;
+    Result<McEstimate> estimate =
+        use_snapshot ? EstimateReliabilityMcOnSnapshot(snapshot, mc)
+                     : EstimateReliabilityMc(working, mc);
     if (!estimate.ok()) return estimate.status();
     for (size_t i = 0; i < sums.size() &&
                        i < estimate.value().scores.size();

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "core/ranking.h"
+#include "core/reliability_mc.h"
 #include "util/parallel.h"
 #include "util/status.h"
 
@@ -29,6 +30,12 @@ struct TopKOptions {
   int num_threads = 0;
   /// Pool to fan batches out on; nullptr = ThreadPool::Global().
   ThreadPool* pool = nullptr;
+  /// MC substrate. With kCsrSnapshot the reduced query graph is packed
+  /// into one flat snapshot reused by every adaptive round — the rounds
+  /// only differ in RNG stream, so the per-round view rebuild of the
+  /// pointer path is pure waste. Trajectories are bit-identical between
+  /// backends (same coins in the same order).
+  McOptions::Backend backend = McOptions::Backend::kCsrSnapshot;
 };
 
 /// Result of adaptive top-k ranking.

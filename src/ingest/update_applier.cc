@@ -14,6 +14,7 @@ UpdateApplier::UpdateApplier(QueryGraph graph,
   canonicalize_.collect_provenance = true;
   init_status_ = graph_.Validate();
   if (!init_status_.ok()) return;
+  csr_ = BuildCsrSnapshot(graph_.graph);
   canonicals_.resize(graph_.answers.size());
   std::vector<int> all(graph_.answers.size());
   for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
@@ -28,8 +29,8 @@ Status UpdateApplier::Recanonicalize(
         graph_.answers[static_cast<size_t>(answer_indices[j])];
   }
   std::vector<CanonicalCandidate> fresh;
-  BIORANK_RETURN_IF_ERROR(
-      service_->CanonicalizeTargets(graph_, targets, canonicalize_, fresh));
+  BIORANK_RETURN_IF_ERROR(service_->CanonicalizeTargets(
+      graph_, targets, canonicalize_, fresh, &csr_));
   for (size_t j = 0; j < answer_indices.size(); ++j) {
     int answer = answer_indices[j];
     index_.Register(answer, fresh[j].key, fresh[j].provenance, graph_);
@@ -50,6 +51,10 @@ Result<ApplyReport> UpdateApplier::ApplyDelta(
   }
   Result<AppliedDelta> applied = ApplyDeltaToGraph(delta, graph_);
   if (!applied.ok()) return applied.status();
+
+  // The graph mutated: refresh the flat snapshot before anything
+  // traverses it (re-canonicalization below reads csr_).
+  csr_ = BuildCsrSnapshot(graph_.graph);
 
   ApplyReport report;
   report.ops = delta.size();

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/canonical.h"
+#include "core/csr_snapshot.h"
 #include "core/query_graph.h"
 #include "ingest/delta.h"
 #include "ingest/dependency_index.h"
@@ -106,6 +107,15 @@ class UpdateApplier {
   /// writer is running (tests).
   const DependencyIndex& dependency_index() const { return index_; }
 
+  /// The maintained flat snapshot of the live graph (core/csr_snapshot.h):
+  /// rebuilt after every successful ApplyDelta graph mutation, before the
+  /// dirty answers re-canonicalize, so re-canonicalization always
+  /// traverses the packed arrays of the *updated* graph. Byte-equal to
+  /// BuildCsrSnapshot(GraphSnapshot().graph) at every quiesce point
+  /// (asserted in tests). Not synchronized — inspect only while no writer
+  /// is running, like dependency_index().
+  const CsrSnapshot& csr_snapshot() const { return csr_; }
+
   const UpdateApplierOptions& options() const { return options_; }
 
  private:
@@ -124,6 +134,10 @@ class UpdateApplier {
   /// request; dirty slots are swapped whole under the writer lock).
   std::vector<std::unique_ptr<CanonicalCandidate>> canonicals_;
   DependencyIndex index_;
+  /// Flat read-side view of graph_; rebuilt under the writer lock on
+  /// every delta (the delta layer mutates graph_ in place, and a rebuild
+  /// is O(V+E) — the same order as the mask BFS it feeds).
+  CsrSnapshot csr_;
   Status init_status_;
 };
 

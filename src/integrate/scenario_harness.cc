@@ -110,12 +110,17 @@ Result<std::vector<double>> ScenarioHarness::ApForPerturbedReps(
 Result<std::vector<double>> ScenarioHarness::ApForMcReps(
     const ScenarioQuery& query, int64_t trials, int reps, uint64_t seed,
     ThreadPool* pool) const {
+  // One flat snapshot serves all repetitions — they simulate the same
+  // graph and differ only in RNG stream.
+  Result<CsrQuerySnapshot> snapshot = BuildCsrQuerySnapshot(query.graph);
+  if (!snapshot.ok()) return snapshot.status();
   return RunRepeated(reps, pool, [&](int rep) -> Result<double> {
     McOptions mc;
     mc.trials = trials;
     mc.seed = DeriveStreamSeed(seed, static_cast<uint64_t>(rep));
     mc.pool = pool;
-    Result<McEstimate> estimate = EstimateReliabilityMc(query.graph, mc);
+    Result<McEstimate> estimate =
+        EstimateReliabilityMcOnSnapshot(snapshot.value(), mc);
     if (!estimate.ok()) return estimate.status();
     std::vector<RankedAnswer> ranked =
         RankAnswers(query.graph.answers, estimate.value().scores);

@@ -36,7 +36,7 @@ RankingService::RankingService(RankingServiceOptions options)
 Status RankingService::CanonicalizeTargets(
     const QueryGraph& graph, const std::vector<NodeId>& targets,
     const CanonicalizeOptions& canonicalize,
-    std::vector<CanonicalCandidate>& out) {
+    std::vector<CanonicalCandidate>& out, const CsrSnapshot* graph_csr) {
   ThreadPool& pool =
       options_.pool != nullptr ? *options_.pool : ThreadPool::Global();
   const int max_parallelism = options_.num_threads == 0
@@ -49,7 +49,7 @@ Status RankingService::CanonicalizeTargets(
       static_cast<int64_t>(targets.size()),
       [&](int, int64_t i) {
         Result<CanonicalCandidate> canonical = CanonicalizeCandidate(
-            graph, targets[static_cast<size_t>(i)], canonicalize);
+            graph, targets[static_cast<size_t>(i)], canonicalize, graph_csr);
         if (canonical.ok()) {
           out[static_cast<size_t>(i)] = std::move(canonical.value());
         } else {
@@ -76,11 +76,13 @@ Result<TopKResult> RankingService::RankTopK(const QueryGraph& query_graph,
   const std::vector<NodeId>& answers = query_graph.answers;
 
   // Phase 1 — canonicalize every candidate (pure per candidate, so the
-  // fan-out is deterministic at any thread count).
+  // fan-out is deterministic at any thread count). One flat snapshot of
+  // the request graph serves every target's restriction traversal.
+  const CsrSnapshot request_csr = BuildCsrSnapshot(query_graph.graph);
   std::vector<CanonicalCandidate> canonicals;
   BIORANK_RETURN_IF_ERROR(CanonicalizeTargets(query_graph, answers,
                                               options_.canonicalize,
-                                              canonicals));
+                                              canonicals, &request_csr));
 
   std::vector<PreparedCandidate> prepared(answers.size());
   for (size_t i = 0; i < answers.size(); ++i) {
@@ -248,7 +250,15 @@ Result<TopKResult> RankingService::RankPrepared(
         mc.shard_trials = options_.mc_shard_trials;
         mc.num_threads = options_.num_threads;
         mc.pool = options_.pool;
-        Result<McEstimate> estimate = EstimateReliabilityMc(graph, mc);
+        // Pack the canonical residue once and simulate on the flat
+        // arrays; the value stays a pure function of the canonical key.
+        Result<CsrQuerySnapshot> snapshot = BuildCsrQuerySnapshot(graph);
+        if (!snapshot.ok()) {
+          u.status = snapshot.status();
+          return;
+        }
+        Result<McEstimate> estimate =
+            EstimateReliabilityMcOnSnapshot(snapshot.value(), mc);
         if (!estimate.ok()) {
           u.status = estimate.status();
           return;

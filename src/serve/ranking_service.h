@@ -173,11 +173,16 @@ class RankingService {
   /// thread count), writing `out[i]` for `targets[i]`. RankTopK's phase
   /// 1 and the ingest applier's dirty-answer re-canonicalization share
   /// this one fan-out, so pool selection, parallelism caps, and error
-  /// propagation cannot drift apart.
+  /// propagation cannot drift apart. `graph_csr`, when non-null, is an
+  /// unmasked flat snapshot of `graph` shared read-only by every target's
+  /// restriction traversal (RankTopK builds one per request; the ingest
+  /// applier maintains one across deltas); null falls back to walking the
+  /// pointer graph per target.
   Status CanonicalizeTargets(const QueryGraph& graph,
                              const std::vector<NodeId>& targets,
                              const CanonicalizeOptions& canonicalize,
-                             std::vector<CanonicalCandidate>& out);
+                             std::vector<CanonicalCandidate>& out,
+                             const CsrSnapshot* graph_csr = nullptr);
 
   ReliabilityCache& cache() { return cache_; }
   const ReliabilityCache& cache() const { return cache_; }

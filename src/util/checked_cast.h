@@ -1,0 +1,48 @@
+// Checked narrowing casts for the flat CSR snapshot layer. The snapshot
+// packs node and edge ids into uint32_t arrays; a graph past 2^32 nodes
+// or edges must fail loudly at build time, never truncate silently into
+// aliased ids.
+
+#ifndef BIORANK_UTIL_CHECKED_CAST_H_
+#define BIORANK_UTIL_CHECKED_CAST_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <type_traits>
+
+namespace biorank {
+
+/// True iff `value` is representable as uint32_t (non-negative and at
+/// most UINT32_MAX). Works for any integral type without triggering
+/// sign-compare warnings.
+template <typename T>
+constexpr bool FitsUint32(T value) {
+  static_assert(std::is_integral_v<T>, "FitsUint32 takes integers");
+  if constexpr (std::is_signed_v<T>) {
+    if (value < 0) return false;
+    return static_cast<uint64_t>(value) <= UINT64_C(0xFFFFFFFF);
+  } else {
+    return static_cast<uint64_t>(value) <= UINT64_C(0xFFFFFFFF);
+  }
+}
+
+/// Casts `value` to uint32_t, aborting with a message naming `context`
+/// when the value does not fit. Overflow here is a programming error (a
+/// graph the snapshot format cannot represent), not a runtime state to
+/// propagate: every caller would have to treat it as fatal anyway, and a
+/// Status return on the hot build path would tax the common case.
+template <typename T>
+inline uint32_t CheckedUint32Cast(T value, const char* context) {
+  if (!FitsUint32(value)) {
+    std::fprintf(stderr,
+                 "biorank: checked cast to uint32_t overflowed in %s\n",
+                 context != nullptr ? context : "(unknown)");
+    std::abort();
+  }
+  return static_cast<uint32_t>(value);
+}
+
+}  // namespace biorank
+
+#endif  // BIORANK_UTIL_CHECKED_CAST_H_

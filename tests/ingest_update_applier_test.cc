@@ -318,5 +318,46 @@ TEST(UpdateApplierTest, ConcurrentQueriesAndUpdatesStayCoherent) {
             Rebuild(applier.GraphSnapshot(), 3, false, 1));
 }
 
+TEST(UpdateApplierTest, MaintainedCsrSnapshotMatchesFromScratchBuild) {
+  // The applier's incrementally maintained flat snapshot must be
+  // byte-equal to a from-scratch BuildCsrSnapshot of the live graph at
+  // construction and after every applied delta batch.
+  Rng rng(23);
+  RandomDagOptions options;
+  options.answers = 5;
+  QueryGraph g = MakeRandomLayeredDag(rng, options);
+  serve::RankingService service;
+  UpdateApplier applier(g, &service);
+  EXPECT_TRUE(CsrBytesEqual(applier.csr_snapshot(),
+                            BuildCsrSnapshot(applier.GraphSnapshot().graph)));
+
+  for (int step = 0; step < 8; ++step) {
+    EvidenceDelta delta = MakeDelta(applier.GraphSnapshot(), 500 + step);
+    Result<ApplyReport> report = applier.ApplyDelta(delta);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_TRUE(
+        CsrBytesEqual(applier.csr_snapshot(),
+                      BuildCsrSnapshot(applier.GraphSnapshot().graph)))
+        << "snapshot drifted from the live graph after delta " << step;
+  }
+}
+
+TEST(UpdateApplierTest, RejectedDeltaLeavesCsrSnapshotUntouched) {
+  Rng rng(29);
+  RandomDagOptions options;
+  options.answers = 4;
+  QueryGraph g = MakeRandomLayeredDag(rng, options);
+  serve::RankingService service;
+  UpdateApplier applier(g, &service);
+  CsrSnapshot before = applier.csr_snapshot();
+
+  EvidenceDelta invalid;
+  invalid.revise_node_probs.push_back({9999, 0.5});
+  EXPECT_FALSE(applier.ApplyDelta(invalid).ok());
+  EXPECT_TRUE(CsrBytesEqual(applier.csr_snapshot(), before));
+  EXPECT_TRUE(CsrBytesEqual(applier.csr_snapshot(),
+                            BuildCsrSnapshot(applier.GraphSnapshot().graph)));
+}
+
 }  // namespace
 }  // namespace biorank::ingest

@@ -1,0 +1,44 @@
+#include "util/checked_cast.h"
+
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace biorank {
+namespace {
+
+TEST(CheckedCastTest, FitsUint32AcceptsRepresentableValues) {
+  EXPECT_TRUE(FitsUint32(0));
+  EXPECT_TRUE(FitsUint32(1));
+  EXPECT_TRUE(FitsUint32(std::numeric_limits<uint32_t>::max()));
+  EXPECT_TRUE(FitsUint32(static_cast<int64_t>(0xFFFFFFFFLL)));
+  EXPECT_TRUE(FitsUint32(static_cast<size_t>(0xFFFFFFFFu)));
+  EXPECT_TRUE(FitsUint32(std::numeric_limits<int32_t>::max()));
+}
+
+TEST(CheckedCastTest, FitsUint32RejectsNegativeAndOversized) {
+  EXPECT_FALSE(FitsUint32(-1));
+  EXPECT_FALSE(FitsUint32(std::numeric_limits<int64_t>::min()));
+  EXPECT_FALSE(FitsUint32(static_cast<int64_t>(0x100000000LL)));
+  EXPECT_FALSE(FitsUint32(static_cast<uint64_t>(0x100000000ULL)));
+  EXPECT_FALSE(FitsUint32(std::numeric_limits<uint64_t>::max()));
+}
+
+TEST(CheckedCastTest, CastPassesThroughInRangeValues) {
+  EXPECT_EQ(CheckedUint32Cast(0, "test"), 0u);
+  EXPECT_EQ(CheckedUint32Cast(static_cast<size_t>(12345), "test"), 12345u);
+  EXPECT_EQ(CheckedUint32Cast(static_cast<uint64_t>(0xFFFFFFFFULL), "test"),
+            0xFFFFFFFFu);
+}
+
+TEST(CheckedCastDeathTest, CastAbortsOnOverflow) {
+  EXPECT_DEATH(CheckedUint32Cast(static_cast<uint64_t>(0x100000000ULL),
+                                 "edge count"),
+               "checked cast to uint32_t overflowed in edge count");
+  EXPECT_DEATH(CheckedUint32Cast(-1, "node count"),
+               "checked cast to uint32_t overflowed in node count");
+}
+
+}  // namespace
+}  // namespace biorank
