@@ -121,7 +121,7 @@ std::string JsonReport::ToJson() const {
   // v4: adds the api front-door metrics emitted by bench_api_server
   // (mixed_hit_rate, deterministic_batch, session_rebuild_identical,
   // batch_s_mean, session/eviction counters); layout unchanged again.
-  out += "  \"schema_version\": 4,\n";
+  out += "  \"schema_version\": 5,\n";
   out += "  \"bench\": \"" + JsonEscape(name_) + "\",\n";
   out += "  \"threads\": " + std::to_string(threads_) + ",\n";
   out += "  \"wall_time_s\": " + FormatNumber(wall_time_s_) + ",\n";

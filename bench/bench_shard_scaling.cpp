@@ -1,0 +1,352 @@
+// Scatter–gather serving at 1 / 2 / 4 shards (shard::ShardRouter over
+// InProcessTransport fleets). Every shard server is capped at one
+// ranking thread — one shard stands in for one process on one core, so
+// the sweep measures what sharding itself buys: the cold resolve work
+// (canonicalize + bound + Monte Carlo per candidate) partitioned across
+// the fleet, scattered by the router's one ParallelFor.
+//
+// The timed sweep ranks the *full* answer set: rank-all work partitions
+// exactly across shards, so the sweep isolates the scatter win. (A
+// k << answers sweep would instead measure the pruning asymmetry —
+// every shard must produce its slice's top-k for the merge to be exact,
+// so sharding deliberately gives up some of the monolith's cross-slice
+// pruning; that cost shows up in the separate top-10 probe pass, whose
+// merge/short-circuit counters land in the report.)
+//
+// Gates (in-binary exit code, re-checked by compare_baselines.py):
+//  * merged_bit_identical — every router ranking, at every shard count,
+//    equals the unsharded serial reference fingerprint bit for bit;
+//  * query_path_identical — the end-to-end Query path (front-door crawl
+//    + scatter + merge) equals the monolith's Query on the same fleet;
+//  * scaling_1_to_4 >= 2.0 when the host has >= 4 real cores (clamped —
+//    reported but not gated — below that: a 1-core runner serializes
+//    the scatter and measures only merge overhead).
+//
+// BENCH_shard_scaling.json also records the router's observability
+// counters (shard_calls, empty_slices, shards_short_circuited,
+// short_circuited_candidates, merged_candidates, admission_rejected,
+// peak_inflight) so the report documents the merge's short-circuit
+// behaviour and the backpressure path, not just wall times.
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/server.h"
+#include "bench_json.h"
+#include "bench_util.h"
+#include "core/query_graph.h"
+#include "shard/router.h"
+#include "shard/transport.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace biorank;
+
+namespace {
+
+constexpr int kTopK = 10;
+constexpr uint32_t kShardCounts[] = {1, 2, 4};
+
+constexpr int kAnswersPerGraph = 64;
+
+/// One layered random DAG: a source, `layers` interior layers, then the
+/// answer layer, with dense forward and occasional layer-skipping edges
+/// — hairy enough that a fair share of answers is irreducible (Monte
+/// Carlo work to partition), with the answer count high enough that
+/// every shard of a 4-way fleet owns a meaningful slice. Answer labels
+/// are their stable partition identity.
+QueryGraph MakeLayeredDag(Rng& rng) {
+  constexpr int kLayers = 4;
+  constexpr int kNodesPerLayer = 8;
+  constexpr double kEdgeDensity = 0.45;
+  constexpr double kSkipDensity = 0.15;
+  QueryGraphBuilder builder;
+  std::vector<std::vector<NodeId>> layers = {{builder.Source()}};
+  for (int layer = 0; layer < kLayers; ++layer) {
+    std::vector<NodeId> current;
+    for (int i = 0; i < kNodesPerLayer; ++i) {
+      current.push_back(builder.Node(rng.NextUniform(0.3, 1.0)));
+    }
+    layers.push_back(current);
+  }
+  std::vector<NodeId> answers;
+  for (int i = 0; i < kAnswersPerGraph; ++i) {
+    answers.push_back(builder.Node(rng.NextUniform(0.3, 1.0),
+                                   "ans" + std::to_string(i)));
+  }
+  layers.push_back(answers);
+  for (size_t layer = 0; layer + 1 < layers.size(); ++layer) {
+    for (NodeId from : layers[layer]) {
+      for (NodeId to : layers[layer + 1]) {
+        if (rng.NextBernoulli(kEdgeDensity)) {
+          builder.Edge(from, to, rng.NextUniform(0.2, 1.0));
+        }
+      }
+      for (size_t skip = layer + 2; skip < layers.size(); ++skip) {
+        for (NodeId to : layers[skip]) {
+          if (rng.NextBernoulli(kSkipDensity)) {
+            builder.Edge(from, to, rng.NextUniform(0.2, 1.0));
+          }
+        }
+      }
+    }
+  }
+  // Connectivity hooks: every non-source node gets at least one in-edge
+  // from the previous layer.
+  for (size_t layer = 1; layer < layers.size(); ++layer) {
+    for (NodeId to : layers[layer]) {
+      const std::vector<NodeId>& prev = layers[layer - 1];
+      builder.Edge(prev[static_cast<size_t>(rng.NextBounded(prev.size()))], to,
+                   rng.NextUniform(0.2, 1.0));
+    }
+  }
+  return std::move(builder).Build(answers);
+}
+
+std::vector<QueryGraph> BuildWorkload(int graphs) {
+  Rng rng(20260808);
+  std::vector<QueryGraph> workload;
+  workload.reserve(static_cast<size_t>(graphs));
+  for (int i = 0; i < graphs; ++i) {
+    workload.push_back(MakeLayeredDag(rng));
+  }
+  return workload;
+}
+
+api::ServerOptions OneThreadServers() {
+  api::ServerOptions options;
+  options.ranking.num_threads = 1;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  const int graphs = std::max(4, 4 * bench::Repetitions(3));
+  std::cout << "=== shard::ShardRouter scatter-gather scaling: " << graphs
+            << " graphs, top-" << kTopK << ", 1/2/4 one-thread shards ===\n\n";
+
+  std::vector<QueryGraph> workload = BuildWorkload(graphs);
+
+  // The unsharded serial reference every merged ranking must reproduce:
+  // the full ranked answer set, and its top-10 for the probe pass.
+  api::Server reference(OneThreadServers());
+  std::vector<std::vector<std::pair<NodeId, double>>> expected_full;
+  std::vector<std::vector<std::pair<NodeId, double>>> expected_topk;
+  expected_full.reserve(workload.size());
+  expected_topk.reserve(workload.size());
+  for (const QueryGraph& graph : workload) {
+    api::Result<api::QueryResponse> full = reference.RankGraph(graph, 0);
+    api::Result<api::QueryResponse> topk = reference.RankGraph(graph, kTopK);
+    if (!full.ok() || !topk.ok()) {
+      std::cerr << (full.ok() ? topk.status() : full.status()) << "\n";
+      return 1;
+    }
+    expected_full.push_back(api::RankingFingerprint(full.value()));
+    expected_topk.push_back(api::RankingFingerprint(topk.value()));
+  }
+
+  bench::WallTimer bench_timer;
+  bool merged_bit_identical = true;
+  double cold_s_1 = 0.0;
+  double cold_s_4 = 0.0;
+  shard::RouterStats sweep_stats;  // The 4-shard router's counters.
+  TextTable table({"shards", "cold s", "warm s", "cold graphs/s",
+                   "speedup vs 1", "warm hit"});
+  CsvWriter csv({"shards", "cold_s", "warm_s", "cold_graphs_per_s",
+                 "speedup_vs_1", "warm_hit_rate"});
+  bench::JsonReport report("shard_scaling");
+
+  for (uint32_t shards : kShardCounts) {
+    shard::InProcessTransport transport(shards, OneThreadServers());
+    shard::ShardRouterOptions options;
+    options.partition.num_shards = shards;
+    shard::ShardRouter router(transport.server(0), transport, options);
+
+    // Cold pass (rank-all): fresh per-shard caches, so the timed work
+    // is the full resolve pipeline partitioned across the fleet.
+    bench::WallTimer cold_timer;
+    for (size_t i = 0; i < workload.size(); ++i) {
+      api::Result<api::QueryResponse> response =
+          router.RankGraph(workload[i], 0);
+      if (!response.ok()) {
+        std::cerr << response.status() << "\n";
+        return 1;
+      }
+      if (api::RankingFingerprint(response.value()) != expected_full[i]) {
+        merged_bit_identical = false;
+      }
+    }
+    double cold_s = cold_timer.Seconds();
+
+    // Warm pass: every candidate is cached shard-side; what remains is
+    // scatter + merge overhead.
+    serve::RequestStats warm_stats;
+    bench::WallTimer warm_timer;
+    for (size_t i = 0; i < workload.size(); ++i) {
+      api::Result<api::QueryResponse> response =
+          router.RankGraph(workload[i], 0);
+      if (!response.ok()) {
+        std::cerr << response.status() << "\n";
+        return 1;
+      }
+      warm_stats.Add(response.value().stats);
+      if (api::RankingFingerprint(response.value()) != expected_full[i]) {
+        merged_bit_identical = false;
+      }
+    }
+    double warm_s = warm_timer.Seconds();
+
+    // Top-10 probe pass (warm): the k << answers regime the merge's
+    // bounds cutoff exists for — its short-circuit counters document
+    // which shards' leftovers were provably unnecessary.
+    for (size_t i = 0; i < workload.size(); ++i) {
+      api::Result<api::QueryResponse> response =
+          router.RankGraph(workload[i], kTopK);
+      if (!response.ok()) {
+        std::cerr << response.status() << "\n";
+        return 1;
+      }
+      if (api::RankingFingerprint(response.value()) != expected_topk[i]) {
+        merged_bit_identical = false;
+      }
+    }
+
+    if (shards == 1) cold_s_1 = cold_s;
+    if (shards == 4) {
+      cold_s_4 = cold_s;
+      sweep_stats = router.Stats();
+    }
+    double speedup = shards == 1 || cold_s <= 0.0 ? 1.0 : cold_s_1 / cold_s;
+    std::vector<std::string> cells = {
+        std::to_string(shards), FormatDouble(cold_s, 3),
+        FormatDouble(warm_s, 3),
+        FormatDouble(static_cast<double>(workload.size()) / cold_s, 2),
+        FormatDouble(speedup, 2), FormatDouble(warm_stats.CacheHitRate(), 3)};
+    table.AddRow(cells);
+    csv.AddRow(cells);
+    report.AddRow({{"shards", static_cast<int64_t>(shards)},
+                   {"cold_s", cold_s},
+                   {"warm_s", warm_s},
+                   {"cold_graphs_per_s",
+                    static_cast<double>(workload.size()) / cold_s},
+                   {"speedup_vs_1", speedup},
+                   {"warm_hit_rate", warm_stats.CacheHitRate()}});
+  }
+  table.Print(std::cout);
+
+  // End-to-end Query path at 4 shards: front-door crawl + scatter +
+  // merge vs the same fleet's front server answering alone.
+  bool query_path_identical = true;
+  {
+    shard::InProcessTransport transport(4);
+    shard::ShardRouterOptions options;
+    options.partition.num_shards = 4;
+    shard::ShardRouter router(transport.server(0), transport, options);
+    std::vector<ScenarioCase> cases = BuildScenarioCases(
+        transport.server(0).universe(), ScenarioId::kScenario1WellKnown);
+    const size_t probes = std::min<size_t>(4, cases.size());
+    for (size_t i = 0; i < probes; ++i) {
+      api::QueryRequest request =
+          api::MakeProteinFunctionRequest(cases[i].gene_symbol, kTopK);
+      api::Result<api::QueryResponse> sharded = router.Query(request);
+      api::Result<api::QueryResponse> mono =
+          transport.server(0).Query(request);
+      if (!sharded.ok() || !mono.ok()) {
+        std::cerr << "query path failed: "
+                  << (sharded.ok() ? mono.status() : sharded.status()) << "\n";
+        return 1;
+      }
+      if (api::RankingFingerprint(sharded.value()) !=
+          api::RankingFingerprint(mono.value())) {
+        query_path_identical = false;
+      }
+    }
+
+    // Backpressure probe: a capacity-1 router over the same fleet under
+    // a 4-thread burst — the admission counters for the report (how
+    // many attempts the cap turned away is scheduling-dependent, so it
+    // is recorded, not gated).
+    shard::ShardRouterOptions capped_options = options;
+    capped_options.max_inflight = 1;
+    shard::ShardRouter capped(transport.server(0), transport, capped_options);
+    std::vector<std::thread> burst;
+    for (int t = 0; t < 4; ++t) {
+      burst.emplace_back([&, t] {
+        for (int attempt = 0; attempt < 3; ++attempt) {
+          (void)capped.RankGraph(workload[static_cast<size_t>(t) %
+                                          workload.size()],
+                                 kTopK);
+        }
+      });
+    }
+    for (std::thread& thread : burst) thread.join();
+    shard::RouterStats capped_stats = capped.Stats();
+    report.SetMetric("admission_attempts", static_cast<int64_t>(
+                                               capped_stats.queries +
+                                               capped_stats.admission_rejected));
+    report.SetMetric("admission_rejected",
+                     static_cast<int64_t>(capped_stats.admission_rejected));
+    report.SetMetric("peak_inflight",
+                     static_cast<int64_t>(capped_stats.peak_inflight));
+  }
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const bool scaling_gated = hardware >= 4;
+  const double scaling_1_to_4 = cold_s_4 > 0.0 ? cold_s_1 / cold_s_4 : 0.0;
+
+  std::cout << "\nScaling 1 -> 4 shards: " << FormatDouble(scaling_1_to_4, 2)
+            << "x on " << hardware << " cores"
+            << (scaling_gated ? "" : " (floor clamped: < 4 cores)") << ".\n"
+            << "Merged rankings "
+            << (merged_bit_identical ? "bit-identical" : "DIVERGED")
+            << " vs the unsharded serial reference at every shard count; "
+            << "Query path "
+            << (query_path_identical ? "bit-identical" : "DIVERGED")
+            << " at 4 shards.\n";
+  bench::MaybeWriteCsv(csv, "shard_scaling");
+
+  report.SetWallTime(bench_timer.Seconds());
+  report.SetMetric("graphs", static_cast<int64_t>(workload.size()));
+  report.SetMetric("k", kTopK);
+  report.SetMetric("answers_per_graph", kAnswersPerGraph);
+  report.SetMetric("hardware_concurrency", static_cast<int64_t>(hardware));
+  report.SetMetric("scaling_1_to_4", scaling_1_to_4);
+  report.SetMetric("scaling_clamped", !scaling_gated);
+  report.SetMetric("merged_bit_identical", merged_bit_identical);
+  report.SetMetric("query_path_identical", query_path_identical);
+  report.SetMetric("shard_calls", static_cast<int64_t>(sweep_stats.shard_calls));
+  report.SetMetric("empty_slices",
+                   static_cast<int64_t>(sweep_stats.empty_slices));
+  report.SetMetric("merged_candidates",
+                   static_cast<int64_t>(sweep_stats.merged_candidates));
+  report.SetMetric("shards_short_circuited",
+                   static_cast<int64_t>(sweep_stats.shards_short_circuited));
+  report.SetMetric(
+      "short_circuited_candidates",
+      static_cast<int64_t>(sweep_stats.short_circuited_candidates));
+  Status write_status = report.Write();
+
+  bool scaling_ok = !scaling_gated || scaling_1_to_4 >= 2.0;
+  if (!merged_bit_identical) {
+    std::cerr << "shard gate FAILED: merged rankings diverged from the "
+                 "unsharded reference\n";
+  }
+  if (!query_path_identical) {
+    std::cerr << "shard gate FAILED: Query path diverged from the monolith\n";
+  }
+  if (!scaling_ok) {
+    std::cerr << "shard gate FAILED: scaling_1_to_4 "
+              << FormatDouble(scaling_1_to_4, 2) << "x is below the 2.0x "
+              << "floor on a " << hardware << "-core host\n";
+  }
+  return merged_bit_identical && query_path_identical && scaling_ok &&
+                 write_status.ok()
+             ? 0
+             : 1;
+}

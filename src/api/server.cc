@@ -61,10 +61,17 @@ void FillRanked(const serve::TopKResult& top, LabelFn label,
 Status Server::RankAnswers(const QueryGraph& graph, int top_k,
                            serve::RankingService& service,
                            QueryResponse& response) {
-  int answers = static_cast<int>(graph.answers.size());
-  if (answers == 0) return Status::OK();  // Nothing to rank.
+  return RankAnswerSubset(graph, graph.answers, top_k, service, response);
+}
+
+Status Server::RankAnswerSubset(const QueryGraph& graph,
+                                const std::vector<NodeId>& answers, int top_k,
+                                serve::RankingService& service,
+                                QueryResponse& response) {
+  int count = static_cast<int>(answers.size());
+  if (count == 0) return Status::OK();  // Nothing to rank.
   Result<serve::TopKResult> top =
-      service.RankTopK(graph, ClampTopK(top_k, answers));
+      service.RankTopK(graph, answers, ClampTopK(top_k, count));
   if (!top.ok()) return top.status();
   FillRanked(top.value(),
              [&graph](NodeId node) { return graph.graph.node(node).label; },
@@ -148,10 +155,17 @@ Result<std::vector<QueryResponse>> Server::RunBatch(
 }
 
 Result<QueryResponse> Server::RankGraph(const QueryGraph& graph, int top_k) {
+  return RankGraph(graph, graph.answers, top_k);
+}
+
+Result<QueryResponse> Server::RankGraph(const QueryGraph& graph,
+                                        const std::vector<NodeId>& answers,
+                                        int top_k) {
   Tick();
   SteadyClock::time_point start = SteadyClock::now();
   QueryResponse response;
-  BIORANK_RETURN_IF_ERROR(RankAnswers(graph, top_k, service_, response));
+  BIORANK_RETURN_IF_ERROR(
+      RankAnswerSubset(graph, answers, top_k, service_, response));
   response.timing.rank_s = SecondsSince(start);
   response.timing.total_s = response.timing.rank_s;
   graph_rankings_.fetch_add(1, std::memory_order_relaxed);

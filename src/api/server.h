@@ -110,6 +110,17 @@ class Server {
   /// `result` is empty (the caller holds the graph).
   Result<QueryResponse> RankGraph(const QueryGraph& graph, int top_k);
 
+  /// Ranks only `answers` — a distinct subset of `graph.answers` — and
+  /// returns its top `top_k`. This is the shard-serving entry point: a
+  /// shard::ShardRouter partitions a query's answer set across N servers
+  /// and each shard ranks exactly the slice it owns, with values
+  /// bit-identical to the same answers inside an unsharded request
+  /// (every resolved value is a pure function of the candidate's
+  /// canonical key and the server's MC seed).
+  Result<QueryResponse> RankGraph(const QueryGraph& graph,
+                                  const std::vector<NodeId>& answers,
+                                  int top_k);
+
   /// Stands `request.query` up as a live session: the materialized graph
   /// stays resident, evidence deltas apply incrementally, and queries
   /// ride the per-answer canonicals. `request.top_k` is ignored (k is
@@ -172,6 +183,12 @@ class Server {
   /// stats to `response`. k <= 0 ranks the full answer set.
   Status RankAnswers(const QueryGraph& graph, int top_k,
                      serve::RankingService& service, QueryResponse& response);
+
+  /// Same, restricted to the `answers` subset (the shard slice).
+  Status RankAnswerSubset(const QueryGraph& graph,
+                          const std::vector<NodeId>& answers, int top_k,
+                          serve::RankingService& service,
+                          QueryResponse& response);
 
   /// Evicts sessions idle for more than `min_idle_ops` at clock `now`.
   size_t EvictIdleLocked(uint64_t min_idle_ops, uint64_t now);

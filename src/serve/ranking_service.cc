@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <functional>
+#include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/reliability_exact.h"
 #include "core/reliability_mc.h"
@@ -65,6 +67,12 @@ Status RankingService::CanonicalizeTargets(
 
 Result<TopKResult> RankingService::RankTopK(const QueryGraph& query_graph,
                                             int k) {
+  return RankTopK(query_graph, query_graph.answers, k);
+}
+
+Result<TopKResult> RankingService::RankTopK(const QueryGraph& query_graph,
+                                            const std::vector<NodeId>& targets,
+                                            int k) {
   BIORANK_RETURN_IF_ERROR(query_graph.Validate());
   if (k < 1) return Status::InvalidArgument("serve: k must be >= 1");
   if (mc_trials_ <= 0) {
@@ -73,7 +81,27 @@ Result<TopKResult> RankingService::RankTopK(const QueryGraph& query_graph,
     return Status::InvalidArgument(
         "serve: mc_epsilon must be in (0,1] and mc_delta in (0,1)");
   }
-  const std::vector<NodeId>& answers = query_graph.answers;
+  const std::vector<NodeId>& answers = targets;
+  if (&targets != &query_graph.answers) {
+    // A shard's slice must be a distinct subset of the graph's answer
+    // set: anything else means the partitioner and the materialized
+    // graph disagree, which would silently rank the wrong universe.
+    std::unordered_set<NodeId> answer_set(query_graph.answers.begin(),
+                                          query_graph.answers.end());
+    std::unordered_set<NodeId> seen;
+    seen.reserve(targets.size());
+    for (NodeId target : targets) {
+      if (answer_set.find(target) == answer_set.end()) {
+        return Status::InvalidArgument(
+            "serve: ranking target " + std::to_string(target) +
+            " is not an answer of the query graph");
+      }
+      if (!seen.insert(target).second) {
+        return Status::InvalidArgument("serve: duplicate ranking target " +
+                                       std::to_string(target));
+      }
+    }
+  }
 
   // Phase 1 — canonicalize every candidate (pure per candidate, so the
   // fan-out is deterministic at any thread count). One flat snapshot of
@@ -314,10 +342,7 @@ Result<TopKResult> RankingService::RankPrepared(
   }
   std::sort(result.top.begin(), result.top.end(),
             [](const RankedCandidate& a, const RankedCandidate& b) {
-              if (a.reliability != b.reliability) {
-                return a.reliability > b.reliability;
-              }
-              return a.node < b.node;
+              return RanksBefore(a, b);
             });
   if (static_cast<int>(result.top.size()) > k) result.top.resize(k);
   return result;

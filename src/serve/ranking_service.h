@@ -50,6 +50,19 @@ struct RankedCandidate {
   Resolution resolution = Resolution::kPruned;
 };
 
+/// The one ranking order of the serving stack: descending reliability,
+/// ties broken by ascending answer node id (a strict total order — node
+/// ids are distinct within a request). The service's phase-8 sort and
+/// the shard router's cross-shard merge both compare through this
+/// template, so the monolith and a scatter–gather deployment can never
+/// disagree on tie-breaks. Works on any pair of candidate types exposing
+/// `reliability` and `node` (serve::RankedCandidate, api::RankedAnswer).
+template <typename CandidateA, typename CandidateB>
+inline bool RanksBefore(const CandidateA& a, const CandidateB& b) {
+  if (a.reliability != b.reliability) return a.reliability > b.reliability;
+  return a.node < b.node;
+}
+
 /// Per-request scheduler counters.
 struct RequestStats {
   int candidates = 0;       ///< Answer nodes in the request.
@@ -147,6 +160,20 @@ class RankingService {
   /// Ranks `query_graph`'s answer set by reliability and returns the top
   /// k (clamped to the answer count; k < 1 is an error).
   Result<TopKResult> RankTopK(const QueryGraph& query_graph, int k);
+
+  /// Ranks only `targets` — a distinct subset of `query_graph.answers` —
+  /// through the identical pipeline. This is the shard-serving entry: a
+  /// shard ranks the answers its partition owns, and because every
+  /// resolved value is a pure function of the candidate's canonical key
+  /// (never of which other candidates share the request), the values it
+  /// returns are bit-identical to the same answers ranked inside the
+  /// full, unsharded request. The top-k cut is computed within `targets`
+  /// (a weaker cut than the full request's — a shard may resolve
+  /// candidates the monolith pruned — but pruning only ever discards
+  /// candidates provably outside the local top k, so the shard's top-k
+  /// list is exact for its partition).
+  Result<TopKResult> RankTopK(const QueryGraph& query_graph,
+                              const std::vector<NodeId>& targets, int k);
 
   /// Same pipeline starting from caller-held canonicalizations (phases
   /// 2-8 of RankTopK). Because every resolved value is a pure function of

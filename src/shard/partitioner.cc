@@ -1,0 +1,53 @@
+#include "shard/partitioner.h"
+
+#include <algorithm>
+
+namespace biorank::shard {
+
+namespace {
+
+/// FNV-1a 64-bit over an arbitrary byte sequence, continuing from
+/// `hash`. The reference offset/prime constants; stable across
+/// platforms and standard-library implementations.
+uint64_t Fnv1a(uint64_t hash, const void* data, size_t size) {
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+/// splitmix64 finalizer: FNV's low bits are weak for small moduli, so
+/// avalanche before reducing to a shard index.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Partitioner::Partitioner(PartitionerOptions options)
+    : num_shards_(std::max<uint32_t>(1, options.num_shards)),
+      salt_(options.salt) {}
+
+uint32_t Partitioner::ShardOf(std::string_view key) const {
+  constexpr uint64_t kOffsetBasis = 14695981039346656037ULL;
+  uint64_t hash = Fnv1a(kOffsetBasis, &salt_, sizeof(salt_));
+  hash = Fnv1a(hash, key.data(), key.size());
+  return static_cast<uint32_t>(Mix(hash) % num_shards_);
+}
+
+std::vector<std::vector<NodeId>> Partitioner::PartitionAnswers(
+    const QueryGraph& graph) const {
+  std::vector<std::vector<NodeId>> slices(num_shards_);
+  for (NodeId answer : graph.answers) {
+    slices[ShardOf(graph.graph.node(answer).label)].push_back(answer);
+  }
+  return slices;
+}
+
+}  // namespace biorank::shard

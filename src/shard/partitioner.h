@@ -1,0 +1,63 @@
+// Deterministic hash partitioning of the answer universe across N
+// shards — the data-placement half of the scatter–gather serving layer
+// (ROADMAP item 2). A shard owns an answer iff the stable FNV-1a hash
+// of the answer's *label* (its canonical external identity, e.g. the
+// "AmiGO:GO:..." term id) maps to that shard. Labels, not node ids, are
+// the partition key: node ids are an artifact of one materialization
+// and would not survive a socket transport, while labels identify the
+// same answer on every replica of the universe. The same function
+// partitions any string key — entity-set names, canonical keys — so
+// future layers (cache placement, WAL routing) can reuse the one
+// assignment and never disagree about ownership.
+
+#ifndef BIORANK_SHARD_PARTITIONER_H_
+#define BIORANK_SHARD_PARTITIONER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/query_graph.h"
+
+namespace biorank::shard {
+
+struct PartitionerOptions {
+  /// Number of shards keys are spread over. Values below 1 are clamped
+  /// to 1 (a single-shard deployment is the degenerate, always-valid
+  /// topology).
+  uint32_t num_shards = 1;
+  /// Mixed into the hash so distinct deployments can decorrelate their
+  /// placements; the default pins the repo-wide canonical placement.
+  uint64_t salt = 0x62696f72616e6bULL;  // "biorank"
+};
+
+/// Pure, stateless, deterministic key -> shard assignment. Two
+/// Partitioner instances built from equal options agree on every key —
+/// the property that lets the router, the shard executors, and any
+/// future placement-aware cache compute ownership independently.
+class Partitioner {
+ public:
+  explicit Partitioner(PartitionerOptions options = {});
+
+  uint32_t num_shards() const { return num_shards_; }
+
+  /// The owning shard of a string key (FNV-1a 64 over salt || key,
+  /// finalized with a splitmix64 avalanche so the modulo sees all 64
+  /// bits; implementation-independent, unlike std::hash).
+  uint32_t ShardOf(std::string_view key) const;
+
+  /// Splits `graph.answers` into per-shard slices by answer label.
+  /// Slices preserve the answer-set order (so every downstream fan-out
+  /// stays deterministic), are disjoint, and cover the full answer set;
+  /// slices may be empty — the router skips those shards entirely.
+  std::vector<std::vector<NodeId>> PartitionAnswers(
+      const QueryGraph& graph) const;
+
+ private:
+  uint32_t num_shards_;
+  uint64_t salt_;
+};
+
+}  // namespace biorank::shard
+
+#endif  // BIORANK_SHARD_PARTITIONER_H_

@@ -1,0 +1,275 @@
+#include "shard/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace biorank::shard {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double SecondsSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+}  // namespace
+
+/// Accounts one query attempt against the inflight cap. Construction
+/// admits or rejects; destruction releases the slot either way (a
+/// rejected attempt occupies its slot only for the duration of the
+/// rejection, so the gauge never drifts).
+class ShardRouter::AdmissionTicket {
+ public:
+  explicit AdmissionTicket(ShardRouter& router) : router_(router) {
+    uint64_t now =
+        router_.inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    admitted_ = router_.options_.max_inflight == 0 ||
+                now <= router_.options_.max_inflight;
+    if (admitted_) {
+      router_.queries_.fetch_add(1, std::memory_order_relaxed);
+      uint64_t peak = router_.peak_inflight_.load(std::memory_order_relaxed);
+      while (now > peak && !router_.peak_inflight_.compare_exchange_weak(
+                               peak, now, std::memory_order_relaxed)) {
+      }
+    } else {
+      router_.admission_rejected_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  ~AdmissionTicket() {
+    router_.inflight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  bool admitted() const { return admitted_; }
+
+ private:
+  ShardRouter& router_;
+  bool admitted_ = false;
+};
+
+ShardRouter::ShardRouter(api::Server& front, Transport& transport,
+                         ShardRouterOptions options)
+    : front_(front),
+      transport_(transport),
+      options_(options),
+      partitioner_(options.partition) {}
+
+Status ShardRouter::ScatterGather(const QueryGraph& graph, int top_k,
+                                  api::QueryResponse& response) {
+  const uint32_t num_shards = transport_.shard_count();
+  if (partitioner_.num_shards() != num_shards) {
+    return Status::InvalidArgument(
+        "shard: partitioner is configured for " +
+        std::to_string(partitioner_.num_shards()) +
+        " shards but the transport has " + std::to_string(num_shards));
+  }
+  const int answers = static_cast<int>(graph.answers.size());
+  if (answers == 0) return Status::OK();  // Nothing to rank.
+  const int k = top_k > 0 ? std::min(top_k, answers) : answers;
+
+  // Partition, then scatter to every shard that owns answers. Shards
+  // with empty slices are never called — on a socket transport that is
+  // a saved round trip, here it is a saved graph walk.
+  std::vector<std::vector<NodeId>> slices = partitioner_.PartitionAnswers(graph);
+  std::vector<uint32_t> active;
+  active.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    if (!slices[s].empty()) active.push_back(s);
+  }
+  empty_slices_.fetch_add(num_shards - active.size(),
+                          std::memory_order_relaxed);
+
+  std::vector<ShardReply> replies(active.size());
+  std::vector<Status> errors(active.size());
+  shard_calls_.fetch_add(active.size(), std::memory_order_relaxed);
+  ThreadPool::Global().ParallelFor(
+      static_cast<int64_t>(active.size()),
+      [&](int, int64_t i) {
+        const uint32_t s = active[static_cast<size_t>(i)];
+        ShardQuery query;
+        query.graph = &graph;
+        query.answers = std::move(slices[s]);
+        query.top_k = k;
+        Result<ShardReply> reply = transport_.Call(s, query);
+        if (reply.ok()) {
+          replies[static_cast<size_t>(i)] = std::move(reply.value());
+        } else {
+          errors[static_cast<size_t>(i)] = reply.status();
+        }
+      },
+      ThreadPool::kUnlimitedParallelism);
+
+  uint64_t failed = 0;
+  for (const Status& status : errors) {
+    if (!status.ok()) ++failed;
+  }
+  if (failed > 0) {
+    shard_errors_.fetch_add(failed, std::memory_order_relaxed);
+    // First (lowest shard index) error wins, wrapped as the router's
+    // typed unavailability — a partial merge is never returned.
+    for (size_t i = 0; i < errors.size(); ++i) {
+      if (!errors[i].ok()) {
+        return Status::Unavailable("shard " + std::to_string(active[i]) +
+                                   " failed: " + errors[i].ToString());
+      }
+    }
+  }
+
+  // Gather accounting + the k-way merge in serve::RanksBefore order —
+  // the monolith's phase-8 comparator, so cross-shard ties break
+  // identically. Per-shard lists are themselves RanksBefore-sorted, so
+  // the merge consumes a prefix of each and stops after k takes.
+  size_t gathered = 0;
+  for (const ShardReply& reply : replies) gathered += reply.top.size();
+  merged_candidates_.fetch_add(gathered, std::memory_order_relaxed);
+
+  std::vector<size_t> next(replies.size(), 0);
+  std::vector<serve::RankedCandidate> merged;
+  merged.reserve(static_cast<size_t>(k));
+  while (static_cast<int>(merged.size()) < k) {
+    int best = -1;
+    for (size_t i = 0; i < replies.size(); ++i) {
+      if (next[i] >= replies[i].top.size()) continue;
+      if (best < 0 ||
+          serve::RanksBefore(replies[i].top[next[i]],
+                             replies[static_cast<size_t>(best)]
+                                 .top[next[static_cast<size_t>(best)]])) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;  // Union exhausted (k exceeds it).
+    merged.push_back(
+        replies[static_cast<size_t>(best)].top[next[static_cast<size_t>(best)]]);
+    ++next[static_cast<size_t>(best)];
+  }
+
+  // Bounds-based short-circuit accounting (Bernecker et al.): with k
+  // candidates merged, the global cutoff L is the k-th largest lower
+  // bound over everything gathered — at least k candidates hold
+  // reliability >= lower >= L, so the k-th best reliability is >= L. A
+  // shard whose best remaining upper bound is below L provably cannot
+  // place another candidate (reliability <= upper < L), so its leftover
+  // list — and, on a refinement transport, its remaining MC work — is
+  // retired. Single-round gather makes this an observable counter; the
+  // same L is what a streaming protocol would push back to the shards.
+  if (static_cast<int>(merged.size()) == k && gathered > merged.size()) {
+    std::vector<double> lowers;
+    lowers.reserve(gathered);
+    for (const ShardReply& reply : replies) {
+      for (const serve::RankedCandidate& candidate : reply.top) {
+        lowers.push_back(candidate.lower);
+      }
+    }
+    std::nth_element(lowers.begin(), lowers.begin() + (k - 1), lowers.end(),
+                     std::greater<double>());
+    const double cutoff = lowers[static_cast<size_t>(k - 1)];
+    for (size_t i = 0; i < replies.size(); ++i) {
+      const size_t remaining = replies[i].top.size() - next[i];
+      if (remaining == 0) continue;
+      double best_upper = 0.0;
+      for (size_t j = next[i]; j < replies[i].top.size(); ++j) {
+        best_upper = std::max(best_upper, replies[i].top[j].upper);
+      }
+      if (best_upper < cutoff) {
+        shards_short_circuited_.fetch_add(1, std::memory_order_relaxed);
+        short_circuited_candidates_.fetch_add(remaining,
+                                              std::memory_order_relaxed);
+      }
+    }
+  }
+
+  response.top.reserve(merged.size());
+  for (const serve::RankedCandidate& candidate : merged) {
+    api::RankedAnswer answer;
+    answer.node = candidate.node;
+    answer.label = graph.graph.node(candidate.node).label;
+    answer.reliability = candidate.reliability;
+    answer.lower = candidate.lower;
+    answer.upper = candidate.upper;
+    answer.exact = candidate.exact;
+    answer.resolution = candidate.resolution;
+    response.top.push_back(std::move(answer));
+  }
+  for (const ShardReply& reply : replies) {
+    response.stats.Add(reply.stats);
+  }
+  return Status::OK();
+}
+
+api::Result<api::QueryResponse> ShardRouter::Query(
+    const api::QueryRequest& request) {
+  AdmissionTicket ticket(*this);
+  if (!ticket.admitted()) {
+    return Status::ResourceExhausted(
+        "shard: router at its admission cap of " +
+        std::to_string(options_.max_inflight) + " inflight queries");
+  }
+  if (request.seed != 0 && request.seed != front_.options().ranking.seed) {
+    return Status::InvalidArgument(
+        "shard: the fleet serves through per-shard canonical caches and "
+        "must use the configured MC seed (leave request.seed = 0)");
+  }
+  SteadyClock::time_point start = SteadyClock::now();
+  api::QueryRequest probe = request;
+  probe.rank = false;
+  api::Result<api::QueryResponse> materialized = front_.Query(probe);
+  if (!materialized.ok()) return materialized.status();
+  api::QueryResponse response = std::move(materialized.value());
+  if (request.rank) {
+    SteadyClock::time_point rank_start = SteadyClock::now();
+    Status ranked =
+        ScatterGather(response.result.query_graph, request.top_k, response);
+    if (!ranked.ok()) return ranked;
+    response.timing.rank_s = SecondsSince(rank_start);
+  }
+  response.timing.total_s = SecondsSince(start);
+  queries_ok_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+api::Result<api::QueryResponse> ShardRouter::RankGraph(const QueryGraph& graph,
+                                                       int top_k) {
+  AdmissionTicket ticket(*this);
+  if (!ticket.admitted()) {
+    return Status::ResourceExhausted(
+        "shard: router at its admission cap of " +
+        std::to_string(options_.max_inflight) + " inflight queries");
+  }
+  SteadyClock::time_point start = SteadyClock::now();
+  api::QueryResponse response;
+  BIORANK_RETURN_IF_ERROR(ScatterGather(graph, top_k, response));
+  response.timing.rank_s = SecondsSince(start);
+  response.timing.total_s = response.timing.rank_s;
+  queries_ok_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+RouterStats ShardRouter::Stats() const {
+  RouterStats stats;
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.queries_ok = queries_ok_.load(std::memory_order_relaxed);
+  stats.admission_rejected =
+      admission_rejected_.load(std::memory_order_relaxed);
+  stats.shard_calls = shard_calls_.load(std::memory_order_relaxed);
+  stats.shard_errors = shard_errors_.load(std::memory_order_relaxed);
+  stats.empty_slices = empty_slices_.load(std::memory_order_relaxed);
+  stats.merged_candidates = merged_candidates_.load(std::memory_order_relaxed);
+  stats.shards_short_circuited =
+      shards_short_circuited_.load(std::memory_order_relaxed);
+  stats.short_circuited_candidates =
+      short_circuited_candidates_.load(std::memory_order_relaxed);
+  stats.inflight = inflight_.load(std::memory_order_relaxed);
+  stats.peak_inflight = peak_inflight_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace biorank::shard

@@ -1,0 +1,142 @@
+// Scatter–gather top-k serving across N shards (ROADMAP item 2). One
+// ShardRouter fronts a fleet of api::Server shards behind a Transport:
+//
+//   Query      — materialize the query graph once (front server),
+//                partition the answer set by label hash (Partitioner),
+//                scatter "rank your slice" calls to every owning shard
+//                in parallel, and merge the per-shard top-k lists into
+//                the global top-k.
+//   RankGraph  — the same scatter–gather on a caller-provided graph
+//                (pre-materialized workloads, benches, rebuilds).
+//
+// The merge is bounds-based, after Bernecker et al.'s incremental-rank
+// pruning ("Scalable Probabilistic Similarity Ranking in Uncertain
+// Databases", PAPERS.md): every RankedCandidate carries deterministic
+// [lower, upper] reliability bounds, and once k candidates are merged,
+// the global cutoff L = the k-th largest lower bound over everything
+// gathered. A shard whose best remaining upper bound is below L is
+// short-circuited — provably no remaining candidate of that shard can
+// place, because any such candidate c has reliability <= upper(c) < L
+// while k already-merged candidates have reliability >= L. With the
+// current single-round gather the cutoff yields the observable
+// short-circuit counters (which shards' leftover work was provably
+// unnecessary); a streaming-refinement transport would feed the same L
+// back to stop shard-side MC work mid-flight.
+//
+// Correctness of the merge (why sharded == monolith, bit for bit):
+//  * every resolved reliability is a pure function of (canonical key,
+//    MC seed) — shard-local cache state and request composition never
+//    change values (the serve layer's determinism contract);
+//  * a shard's top-k contains every candidate of its slice that could
+//    enter the global top-k (the global top-k restricted to one slice
+//    has at most k members, and slice-local pruning only discards
+//    candidates provably outside the slice's own top-k);
+//  * per-shard lists and the merge share one strict total order,
+//    serve::RanksBefore (reliability desc, node id asc), so cross-shard
+//    ties break exactly as the monolith's phase-8 sort breaks them.
+//
+// Backpressure: an optional admission cap bounds concurrently-served
+// router queries; beyond it, Query/RankGraph fail fast with
+// ResourceExhausted instead of queueing unboundedly, and Stats()
+// exposes the rejection/inflight/peak counters a load balancer needs.
+
+#ifndef BIORANK_SHARD_ROUTER_H_
+#define BIORANK_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "api/query.h"
+#include "api/server.h"
+#include "shard/partitioner.h"
+#include "shard/transport.h"
+
+namespace biorank::shard {
+
+struct ShardRouterOptions {
+  /// Placement of answers onto shards. num_shards must match the
+  /// transport's shard_count (checked per query).
+  PartitionerOptions partition;
+  /// Admission cap: maximum concurrently-served router queries; further
+  /// ones are rejected with ResourceExhausted. 0 disables the cap.
+  uint32_t max_inflight = 0;
+};
+
+/// Monotonic router counters plus the point-in-time inflight gauge.
+struct RouterStats {
+  uint64_t queries = 0;            ///< Query/RankGraph attempts admitted.
+  uint64_t queries_ok = 0;         ///< ...that returned a merged answer.
+  uint64_t admission_rejected = 0; ///< Rejected by the inflight cap.
+  uint64_t shard_calls = 0;        ///< Transport calls issued.
+  uint64_t shard_errors = 0;       ///< Transport calls that failed.
+  uint64_t empty_slices = 0;       ///< Shards skipped (no answers owned).
+  uint64_t merged_candidates = 0;  ///< Candidates gathered from shards.
+  uint64_t shards_short_circuited = 0;      ///< Bound-retired shards.
+  uint64_t short_circuited_candidates = 0;  ///< Their unmerged leftovers.
+  uint64_t inflight = 0;           ///< Queries being served right now.
+  uint64_t peak_inflight = 0;
+};
+
+/// The scatter–gather front door. Thread-compatible with concurrent
+/// Query/RankGraph/Stats calls; all mutable state is atomic counters.
+class ShardRouter {
+ public:
+  /// `front` materializes queries (in single-process deployments,
+  /// InProcessTransport::server(0) serves double duty); both are
+  /// borrowed and must outlive the router.
+  ShardRouter(api::Server& front, Transport& transport,
+              ShardRouterOptions options = {});
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Serves one typed request end to end: front-door mediator crawl,
+  /// partition, parallel scatter, bounds-based merge. The response is
+  /// shaped exactly like api::Server::Query's (same fingerprint, labels,
+  /// aggregated scheduler counters), so callers swap a monolith for a
+  /// router without changes. Foreign MC seeds are rejected: shards
+  /// serve through their per-shard canonical caches, which are only
+  /// valid under the fleet's configured seed. A failed shard fails the
+  /// whole query with a typed Unavailable — never a partial answer.
+  api::Result<api::QueryResponse> Query(const api::QueryRequest& request);
+
+  /// Scatter–gather ranking of a caller-provided graph (top_k <= 0
+  /// ranks the full answer set). The response's `result` is empty.
+  api::Result<api::QueryResponse> RankGraph(const QueryGraph& graph,
+                                            int top_k);
+
+  const Partitioner& partitioner() const { return partitioner_; }
+
+  RouterStats Stats() const;
+
+ private:
+  /// RAII admission ticket; tracks inflight/peak and rejection.
+  class AdmissionTicket;
+
+  /// Partition + scatter + merge: appends the merged top-k (labeled
+  /// from `graph`) and aggregated stats to `response`.
+  Status ScatterGather(const QueryGraph& graph, int top_k,
+                       api::QueryResponse& response);
+
+  api::Server& front_;
+  Transport& transport_;
+  ShardRouterOptions options_;
+  Partitioner partitioner_;
+
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> queries_ok_{0};
+  std::atomic<uint64_t> admission_rejected_{0};
+  std::atomic<uint64_t> shard_calls_{0};
+  std::atomic<uint64_t> shard_errors_{0};
+  std::atomic<uint64_t> empty_slices_{0};
+  std::atomic<uint64_t> merged_candidates_{0};
+  std::atomic<uint64_t> shards_short_circuited_{0};
+  std::atomic<uint64_t> short_circuited_candidates_{0};
+  std::atomic<uint64_t> inflight_{0};
+  std::atomic<uint64_t> peak_inflight_{0};
+};
+
+}  // namespace biorank::shard
+
+#endif  // BIORANK_SHARD_ROUTER_H_

@@ -1,0 +1,78 @@
+#include "shard/transport.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace biorank::shard {
+
+InProcessTransport::InProcessTransport(uint32_t num_shards,
+                                       api::ServerOptions options) {
+  num_shards = std::max<uint32_t>(1, num_shards);
+  servers_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    servers_.push_back(std::make_unique<api::Server>(options));
+  }
+  calls_ = std::make_unique<std::atomic<uint64_t>[]>(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) calls_[s].store(0);
+}
+
+uint32_t InProcessTransport::shard_count() const {
+  return static_cast<uint32_t>(servers_.size());
+}
+
+api::Server& InProcessTransport::server(uint32_t shard) {
+  return *servers_.at(shard);
+}
+
+void InProcessTransport::InjectFault(uint32_t shard, Status fault) {
+  std::lock_guard<std::mutex> lock(faults_mu_);
+  if (fault.ok()) {
+    faults_.erase(shard);
+  } else {
+    faults_[shard] = std::move(fault);
+  }
+}
+
+uint64_t InProcessTransport::calls(uint32_t shard) const {
+  return shard < servers_.size()
+             ? calls_[shard].load(std::memory_order_relaxed)
+             : 0;
+}
+
+Result<ShardReply> InProcessTransport::Call(uint32_t shard,
+                                            const ShardQuery& query) {
+  if (shard >= servers_.size()) {
+    return Status::InvalidArgument(
+        "shard: transport has no shard " + std::to_string(shard) + " (" +
+        std::to_string(servers_.size()) + " configured)");
+  }
+  calls_[shard].fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(faults_mu_);
+    auto it = faults_.find(shard);
+    if (it != faults_.end()) return it->second;
+  }
+  if (query.graph == nullptr) {
+    return Status::InvalidArgument("shard: query carries no graph");
+  }
+  Result<api::QueryResponse> response =
+      servers_[shard]->RankGraph(*query.graph, query.answers, query.top_k);
+  if (!response.ok()) return response.status();
+  ShardReply reply;
+  reply.stats = response.value().stats;
+  reply.top.reserve(response.value().top.size());
+  for (const api::RankedAnswer& answer : response.value().top) {
+    serve::RankedCandidate candidate;
+    candidate.node = answer.node;
+    candidate.reliability = answer.reliability;
+    candidate.lower = answer.lower;
+    candidate.upper = answer.upper;
+    candidate.exact = answer.exact;
+    candidate.resolution = answer.resolution;
+    reply.top.push_back(candidate);
+  }
+  return reply;
+}
+
+}  // namespace biorank::shard

@@ -1,0 +1,101 @@
+// The shard RPC substrate: one narrow, synchronous call — "rank this
+// slice of this graph's answers" — behind an abstract Transport, so the
+// router never knows whether a shard is a function call away or a
+// socket away. The in-process backend below owns N full api::Server
+// instances (each with its own canonical reliability cache, so the
+// cache keyspace is partitioned exactly like the answers) and is
+// fault-injectable: tests flip a shard into a failing state and assert
+// the router surfaces a typed error instead of a silent partial
+// answer. A socket backend slots in later by serializing ShardQuery /
+// ShardReply; nothing above this header changes.
+
+#ifndef BIORANK_SHARD_TRANSPORT_H_
+#define BIORANK_SHARD_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "api/server.h"
+#include "core/query_graph.h"
+#include "serve/ranking_service.h"
+#include "util/status.h"
+
+namespace biorank::shard {
+
+/// One shard RPC: rank `answers` (the shard's slice of `graph->answers`)
+/// and return the slice's top `top_k`. The graph is borrowed for the
+/// duration of the call — the in-process backend reads it in place; a
+/// serializing backend would ship it (or, once shards hold resident
+/// replicas, just the query id).
+struct ShardQuery {
+  const QueryGraph* graph = nullptr;
+  std::vector<NodeId> answers;
+  int top_k = 0;
+};
+
+/// A shard's answer: its slice's top-k in serve::RanksBefore order,
+/// every candidate carrying the deterministic lower/upper bounds the
+/// router's merge cutoff runs on, plus the shard's scheduler counters.
+struct ShardReply {
+  std::vector<serve::RankedCandidate> top;
+  serve::RequestStats stats;
+};
+
+/// The substrate interface. Implementations must tolerate concurrent
+/// Call()s to the same and to different shards: the router scatters one
+/// query's shard calls in parallel, and concurrent router queries
+/// overlap freely.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual uint32_t shard_count() const = 0;
+
+  /// Executes `query` on `shard`. Any error return means the shard
+  /// produced no usable answer; the router fails the whole query rather
+  /// than return a silently incomplete merge.
+  virtual Result<ShardReply> Call(uint32_t shard, const ShardQuery& query) = 0;
+};
+
+/// N api::Server instances behind the Transport interface — the
+/// single-process stand-in for a sharded deployment. Every shard is
+/// built from the same ServerOptions (same universe seed, same
+/// canonical MC seed), which is what makes the merged ranking
+/// bit-identical to an unsharded server's.
+class InProcessTransport : public Transport {
+ public:
+  /// Builds `num_shards` servers from `options`. num_shards < 1 is
+  /// clamped to 1.
+  explicit InProcessTransport(uint32_t num_shards,
+                              api::ServerOptions options = {});
+
+  uint32_t shard_count() const override;
+  Result<ShardReply> Call(uint32_t shard, const ShardQuery& query) override;
+
+  /// The shard's server — shard 0 doubles as the router's front-door
+  /// materializer in single-process deployments, and tests reach in to
+  /// inspect per-shard cache state.
+  api::Server& server(uint32_t shard);
+
+  /// Fault injection: until cleared, every Call to `shard` fails with
+  /// `fault` without touching the server. Status::OK() clears. Safe to
+  /// flip concurrently with in-flight calls.
+  void InjectFault(uint32_t shard, Status fault);
+
+  /// Calls attempted against `shard` (including faulted ones).
+  uint64_t calls(uint32_t shard) const;
+
+ private:
+  std::vector<std::unique_ptr<api::Server>> servers_;
+  std::unique_ptr<std::atomic<uint64_t>[]> calls_;
+  mutable std::mutex faults_mu_;
+  std::unordered_map<uint32_t, Status> faults_;
+};
+
+}  // namespace biorank::shard
+
+#endif  // BIORANK_SHARD_TRANSPORT_H_

@@ -22,6 +22,8 @@ enum class StatusCode {
   kOutOfRange,        ///< Index or id outside the valid range.
   kUnimplemented,     ///< Feature intentionally not provided.
   kInternal,          ///< Invariant violation inside the library (a bug).
+  kUnavailable,       ///< A dependency (shard, transport) failed to answer.
+  kResourceExhausted, ///< Admission control rejected the request (backpressure).
 };
 
 /// Human-readable name of a status code, e.g. "InvalidArgument".
@@ -56,6 +58,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

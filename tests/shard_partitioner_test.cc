@@ -1,0 +1,102 @@
+#include "shard/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/query_graph.h"
+
+namespace biorank::shard {
+namespace {
+
+TEST(PartitionerTest, DeterministicAcrossInstances) {
+  PartitionerOptions options;
+  options.num_shards = 4;
+  Partitioner a(options);
+  Partitioner b(options);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "GO:" + std::to_string(1000 + i);
+    EXPECT_EQ(a.ShardOf(key), b.ShardOf(key)) << key;
+    EXPECT_LT(a.ShardOf(key), 4u);
+  }
+}
+
+TEST(PartitionerTest, EveryShardReceivesKeys) {
+  PartitionerOptions options;
+  options.num_shards = 4;
+  Partitioner partitioner(options);
+  std::set<uint32_t> hit;
+  for (int i = 0; i < 200; ++i) {
+    hit.insert(partitioner.ShardOf("key" + std::to_string(i)));
+  }
+  // 200 keys over 4 shards: a hash that misses a shard entirely is
+  // either broken or catastrophically biased.
+  EXPECT_EQ(hit.size(), 4u);
+}
+
+TEST(PartitionerTest, SaltChangesPlacement) {
+  PartitionerOptions a_options;
+  a_options.num_shards = 8;
+  PartitionerOptions b_options = a_options;
+  b_options.salt = a_options.salt + 1;
+  Partitioner a(a_options);
+  Partitioner b(b_options);
+  int moved = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    if (a.ShardOf(key) != b.ShardOf(key)) ++moved;
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(PartitionerTest, ZeroShardsClampsToOne) {
+  PartitionerOptions options;
+  options.num_shards = 0;
+  Partitioner partitioner(options);
+  EXPECT_EQ(partitioner.num_shards(), 1u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(partitioner.ShardOf("key" + std::to_string(i)), 0u);
+  }
+}
+
+TEST(PartitionerTest, PartitionAnswersIsAnOrderedDisjointCover) {
+  QueryGraphBuilder builder;
+  std::vector<NodeId> answers;
+  for (int i = 0; i < 24; ++i) {
+    NodeId node = builder.Node(0.5, "ans" + std::to_string(i));
+    builder.Edge(builder.Source(), node, 0.5);
+    answers.push_back(node);
+  }
+  QueryGraph graph = std::move(builder).Build(answers);
+
+  PartitionerOptions options;
+  options.num_shards = 3;
+  Partitioner partitioner(options);
+  std::vector<std::vector<NodeId>> slices = partitioner.PartitionAnswers(graph);
+  ASSERT_EQ(slices.size(), 3u);
+
+  std::set<NodeId> seen;
+  size_t total = 0;
+  for (uint32_t s = 0; s < 3; ++s) {
+    for (size_t i = 0; i < slices[s].size(); ++i) {
+      NodeId node = slices[s][i];
+      // Placement agrees with the key hash.
+      EXPECT_EQ(partitioner.ShardOf(graph.graph.node(node).label), s);
+      // Disjoint: no answer is owned twice.
+      EXPECT_TRUE(seen.insert(node).second);
+      // Answer order is preserved within a slice (node ids were created
+      // in answer order above).
+      if (i > 0) {
+        EXPECT_LT(slices[s][i - 1], node);
+      }
+      ++total;
+    }
+  }
+  // Cover: every answer is owned once.
+  EXPECT_EQ(total, graph.answers.size());
+}
+
+}  // namespace
+}  // namespace biorank::shard

@@ -1,0 +1,381 @@
+#include "shard/router.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/query.h"
+#include "api/server.h"
+#include "core/query_graph.h"
+#include "shard/partitioner.h"
+#include "shard/transport.h"
+#include "testing/random_graphs.h"
+#include "util/rng.h"
+
+namespace biorank::shard {
+namespace {
+
+using biorank::testing::MakeRandomLayeredDag;
+using biorank::testing::RandomDagOptions;
+
+/// One shared three-shard fleet (construction generates three synthetic
+/// universes); shard 0's server doubles as the router's front door and
+/// as the monolith reference every bit-identity test compares against.
+InProcessTransport& SharedTransport() {
+  static InProcessTransport* transport = new InProcessTransport(3);
+  return *transport;
+}
+
+ShardRouter& SharedRouter() {
+  static ShardRouter* router = [] {
+    ShardRouterOptions options;
+    options.partition.num_shards = SharedTransport().shard_count();
+    return new ShardRouter(SharedTransport().server(0), SharedTransport(),
+                           options);
+  }();
+  return *router;
+}
+
+api::Server& Monolith() { return SharedTransport().server(0); }
+
+std::string WellStudiedSymbol(int index) {
+  const ProteinUniverse& universe = Monolith().universe();
+  return universe.protein(universe.well_studied()[static_cast<size_t>(index)])
+      .gene_symbol;
+}
+
+QueryGraph MakeDag(uint64_t seed, int answers) {
+  Rng rng(seed);
+  RandomDagOptions options;
+  options.answers = answers;
+  return MakeRandomLayeredDag(rng, options);
+}
+
+/// Probe labels until every shard owns `per_shard` of them — the tie /
+/// fault / short-circuit tests need answers pinned to known shards.
+std::vector<std::vector<std::string>> LabelsByShard(const Partitioner& p,
+                                                    size_t per_shard) {
+  std::vector<std::vector<std::string>> buckets(p.num_shards());
+  size_t filled = 0;
+  for (int i = 0; filled < buckets.size(); ++i) {
+    std::vector<std::string>& bucket = buckets[p.ShardOf(
+        "probe" + std::to_string(i))];
+    if (bucket.size() < per_shard) {
+      bucket.push_back("probe" + std::to_string(i));
+      if (bucket.size() == per_shard) ++filled;
+    }
+  }
+  return buckets;
+}
+
+TEST(ShardRouterTest, RankGraphIsBitIdenticalToTheMonolith) {
+  ShardRouter& router = SharedRouter();
+  const uint64_t calls_before = SharedRouter().Stats().shard_calls;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    QueryGraph graph = MakeDag(seed, 9);
+    for (int k : {3, 0}) {
+      api::Result<api::QueryResponse> sharded = router.RankGraph(graph, k);
+      api::Result<api::QueryResponse> mono = Monolith().RankGraph(graph, k);
+      ASSERT_TRUE(sharded.ok()) << sharded.status();
+      ASSERT_TRUE(mono.ok()) << mono.status();
+      EXPECT_EQ(api::RankingFingerprint(sharded.value()),
+                api::RankingFingerprint(mono.value()))
+          << "seed " << seed << " k " << k;
+      // Labels ride along exactly like the monolith's.
+      ASSERT_EQ(sharded.value().top.size(), mono.value().top.size());
+      for (size_t i = 0; i < sharded.value().top.size(); ++i) {
+        EXPECT_EQ(sharded.value().top[i].label, mono.value().top[i].label);
+      }
+    }
+  }
+  EXPECT_GT(router.Stats().shard_calls, calls_before);
+}
+
+TEST(ShardRouterTest, QueryIsBitIdenticalToTheMonolithEndToEnd) {
+  ShardRouter& router = SharedRouter();
+  for (int protein = 0; protein < 2; ++protein) {
+    api::QueryRequest request =
+        api::MakeProteinFunctionRequest(WellStudiedSymbol(protein), 5);
+    api::Result<api::QueryResponse> sharded = router.Query(request);
+    api::Result<api::QueryResponse> mono = Monolith().Query(request);
+    ASSERT_TRUE(sharded.ok()) << sharded.status();
+    ASSERT_TRUE(mono.ok()) << mono.status();
+    EXPECT_EQ(api::RankingFingerprint(sharded.value()),
+              api::RankingFingerprint(mono.value()));
+    EXPECT_GT(sharded.value().result.query_graph.graph.num_nodes(), 0);
+    EXPECT_GE(sharded.value().timing.total_s, sharded.value().timing.rank_s);
+  }
+}
+
+TEST(ShardRouterTest, KLargerThanTheUnionRanksEveryAnswer) {
+  QueryGraph graph = MakeDag(21, 5);
+  api::Result<api::QueryResponse> sharded = SharedRouter().RankGraph(graph, 100);
+  api::Result<api::QueryResponse> mono = Monolith().RankGraph(graph, 100);
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  ASSERT_TRUE(mono.ok()) << mono.status();
+  EXPECT_EQ(sharded.value().top.size(), graph.answers.size());
+  EXPECT_EQ(api::RankingFingerprint(sharded.value()),
+            api::RankingFingerprint(mono.value()));
+}
+
+TEST(ShardRouterTest, EmptySlicesAreSkippedNotCalled) {
+  // One answer over three shards: at least two shards own nothing and
+  // must be skipped (counted, never called).
+  QueryGraphBuilder builder;
+  NodeId answer = builder.Node(1.0, "lonely-answer");
+  builder.Edge(builder.Source(), answer, 0.5);
+  QueryGraph graph = std::move(builder).Build({answer});
+
+  RouterStats before = SharedRouter().Stats();
+  api::Result<api::QueryResponse> response = SharedRouter().RankGraph(graph, 1);
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_EQ(response.value().top.size(), 1u);
+  EXPECT_EQ(response.value().top[0].node, answer);
+  RouterStats after = SharedRouter().Stats();
+  EXPECT_EQ(after.shard_calls - before.shard_calls, 1u);
+  EXPECT_EQ(after.empty_slices - before.empty_slices, 2u);
+}
+
+TEST(ShardRouterTest, CrossShardTiesBreakExactlyLikeTheMonolith) {
+  // Three answers with identical reliability (one 0.5 edge each), pinned
+  // to three different shards: the merged order must fall back to the
+  // monolith's tie-break (ascending node id), not to gather order.
+  std::vector<std::vector<std::string>> labels =
+      LabelsByShard(SharedRouter().partitioner(), 1);
+  QueryGraphBuilder builder;
+  std::vector<NodeId> answers;
+  for (uint32_t s = 0; s < 3; ++s) {
+    NodeId node = builder.Node(1.0, labels[s][0]);
+    builder.Edge(builder.Source(), node, 0.5);
+    answers.push_back(node);
+  }
+  QueryGraph graph = std::move(builder).Build(answers);
+
+  api::Result<api::QueryResponse> sharded = SharedRouter().RankGraph(graph, 2);
+  api::Result<api::QueryResponse> mono = Monolith().RankGraph(graph, 2);
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  ASSERT_TRUE(mono.ok()) << mono.status();
+  EXPECT_EQ(api::RankingFingerprint(sharded.value()),
+            api::RankingFingerprint(mono.value()));
+  ASSERT_EQ(sharded.value().top.size(), 2u);
+  // Ties break toward the smaller node id.
+  EXPECT_EQ(sharded.value().top[0].node, answers[0]);
+  EXPECT_EQ(sharded.value().top[1].node, answers[1]);
+}
+
+TEST(ShardRouterTest, ShardFaultIsTypedUnavailableNeverAPartialAnswer) {
+  // Pin one answer to every shard so the faulted shard is always called.
+  std::vector<std::vector<std::string>> labels =
+      LabelsByShard(SharedRouter().partitioner(), 1);
+  QueryGraphBuilder builder;
+  std::vector<NodeId> answers;
+  for (uint32_t s = 0; s < 3; ++s) {
+    NodeId node = builder.Node(1.0, labels[s][0]);
+    builder.Edge(builder.Source(), node, 0.25 + 0.25 * s);
+    answers.push_back(node);
+  }
+  QueryGraph graph = std::move(builder).Build(answers);
+
+  RouterStats before = SharedRouter().Stats();
+  SharedTransport().InjectFault(1, Status::Internal("injected outage"));
+  api::Result<api::QueryResponse> faulted = SharedRouter().RankGraph(graph, 3);
+  SharedTransport().InjectFault(1, Status::OK());
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(faulted.status().ToString().find("shard 1"), std::string::npos)
+      << faulted.status();
+  EXPECT_EQ(SharedRouter().Stats().shard_errors - before.shard_errors, 1u);
+
+  // Healed, the same query merges all three shards again.
+  api::Result<api::QueryResponse> healed = SharedRouter().RankGraph(graph, 3);
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  EXPECT_EQ(healed.value().top.size(), 3u);
+}
+
+TEST(ShardRouterTest, ShortCircuitAccountingRetiresHopelessShards) {
+  // Three high-reliability answers on one shard, three low on another:
+  // with k = 2 the cutoff (2nd largest lower bound = 0.9) retires the
+  // low shard's entire leftover list.
+  std::vector<std::vector<std::string>> labels =
+      LabelsByShard(SharedRouter().partitioner(), 3);
+  QueryGraphBuilder builder;
+  std::vector<NodeId> answers;
+  for (size_t i = 0; i < 3; ++i) {  // Highs on shard 0.
+    NodeId node = builder.Node(1.0, labels[0][i]);
+    builder.Edge(builder.Source(), node, 0.9);
+    answers.push_back(node);
+  }
+  for (size_t i = 0; i < 3; ++i) {  // Lows on shard 1.
+    NodeId node = builder.Node(1.0, labels[1][i]);
+    builder.Edge(builder.Source(), node, 0.1);
+    answers.push_back(node);
+  }
+  QueryGraph graph = std::move(builder).Build(answers);
+
+  RouterStats before = SharedRouter().Stats();
+  api::Result<api::QueryResponse> sharded = SharedRouter().RankGraph(graph, 2);
+  api::Result<api::QueryResponse> mono = Monolith().RankGraph(graph, 2);
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  ASSERT_TRUE(mono.ok()) << mono.status();
+  EXPECT_EQ(api::RankingFingerprint(sharded.value()),
+            api::RankingFingerprint(mono.value()));
+  ASSERT_EQ(sharded.value().top.size(), 2u);
+  EXPECT_EQ(sharded.value().top[0].node, answers[0]);
+  EXPECT_EQ(sharded.value().top[1].node, answers[1]);
+
+  RouterStats after = SharedRouter().Stats();
+  // Shard 0 answered with its top-2 (both merged); shard 1's two
+  // gathered candidates could never place: upper 0.1 < cutoff 0.9.
+  EXPECT_EQ(after.merged_candidates - before.merged_candidates, 4u);
+  EXPECT_EQ(after.shards_short_circuited - before.shards_short_circuited, 1u);
+  EXPECT_EQ(after.short_circuited_candidates - before.short_circuited_candidates,
+            2u);
+  EXPECT_EQ(after.empty_slices - before.empty_slices, 1u);
+}
+
+TEST(ShardRouterTest, ForeignSeedIsRejectedCanonicalSeedAccepted) {
+  api::QueryRequest request =
+      api::MakeProteinFunctionRequest(WellStudiedSymbol(0), 3);
+  request.seed = Monolith().options().ranking.seed + 1;
+  api::Result<api::QueryResponse> foreign = SharedRouter().Query(request);
+  ASSERT_FALSE(foreign.ok());
+  EXPECT_EQ(foreign.status().code(), StatusCode::kInvalidArgument);
+
+  request.seed = Monolith().options().ranking.seed;
+  api::Result<api::QueryResponse> canonical = SharedRouter().Query(request);
+  ASSERT_TRUE(canonical.ok()) << canonical.status();
+  EXPECT_EQ(canonical.value().top.size(), 3u);
+}
+
+TEST(ShardRouterTest, PartitionerTransportShardCountMismatchIsRejected) {
+  ShardRouterOptions options;
+  options.partition.num_shards = 2;  // Transport has 3.
+  ShardRouter mismatched(Monolith(), SharedTransport(), options);
+  QueryGraph graph = MakeDag(31, 4);
+  api::Result<api::QueryResponse> response = mismatched.RankGraph(graph, 1);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+}
+
+/// A transport whose single shard blocks inside Call until released —
+/// holds a router query inflight so the admission cap is observable.
+class BlockingTransport : public Transport {
+ public:
+  uint32_t shard_count() const override { return 1; }
+
+  Result<ShardReply> Call(uint32_t, const ShardQuery& query) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++in_call_;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return released_; });
+    ShardReply reply;
+    for (NodeId node : query.answers) {
+      serve::RankedCandidate candidate;
+      candidate.node = node;
+      candidate.reliability = 0.5;
+      candidate.lower = 0.5;
+      candidate.upper = 0.5;
+      candidate.exact = true;
+      reply.top.push_back(candidate);
+    }
+    return reply;
+  }
+
+  void WaitForCall() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return in_call_ > 0; });
+  }
+
+  void Release() {
+    std::unique_lock<std::mutex> lock(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int in_call_ = 0;
+  bool released_ = false;
+};
+
+TEST(ShardRouterTest, AdmissionCapRejectsWithResourceExhausted) {
+  BlockingTransport transport;
+  ShardRouterOptions options;
+  options.partition.num_shards = 1;
+  options.max_inflight = 1;
+  ShardRouter router(Monolith(), transport, options);
+
+  QueryGraphBuilder builder;
+  NodeId answer = builder.Node(1.0, "capped-answer");
+  builder.Edge(builder.Source(), answer, 0.5);
+  QueryGraph graph = std::move(builder).Build({answer});
+
+  api::Result<api::QueryResponse> first = Status::Internal("unset");
+  std::thread holder(
+      [&] { first = router.RankGraph(graph, 1); });
+  transport.WaitForCall();
+
+  // The slot is taken: the second query is rejected, typed, counted.
+  api::Result<api::QueryResponse> second = router.RankGraph(graph, 1);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  RouterStats held = router.Stats();
+  EXPECT_EQ(held.admission_rejected, 1u);
+  EXPECT_EQ(held.inflight, 1u);
+  EXPECT_EQ(held.peak_inflight, 1u);
+
+  transport.Release();
+  holder.join();
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_EQ(first.value().top.size(), 1u);
+  EXPECT_EQ(first.value().top[0].node, answer);
+  RouterStats drained = router.Stats();
+  EXPECT_EQ(drained.inflight, 0u);
+  EXPECT_EQ(drained.queries, 1u);
+  EXPECT_EQ(drained.queries_ok, 1u);
+}
+
+TEST(ShardRouterTest, ConcurrentQueriesStayBitIdentical) {
+  ShardRouter& router = SharedRouter();
+  std::vector<QueryGraph> graphs;
+  std::vector<std::vector<std::pair<NodeId, double>>> references;
+  for (uint64_t seed = 41; seed < 43; ++seed) {
+    graphs.push_back(MakeDag(seed, 8));
+    api::Result<api::QueryResponse> mono =
+        Monolith().RankGraph(graphs.back(), 4);
+    ASSERT_TRUE(mono.ok()) << mono.status();
+    references.push_back(api::RankingFingerprint(mono.value()));
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const size_t g = static_cast<size_t>((t + i) % 2);
+        api::Result<api::QueryResponse> response =
+            router.RankGraph(graphs[g], 4);
+        if (!response.ok() ||
+            api::RankingFingerprint(response.value()) != references[g]) {
+          ++mismatches;
+        }
+        (void)router.Stats();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace biorank::shard

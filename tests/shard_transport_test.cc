@@ -1,0 +1,187 @@
+#include "shard/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "api/query.h"
+#include "core/query_graph.h"
+#include "serve/ranking_service.h"
+#include "testing/random_graphs.h"
+#include "util/rng.h"
+
+namespace biorank::shard {
+namespace {
+
+using biorank::testing::MakeRandomLayeredDag;
+using biorank::testing::RandomDagOptions;
+
+/// One shared two-shard transport: server construction generates a full
+/// synthetic universe, so the read-only tests share one fleet.
+InProcessTransport& SharedTransport() {
+  static InProcessTransport* transport = new InProcessTransport(2);
+  return *transport;
+}
+
+QueryGraph MakeDag(uint64_t seed, int answers) {
+  Rng rng(seed);
+  RandomDagOptions options;
+  options.answers = answers;
+  return MakeRandomLayeredDag(rng, options);
+}
+
+ShardQuery MakeQuery(const QueryGraph& graph, int top_k) {
+  ShardQuery query;
+  query.graph = &graph;
+  query.answers = graph.answers;
+  query.top_k = top_k;
+  return query;
+}
+
+TEST(ShardTransportTest, ReportsShardCountAndClampsToOne) {
+  EXPECT_EQ(SharedTransport().shard_count(), 2u);
+  InProcessTransport degenerate(0);
+  EXPECT_EQ(degenerate.shard_count(), 1u);
+}
+
+TEST(ShardTransportTest, OutOfRangeShardIsInvalidArgument) {
+  QueryGraph graph = MakeDag(11, 3);
+  Result<ShardReply> reply = SharedTransport().Call(2, MakeQuery(graph, 1));
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardTransportTest, NullGraphIsInvalidArgument) {
+  ShardQuery query;
+  query.answers = {1};
+  query.top_k = 1;
+  Result<ShardReply> reply = SharedTransport().Call(0, query);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardTransportTest, RanksTheSliceInServingOrder) {
+  QueryGraph graph = MakeDag(12, 6);
+  // A strict subset of the answers: the shard slice.
+  std::vector<NodeId> slice(graph.answers.begin(), graph.answers.begin() + 4);
+  ShardQuery query;
+  query.graph = &graph;
+  query.answers = slice;
+  query.top_k = 3;
+  Result<ShardReply> reply = SharedTransport().Call(0, query);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  const ShardReply& r = reply.value();
+  ASSERT_EQ(r.top.size(), 3u);
+  EXPECT_EQ(r.stats.candidates, 4);
+  for (size_t i = 0; i < r.top.size(); ++i) {
+    const serve::RankedCandidate& candidate = r.top[i];
+    // Only slice members may appear.
+    EXPECT_NE(std::find(slice.begin(), slice.end(), candidate.node),
+              slice.end());
+    EXPECT_GE(candidate.reliability, candidate.lower - 1e-15);
+    EXPECT_LE(candidate.reliability, candidate.upper + 1e-15);
+    if (i > 0) {
+      EXPECT_TRUE(serve::RanksBefore(r.top[i - 1], candidate));
+    }
+  }
+}
+
+TEST(ShardTransportTest, NonAnswerSliceMemberIsInvalidArgument) {
+  QueryGraph graph = MakeDag(13, 3);
+  ShardQuery query;
+  query.graph = &graph;
+  query.answers = {graph.source};  // The source is never an answer.
+  query.top_k = 1;
+  Result<ShardReply> reply = SharedTransport().Call(0, query);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardTransportTest, FaultInjectionFailsFastAndClears) {
+  InProcessTransport& transport = SharedTransport();
+  QueryGraph graph = MakeDag(14, 3);
+  const uint64_t calls_before = transport.calls(1);
+  transport.InjectFault(1, Status::Internal("injected shard outage"));
+  Result<ShardReply> faulted = transport.Call(1, MakeQuery(graph, 1));
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.status().code(), StatusCode::kInternal);
+  // Faulted calls still count as attempts.
+  EXPECT_EQ(transport.calls(1), calls_before + 1);
+  transport.InjectFault(1, Status::OK());
+  Result<ShardReply> healed = transport.Call(1, MakeQuery(graph, 1));
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  EXPECT_EQ(transport.calls(1), calls_before + 2);
+}
+
+TEST(ShardTransportTest, SameSliceSameValuesOnEveryShard) {
+  // Every shard is built from the same options, so the same slice ranks
+  // bit-identically everywhere — the property the router's merge rests on.
+  InProcessTransport& transport = SharedTransport();
+  QueryGraph graph = MakeDag(15, 5);
+  Result<ShardReply> a = transport.Call(0, MakeQuery(graph, 0));
+  Result<ShardReply> b = transport.Call(1, MakeQuery(graph, 0));
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_EQ(a.value().top.size(), b.value().top.size());
+  for (size_t i = 0; i < a.value().top.size(); ++i) {
+    EXPECT_EQ(a.value().top[i].node, b.value().top[i].node);
+    EXPECT_EQ(a.value().top[i].reliability, b.value().top[i].reliability);
+  }
+}
+
+TEST(ShardTransportTest, ConcurrentCallsAndFaultFlipsAreSafe) {
+  InProcessTransport& transport = SharedTransport();
+  QueryGraph graph = MakeDag(16, 4);
+  Result<ShardReply> reference = transport.Call(0, MakeQuery(graph, 0));
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  std::atomic<bool> stop{false};
+  // One thread flips shard 1 in and out of a faulted state while the
+  // callers hammer both shards.
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      transport.InjectFault(1, Status::Internal("flip"));
+      transport.InjectFault(1, Status::OK());
+    }
+  });
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        const uint32_t shard = static_cast<uint32_t>((t + i) % 2);
+        Result<ShardReply> reply = transport.Call(shard, MakeQuery(graph, 0));
+        if (!reply.ok()) {
+          // Only the injected fault may surface.
+          if (reply.status().code() != StatusCode::kInternal) ++mismatches;
+          continue;
+        }
+        if (reply.value().top.size() != reference.value().top.size()) {
+          ++mismatches;
+          continue;
+        }
+        for (size_t j = 0; j < reply.value().top.size(); ++j) {
+          if (reply.value().top[j].node != reference.value().top[j].node ||
+              reply.value().top[j].reliability !=
+                  reference.value().top[j].reliability) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (size_t t = 1; t < threads.size(); ++t) threads[t].join();
+  stop.store(true);
+  threads[0].join();
+  EXPECT_EQ(mismatches.load(), 0);
+  transport.InjectFault(1, Status::OK());
+}
+
+}  // namespace
+}  // namespace biorank::shard
