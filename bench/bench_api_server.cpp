@@ -24,6 +24,7 @@
 #include "api/server.h"
 #include "bench_json.h"
 #include "bench_util.h"
+#include "core/query_graph.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -102,7 +103,7 @@ int main() {
   std::vector<api::SessionId> sessions;
   for (const api::QueryRequest& request : requests) {
     api::QueryRequest open = request;
-    open.top_k = 0;
+    open.options.top_k = 0;
     api::Result<api::SessionInfo> session = server.OpenSession(open);
     if (!session.ok()) {
       std::cerr << session.status() << "\n";
@@ -116,6 +117,7 @@ int main() {
   serve::RequestStats mixed;
   double batch_s_total = 0.0;
   double update_ms_total = 0.0;
+  double queue_s_total = 0.0;
   int updates = 0;
   TextTable table({"phase", "batch s", "batch hit", "update ms", "query s",
                    "session hit"});
@@ -137,6 +139,7 @@ int main() {
     serve::RequestStats batch_stats;
     for (size_t i = 0; i < batch.value().size(); ++i) {
       batch_stats.Add(batch.value()[i].stats);
+      queue_s_total += batch.value()[i].timing.queue_s;
       if (api::RankingFingerprint(batch.value()[i]) != expected[i]) {
         deterministic_batch = false;
       }
@@ -239,6 +242,60 @@ int main() {
     }
   }
 
+  // Anytime pass: the canonical irreducible residue (the Wheatstone
+  // bridge) served bounds-first through RankGraph on an MC-forced
+  // server, then refined to convergence in fixed-budget increments.
+  // Measures the new PhaseTiming fields — queue_s (admission wait,
+  // aggregated above across the whole mix) and refine_s (incremental MC
+  // time) — and checks the fully refined ranking lands bit-identically
+  // on an independent server's blocking fingerprint. (The protein mix
+  // cannot drive this loop: its residues are bound-exact, so an anytime
+  // protein query converges at the bounds pass with zero increments.)
+  double anytime_refine_s = 0.0;
+  int anytime_increments = 0;
+  bool anytime_identical = true;
+  {
+    QueryGraph bridge = MakeFig4bWheatstoneBridge();
+    api::ServerOptions fresh_options;
+    fresh_options.ranking.exact_max_edges = 0;  // Bridge must MC-refine.
+    api::Server fresh(fresh_options);
+    api::QueryOptions anytime_options;
+    anytime_options.mode = api::QueryMode::kAnytime;
+    api::Result<api::QueryResponse> first =
+        fresh.RankGraph(bridge, anytime_options);
+    if (!first.ok()) {
+      std::cerr << first.status() << "\n";
+      return 1;
+    }
+    queue_s_total += first.value().timing.queue_s;
+    anytime_refine_s += first.value().timing.refine_s;
+    api::RefinementHandle handle = first.value().refinement;
+    std::vector<std::pair<NodeId, double>> final_ranking =
+        api::RankingFingerprint(first.value());
+    while (handle.valid()) {
+      api::QueryOptions step;
+      step.mc_trial_budget = 2048;
+      api::Result<api::QueryResponse> refined = fresh.Refine(handle, step);
+      if (!refined.ok()) {
+        std::cerr << refined.status() << "\n";
+        return 1;
+      }
+      ++anytime_increments;
+      anytime_refine_s += refined.value().timing.refine_s;
+      queue_s_total += refined.value().timing.queue_s;
+      handle = refined.value().refinement;
+      final_ranking = api::RankingFingerprint(refined.value());
+    }
+    api::Server reference(fresh_options);
+    api::Result<api::QueryResponse> blocking = reference.RankGraph(bridge, 0);
+    if (!blocking.ok()) {
+      std::cerr << blocking.status() << "\n";
+      return 1;
+    }
+    anytime_identical =
+        final_ranking == api::RankingFingerprint(blocking.value());
+  }
+
   // Idle eviction: retire every session through the registry's sweep
   // (each CloseSession/EvictIdleSessions path is exercised).
   if (!server.CloseSession(sessions[0]).ok()) {
@@ -265,7 +322,13 @@ int main() {
             << "RunBatch " << (deterministic_batch ? "bit-identical" : "DIVERGED")
             << " vs serial execution (1-thread and 4-way servers); sessions "
             << (session_rebuild_identical ? "bit-identical" : "DIVERGED")
-            << " vs from-scratch rebuilds.\n";
+            << " vs from-scratch rebuilds.\n"
+            << "Anytime: refined to the blocking ranking in "
+            << anytime_increments << " increments ("
+            << FormatDouble(anytime_refine_s, 3) << " s refining), "
+            << (anytime_identical ? "bit-identical" : "DIVERGED")
+            << "; admission queue wait " << FormatDouble(queue_s_total, 4)
+            << " s across the mix.\n";
   bench::MaybeWriteCsv(csv, "api_server");
 
   report.SetWallTime(workload_s);
@@ -287,8 +350,12 @@ int main() {
   report.SetMetric("cache_entries", static_cast<int64_t>(stats.cache.entries));
   report.SetMetric("cache_invalidations",
                    static_cast<int64_t>(stats.cache.invalidations));
+  report.SetMetric("queue_s_total", queue_s_total);
+  report.SetMetric("anytime_refine_s", anytime_refine_s);
+  report.SetMetric("anytime_increments", anytime_increments);
   report.SetMetric("deterministic_batch", deterministic_batch);
   report.SetMetric("session_rebuild_identical", session_rebuild_identical);
+  report.SetMetric("anytime_identical", anytime_identical);
   Status write_status = report.Write();
 
   bool hit_gate = mixed_hit_rate > 0.5;
@@ -301,8 +368,12 @@ int main() {
   if (!session_rebuild_identical) {
     std::cerr << "api gate FAILED: session output diverged from rebuild\n";
   }
+  if (!anytime_identical) {
+    std::cerr << "api gate FAILED: refined anytime ranking diverged from "
+                 "the blocking answer\n";
+  }
   return deterministic_batch && session_rebuild_identical && hit_gate &&
-                 write_status.ok()
+                 anytime_identical && write_status.ok()
              ? 0
              : 1;
 }

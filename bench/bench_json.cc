@@ -121,7 +121,13 @@ std::string JsonReport::ToJson() const {
   // v4: adds the api front-door metrics emitted by bench_api_server
   // (mixed_hit_rate, deterministic_batch, session_rebuild_identical,
   // batch_s_mean, session/eviction counters); layout unchanged again.
-  out += "  \"schema_version\": 5,\n";
+  // v5: adds the shard scatter-gather metrics of bench_shard_scaling
+  // (merge/short-circuit counters); layout unchanged again.
+  // v6: adds the anytime/admission fields — bench_api_server's
+  // queue_s_total / anytime_refine_s / anytime_identical and the new
+  // bench_open_loop report (blocking_p99_s, anytime_p99_s, p99_ratio,
+  // slo_p99_s, deadline-rejection counters); layout unchanged again.
+  out += "  \"schema_version\": 6,\n";
   out += "  \"bench\": \"" + JsonEscape(name_) + "\",\n";
   out += "  \"threads\": " + std::to_string(threads_) + ",\n";
   out += "  \"wall_time_s\": " + FormatNumber(wall_time_s_) + ",\n";

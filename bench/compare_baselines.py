@@ -133,6 +133,21 @@ def shard_scaling_floor(metrics):
     return []
 
 
+def open_loop_slo(metrics):
+    """Anytime tail-latency SLO: p99 under half the mean blocking service
+    time. On a single-core runner the service-time measurement itself is
+    time-sliced, so the absolute ceiling is report-only there — the
+    relative p99_ratio floor still gates."""
+    if int(metrics.get("hardware_concurrency", 0)) <= 1:
+        return []
+    p99 = float(metrics.get("anytime_p99_s", float("inf")))
+    slo = float(metrics.get("slo_p99_s", 0.0))
+    if p99 > slo:
+        return [f"anytime_p99_s {p99:.4g}s exceeds the slo_p99_s "
+                f"{slo:.4g}s ceiling"]
+    return []
+
+
 BENCH_GATES = {
     "serve_topk": [
         flag("deterministic_output",
@@ -152,9 +167,17 @@ BENCH_GATES = {
              "RunBatch output diverged from serial single-request execution"),
         flag("session_rebuild_identical",
              "live-session output diverged from the from-scratch rebuild"),
+        flag("anytime_identical",
+             "refined anytime ranking diverged from the blocking answer"),
         floor("mixed_hit_rate", 0.5),
         positive("batch_requests"),
         positive("deltas"),
+    ],
+    "open_loop": [
+        floor("p99_ratio", 5.0, strict=False),
+        open_loop_slo,
+        positive("deadline_rejections"),
+        positive("arrivals"),
     ],
     "parallel_scaling": [
         flag("deterministic_across_threads",
@@ -178,7 +201,8 @@ BENCH_GATES = {
 TRACKED_METRICS = ("cache_hit_rate", "pruned_fraction", "trials_per_sec",
                    "preserved_hit_rate", "update_latency_ms_mean",
                    "mixed_hit_rate", "batch_s_mean", "csr_speedup",
-                   "scaling_1_to_4")
+                   "scaling_1_to_4", "p99_ratio", "anytime_p99_s",
+                   "queue_s_total", "anytime_refine_s")
 
 
 def load_reports(directory: Path):

@@ -101,7 +101,7 @@ int main(int argc, char** argv) {
   // Offline methods: materialize the graph through the facade, score
   // with the harness's Ranker.
   api::QueryRequest graph_only = api::MakeProteinFunctionRequest(symbol);
-  graph_only.rank = false;
+  graph_only.options.rank = false;
   api::Result<api::QueryResponse> run = server.Query(graph_only);
   if (!run.ok()) {
     std::cerr << run.status() << "\n";

@@ -1,0 +1,101 @@
+#include "api/admission.h"
+
+#include <algorithm>
+#include <string>
+
+namespace biorank::api {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+void AdmissionQueue::Ticket::Reset() {
+  if (owner_ != nullptr) owner_->Release();
+  owner_ = nullptr;
+}
+
+AdmissionQueue::AdmissionQueue(AdmissionOptions options)
+    : options_(options) {}
+
+Result<AdmissionQueue::Ticket> AdmissionQueue::Admit(
+    Clock::time_point deadline) {
+  const Clock::time_point start = Clock::now();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (start >= deadline) {
+    ++stats_.rejected_deadline;
+    return Status::DeadlineExceeded(
+        "api: deadline had already passed on arrival at admission");
+  }
+  const bool unlimited = options_.max_concurrent <= 0;
+  if (!unlimited && inflight_ >= options_.max_concurrent) {
+    if (waiters_.size() >= options_.max_queue_depth) {
+      ++stats_.rejected_capacity;
+      return Status::ResourceExhausted(
+          "api: admission queue at max depth " +
+          std::to_string(options_.max_queue_depth));
+    }
+    const auto key = std::make_pair(deadline, next_seq_++);
+    waiters_.insert(key);
+    ++stats_.queued;
+    stats_.peak_queue_depth =
+        std::max(stats_.peak_queue_depth, waiters_.size());
+    bool admitted = false;
+    while (true) {
+      // A waiter is admitted only when it is the earliest-deadline
+      // parked request AND a slot is free; everyone else keeps waiting.
+      if (inflight_ < options_.max_concurrent &&
+          *waiters_.begin() == key) {
+        admitted = true;
+        break;
+      }
+      if (Clock::now() >= deadline) break;
+      if (deadline == Clock::time_point::max()) {
+        cv_.wait(lock);  // wait_until(max()) can overflow; wait plainly.
+      } else {
+        cv_.wait_until(lock, deadline);
+      }
+    }
+    waiters_.erase(key);
+    // Removing this waiter can promote a new front; releasing a slot
+    // below does its own notify. Either way the set changed shape.
+    cv_.notify_all();
+    if (!admitted) {
+      ++stats_.rejected_deadline;
+      stats_.queue_wait_s_total += Seconds(Clock::now() - start);
+      return Status::DeadlineExceeded(
+          "api: deadline passed while queued for admission");
+    }
+  }
+  ++inflight_;
+  ++stats_.admitted;
+  const double waited = Seconds(Clock::now() - start);
+  stats_.queue_wait_s_total += waited;
+  Ticket ticket;
+  ticket.owner_ = this;
+  ticket.queue_s_ = waited;
+  return ticket;
+}
+
+void AdmissionQueue::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+  }
+  cv_.notify_all();
+}
+
+AdmissionStats AdmissionQueue::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdmissionStats snapshot = stats_;
+  snapshot.queue_depth = waiters_.size();
+  snapshot.inflight = inflight_;
+  return snapshot;
+}
+
+}  // namespace biorank::api

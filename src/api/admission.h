@@ -1,0 +1,116 @@
+// Deadline-aware admission control in front of the server's shared pool.
+//
+// Every request acquires a Ticket before touching the ranking pipeline.
+// When the configured concurrency is saturated, arrivals park in a
+// deadline-ordered queue: the waiter with the earliest deadline takes
+// the next freed slot (earliest-deadline-first is the SLO-optimal order
+// for a work-conserving single queue), and a waiter whose deadline
+// passes while parked is rejected with kDeadlineExceeded instead of
+// being served late — the typed rejection the api layer forwards to the
+// caller with no partial answer attached.
+
+#ifndef BIORANK_API_ADMISSION_H_
+#define BIORANK_API_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "util/status.h"
+
+namespace biorank::api {
+
+/// Configuration for AdmissionQueue.
+struct AdmissionOptions {
+  /// Requests allowed past admission at once. <= 0 means unlimited:
+  /// every arrival is admitted immediately (tickets still track
+  /// inflight) — the default, preserving pre-admission behavior.
+  int max_concurrent = 0;
+  /// Parked waiters beyond which arrivals are rejected outright with
+  /// kResourceExhausted (backpressure instead of an unbounded queue).
+  size_t max_queue_depth = 1024;
+};
+
+/// Point-in-time admission gauges and monotonic counters.
+struct AdmissionStats {
+  uint64_t admitted = 0;           ///< Tickets granted.
+  uint64_t rejected_deadline = 0;  ///< Deadline passed (on arrival or queued).
+  uint64_t rejected_capacity = 0;  ///< Queue overflow (kResourceExhausted).
+  uint64_t queued = 0;             ///< Admissions that had to park first.
+  size_t queue_depth = 0;          ///< Waiters parked right now.
+  size_t peak_queue_depth = 0;     ///< High-water mark of queue_depth.
+  int inflight = 0;                ///< Live tickets right now.
+  double queue_wait_s_total = 0.0; ///< Sum of time spent parked (incl. rejected).
+};
+
+/// Thread-safe admission gate. One instance fronts one api::Server.
+class AdmissionQueue {
+ public:
+  /// RAII admission slot: releasing (destruction) frees the slot and
+  /// wakes the earliest-deadline waiter. Move-only.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept
+        : owner_(other.owner_), queue_s_(other.queue_s_) {
+      other.owner_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Reset();
+        owner_ = other.owner_;
+        queue_s_ = other.queue_s_;
+        other.owner_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Reset(); }
+
+    bool valid() const { return owner_ != nullptr; }
+    /// Seconds this request spent parked before admission.
+    double queue_s() const { return queue_s_; }
+
+   private:
+    friend class AdmissionQueue;
+    void Reset();
+    AdmissionQueue* owner_ = nullptr;
+    double queue_s_ = 0.0;
+  };
+
+  explicit AdmissionQueue(AdmissionOptions options = {});
+
+  /// Blocks until a slot is free (earliest deadline first) or `deadline`
+  /// passes. An already-expired deadline rejects immediately without
+  /// queuing; `time_point::max()` waits indefinitely. Errors:
+  /// kDeadlineExceeded (expired on arrival or while parked),
+  /// kResourceExhausted (queue at max_queue_depth).
+  Result<Ticket> Admit(std::chrono::steady_clock::time_point deadline =
+                           std::chrono::steady_clock::time_point::max());
+
+  AdmissionStats Stats() const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  void Release();
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// Parked waiters ordered by (deadline, arrival seq): begin() is the
+  /// next waiter to admit. Each waiter owns exactly one key.
+  std::set<std::pair<std::chrono::steady_clock::time_point, uint64_t>>
+      waiters_;
+  uint64_t next_seq_ = 0;
+  int inflight_ = 0;
+  AdmissionStats stats_;
+};
+
+}  // namespace biorank::api
+
+#endif  // BIORANK_API_ADMISSION_H_

@@ -6,7 +6,7 @@ QueryRequest MakeProteinFunctionRequest(const std::string& gene_symbol,
                                         int top_k) {
   QueryRequest request;
   request.query = MakeProteinFunctionQuery(gene_symbol);
-  request.top_k = top_k;
+  request.options.top_k = top_k;
   return request;
 }
 

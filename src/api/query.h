@@ -1,15 +1,18 @@
 // Typed request/response value objects of the biorank front door
 // (api::Server). A QueryRequest carries the query *shape*
-// (integrate/exploratory_query.h) plus every per-request serving knob —
-// top_k, MC seed, rank toggle — that used to be baked into the query or
+// (integrate/exploratory_query.h) plus a QueryOptions block holding
+// every per-request serving knob — top_k, MC seed, rank toggle, serving
+// mode, deadline/budgets — that used to be baked into the query or
 // hand-threaded through the serving stack. A QueryResponse carries the
 // ranked answers (reliability values *and* the deterministic bounds the
-// scheduler held), per-phase timing, and the request's cache hit/miss
+// scheduler held), a completeness summary, a refinement handle for
+// anytime requests, per-phase timing, and the request's cache hit/miss
 // counters, so callers observe the serving layer without touching it.
 
 #ifndef BIORANK_API_QUERY_H_
 #define BIORANK_API_QUERY_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -19,6 +22,7 @@
 #include "integrate/exploratory_query.h"
 #include "integrate/mediator.h"
 #include "serve/ranking_service.h"
+#include "serve/refinement.h"
 #include "util/status.h"
 
 namespace biorank::api {
@@ -31,11 +35,23 @@ using StatusCode = ::biorank::StatusCode;
 template <typename T>
 using Result = ::biorank::Result<T>;
 
-/// One typed query request against api::Server.
-struct QueryRequest {
-  /// The exploratory query shape (Definition 2.2): input entity match and
-  /// output entity sets. Shape only — serving knobs live below.
-  ExploratoryQuery query;
+/// How a request trades answer finality against latency.
+enum class QueryMode {
+  /// Resolve every surviving candidate to its final value before
+  /// returning — the pre-anytime semantics and the default.
+  kBlocking,
+  /// Return as soon as the deterministic bounds phase (plus whatever MC
+  /// the deadline/budget allowed) is done. Unresolved answers come back
+  /// as brackets with Resolution::kRefining, and the response carries a
+  /// RefinementHandle that Server::Refine advances incrementally. A
+  /// fully refined anytime ranking is bit-identical to kBlocking.
+  kAnytime,
+};
+
+/// Per-request serving knobs, factored out of QueryRequest so transports
+/// (shard fan-out, batch runners) forward one block instead of loose
+/// fields.
+struct QueryOptions {
   /// How many top-ranked answers to return; <= 0 ranks the full answer
   /// set (both clamp to the answer count).
   int top_k = 0;
@@ -48,6 +64,54 @@ struct QueryRequest {
   /// When false, only materialize the integrated query graph (the
   /// Mediator::Run half); the response carries no ranking.
   bool rank = true;
+  /// Blocking (default) vs anytime serving; see QueryMode.
+  QueryMode mode = QueryMode::kBlocking;
+  /// Per-request latency budget in seconds, counted from when the server
+  /// accepts the call; <= 0 means no budget. Combined with `deadline`
+  /// (below) the effective deadline is whichever fires first.
+  double budget_s = 0.0;
+  /// Absolute steady-clock deadline; the epoch default means none.
+  /// Admission rejects a request whose deadline passes while queued with
+  /// kDeadlineExceeded; in kAnytime mode the refinement loop stops at
+  /// the deadline and returns whatever is settled.
+  std::chrono::steady_clock::time_point deadline{};
+  /// kAnytime only: MC trials to spend per surviving candidate per
+  /// increment (initial call and each Refine). <= 0 with no deadline
+  /// means bounds-only (spend nothing); <= 0 with a deadline means
+  /// refine to convergence or deadline, whichever first.
+  int64_t mc_trial_budget = 0;
+
+  bool has_deadline() const {
+    return budget_s > 0.0 ||
+           deadline != std::chrono::steady_clock::time_point{};
+  }
+  /// The effective absolute deadline for a request accepted at `start`:
+  /// min(deadline, start + budget_s), or time_point::max() when neither
+  /// is set.
+  std::chrono::steady_clock::time_point DeadlineOrMax(
+      std::chrono::steady_clock::time_point start) const {
+    auto effective = std::chrono::steady_clock::time_point::max();
+    if (deadline != std::chrono::steady_clock::time_point{}) {
+      effective = deadline;
+    }
+    if (budget_s > 0.0) {
+      auto budgeted =
+          start + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(budget_s));
+      if (budgeted < effective) effective = budgeted;
+    }
+    return effective;
+  }
+};
+
+/// One typed query request against api::Server.
+struct QueryRequest {
+  /// The exploratory query shape (Definition 2.2): input entity match and
+  /// output entity sets. Shape only — serving knobs live in `options`.
+  ExploratoryQuery query;
+  /// Every per-request serving knob (top-k, seed, mode, deadline...).
+  QueryOptions options;
 };
 
 /// One ranked answer of a response: the serve-layer resolution plus the
@@ -64,9 +128,20 @@ struct RankedAnswer {
 
 /// Wall-clock spent per pipeline phase of one request.
 struct PhaseTiming {
+  double queue_s = 0.0;      ///< Waiting in the admission queue.
   double integrate_s = 0.0;  ///< Source fan-out + graph stitching.
-  double rank_s = 0.0;       ///< Serving-layer top-k ranking.
+  double rank_s = 0.0;       ///< Serving-layer bounds + blocking top-k.
+  double refine_s = 0.0;     ///< Incremental anytime MC (this call's share).
   double total_s = 0.0;
+};
+
+/// Caller-side handle to a server-resident anytime refinement. id == 0
+/// means "nothing to refine" (blocking responses, and anytime responses
+/// that resolved completely). Handles are never reused; a finished or
+/// cancelled handle fails Server::Refine with NotFound / kCancelled.
+struct RefinementHandle {
+  uint64_t id = 0;
+  bool valid() const { return id != 0; }
 };
 
 /// The typed response to a QueryRequest (or a session query).
@@ -82,6 +157,13 @@ struct QueryResponse {
   /// per-phase resolution counts). Zero when the request skipped ranking.
   serve::RequestStats stats;
   PhaseTiming timing;
+  /// How settled the ranking is. Blocking responses are always complete;
+  /// anytime responses may carry open brackets (see `top`'s kRefining
+  /// entries and `refinement`).
+  serve::Completeness completeness;
+  /// Valid iff this anytime ranking still has refining answers; pass to
+  /// Server::Refine to advance it.
+  RefinementHandle refinement;
 };
 
 /// A live query session handle. Handles are never reused; a stale handle

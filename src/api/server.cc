@@ -25,7 +25,8 @@ Server::Server(ServerOptions options)
       registry_(universe_, options_.sources),
       mediator_(registry_, options_.mediator),
       service_(options_.ranking),
-      harness_(universe_, registry_, mediator_, options_.ranker) {}
+      harness_(universe_, registry_, mediator_, options_.ranker),
+      admission_(options_.admission) {}
 
 namespace {
 
@@ -58,12 +59,6 @@ void FillRanked(const serve::TopKResult& top, LabelFn label,
 
 }  // namespace
 
-Status Server::RankAnswers(const QueryGraph& graph, int top_k,
-                           serve::RankingService& service,
-                           QueryResponse& response) {
-  return RankAnswerSubset(graph, graph.answers, top_k, service, response);
-}
-
 Status Server::RankAnswerSubset(const QueryGraph& graph,
                                 const std::vector<NodeId>& answers, int top_k,
                                 serve::RankingService& service,
@@ -79,36 +74,234 @@ Status Server::RankAnswerSubset(const QueryGraph& graph,
   return Status::OK();
 }
 
+Status Server::AdvanceRefinement(Refinement& refinement,
+                                 const QueryOptions& options,
+                                 SteadyClock::time_point deadline,
+                                 QueryResponse& response) {
+  serve::RankingService& service = refinement.private_service != nullptr
+                                       ? *refinement.private_service
+                                       : service_;
+  serve::RefinementState& state = refinement.state;
+  const SteadyClock::time_point refine_start = SteadyClock::now();
+  if (!state.complete()) {
+    if (options.mc_trial_budget > 0) {
+      // Budgeted increments: one per call, or — under a deadline —
+      // repeated until the ranking settles or the deadline fires.
+      const bool repeat = deadline != SteadyClock::time_point::max();
+      do {
+        Result<serve::Completeness> increment = serve::RefineIncrement(
+            service, state, options.mc_trial_budget, deadline);
+        if (!increment.ok()) return increment.status();
+      } while (repeat && !state.complete() && SteadyClock::now() < deadline);
+    } else if (deadline != SteadyClock::time_point::max() ||
+               options.mode == QueryMode::kBlocking) {
+      // No per-increment budget: refine each survivor to convergence,
+      // stopping between survivors if the deadline fires.
+      Result<serve::Completeness> increment =
+          serve::RefineIncrement(service, state, /*trial_budget=*/0,
+                                 deadline);
+      if (!increment.ok()) return increment.status();
+    }
+    // Anytime with no budget and no deadline spends nothing: the
+    // bounds-only ranking is the answer.
+  }
+  response.timing.refine_s = SecondsSince(refine_start);
+
+  serve::TopKResult view;
+  view.top = serve::CurrentRanking(state);
+  view.stats = state.stats;
+  const auto& labels = refinement.labels;
+  FillRanked(view,
+             [&labels](NodeId node) {
+               auto it = labels.find(node);
+               return it != labels.end() ? it->second : std::string();
+             },
+             response);
+  response.completeness = serve::Summarize(state);
+  return Status::OK();
+}
+
 Result<QueryResponse> Server::Query(const QueryRequest& request) {
   Tick();
+  const QueryOptions& options = request.options;
   SteadyClock::time_point start = SteadyClock::now();
+  const SteadyClock::time_point deadline = options.DeadlineOrMax(start);
+  // Admission first: a request that cannot start before its deadline is
+  // rejected with the typed code and no partial answer. The ticket is
+  // held for the whole call — integration and ranking both count
+  // against the server's concurrency cap.
+  Result<AdmissionQueue::Ticket> ticket = admission_.Admit(deadline);
+  if (!ticket.ok()) return ticket.status();
+  QueryResponse response;
+  response.timing.queue_s = ticket.value().queue_s();
+
+  SteadyClock::time_point integrate_start = SteadyClock::now();
   Result<ExploratoryQueryResult> run = mediator_.Run(request.query);
   if (!run.ok()) return run.status();
-  QueryResponse response;
   response.result = std::move(run.value());
-  response.timing.integrate_s = SecondsSince(start);
-  if (request.rank) {
+  response.timing.integrate_s = SecondsSince(integrate_start);
+  if (options.rank) {
+    BIORANK_RETURN_IF_ERROR(RankWithOptions(response.result.query_graph,
+                                            response.result.query_graph.answers,
+                                            options, deadline, response));
+  } else {
+    response.completeness.complete = true;  // Nothing ranked, nothing open.
+  }
+  response.timing.total_s = SecondsSince(start);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+Status Server::RankWithOptions(const QueryGraph& graph,
+                               const std::vector<NodeId>& answers,
+                               const QueryOptions& options,
+                               SteadyClock::time_point deadline,
+                               QueryResponse& response) {
+  const bool foreign_seed =
+      options.seed != 0 && options.seed != options_.ranking.seed;
+  if (options.mode == QueryMode::kBlocking) {
     SteadyClock::time_point rank_start = SteadyClock::now();
     Status ranked;
-    if (request.seed == 0 || request.seed == options_.ranking.seed) {
-      ranked = RankAnswers(response.result.query_graph, request.top_k,
-                           service_, response);
+    if (!foreign_seed) {
+      ranked = RankAnswerSubset(graph, answers, options.top_k, service_,
+                                response);
     } else {
       // A foreign MC seed changes every irreducible residue's value, so
       // it must not read or publish through the shared cache; serve it
       // from a request-private service instead.
       serve::RankingServiceOptions foreign = options_.ranking;
-      foreign.seed = request.seed;
+      foreign.seed = options.seed;
       serve::RankingService private_service(foreign);
-      ranked = RankAnswers(response.result.query_graph, request.top_k,
-                           private_service, response);
+      ranked = RankAnswerSubset(graph, answers, options.top_k,
+                                private_service, response);
     }
     if (!ranked.ok()) return ranked;
     response.timing.rank_s = SecondsSince(rank_start);
+    // Blocking rankings are final by construction. The resolved/bounded
+    // split is derived from the scheduler counters (pruned counts unique
+    // canonicals, so request-local duplicates fold into one).
+    response.completeness.resolved =
+        response.stats.candidates - response.stats.pruned;
+    response.completeness.bounded = response.stats.pruned;
+    response.completeness.complete = true;
+    return Status::OK();
+  }
+  // Anytime: deterministic bounds-first prepare, then whatever
+  // refinement the deadline/budget allows; unresolved answers come
+  // back as kRefining brackets behind a handle.
+  const int count = static_cast<int>(answers.size());
+  if (count == 0) {
+    response.completeness.complete = true;
+    return Status::OK();
+  }
+  auto refinement = std::make_shared<Refinement>();
+  if (foreign_seed) {
+    serve::RankingServiceOptions foreign = options_.ranking;
+    foreign.seed = options.seed;
+    refinement->private_service =
+        std::make_unique<serve::RankingService>(foreign);
+  }
+  serve::RankingService& service = refinement->private_service != nullptr
+                                       ? *refinement->private_service
+                                       : service_;
+  SteadyClock::time_point rank_start = SteadyClock::now();
+  Result<serve::RefinementState> prepared = serve::PrepareAnytime(
+      service, graph, answers, ClampTopK(options.top_k, count));
+  if (!prepared.ok()) return prepared.status();
+  refinement->state = std::move(prepared.value());
+  response.timing.rank_s = SecondsSince(rank_start);
+  refinement->labels.reserve(refinement->state.nodes.size());
+  for (NodeId node : refinement->state.nodes) {
+    refinement->labels.emplace(node, graph.graph.node(node).label);
+  }
+  BIORANK_RETURN_IF_ERROR(
+      AdvanceRefinement(*refinement, options, deadline, response));
+  if (!refinement->state.complete()) {
+    RefinementHandle handle;
+    handle.id = next_refinement_id_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(refinements_mu_);
+      refinements_.emplace(handle.id, std::move(refinement));
+    }
+    refinements_started_.fetch_add(1, std::memory_order_relaxed);
+    response.refinement = handle;
+  }
+  return Status::OK();
+}
+
+Result<QueryResponse> Server::Refine(RefinementHandle handle,
+                                     const QueryOptions& options) {
+  Tick();
+  SteadyClock::time_point start = SteadyClock::now();
+  const SteadyClock::time_point deadline = options.DeadlineOrMax(start);
+  // Refinement increments compete for the server like fresh queries do:
+  // same deadline-ordered queue, same typed rejection.
+  Result<AdmissionQueue::Ticket> ticket = admission_.Admit(deadline);
+  if (!ticket.ok()) return ticket.status();
+
+  std::shared_ptr<Refinement> refinement;
+  {
+    std::lock_guard<std::mutex> lock(refinements_mu_);
+    if (cancelled_refinements_.count(handle.id) > 0) {
+      return Status::Cancelled("api: refinement " + std::to_string(handle.id) +
+                               " was cancelled");
+    }
+    auto it = refinements_.find(handle.id);
+    if (it == refinements_.end()) {
+      return Status::NotFound("api: no live refinement with handle " +
+                              std::to_string(handle.id));
+    }
+    refinement = it->second;
+  }
+
+  QueryResponse response;
+  response.timing.queue_s = ticket.value().queue_s();
+  bool complete = false;
+  {
+    std::lock_guard<std::mutex> lock(refinement->mu);
+    QueryOptions increment = options;
+    increment.mode = QueryMode::kAnytime;  // Refine is inherently anytime…
+    if (!increment.has_deadline() && increment.mc_trial_budget <= 0) {
+      // …but a Refine with no budget and no deadline means "finish the
+      // job", not "do nothing" (the bounds-only phase already ran).
+      increment.mode = QueryMode::kBlocking;
+    }
+    BIORANK_RETURN_IF_ERROR(
+        AdvanceRefinement(*refinement, increment, deadline, response));
+    complete = refinement->state.complete();
+  }
+  if (complete) {
+    // Retire the handle: later Refine calls get NotFound. A concurrent
+    // Refine that also just completed loses the erase race benignly.
+    bool erased = false;
+    {
+      std::lock_guard<std::mutex> lock(refinements_mu_);
+      erased = refinements_.erase(handle.id) > 0;
+    }
+    if (erased) {
+      refinements_completed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    response.refinement.id = 0;
+  } else {
+    response.refinement = handle;
   }
   response.timing.total_s = SecondsSince(start);
-  queries_.fetch_add(1, std::memory_order_relaxed);
   return response;
+}
+
+Status Server::CancelRefinement(RefinementHandle handle) {
+  Tick();
+  std::lock_guard<std::mutex> lock(refinements_mu_);
+  if (refinements_.erase(handle.id) > 0) {
+    cancelled_refinements_.insert(handle.id);
+    refinements_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  if (cancelled_refinements_.count(handle.id) > 0) {
+    return Status::OK();  // Cancelling twice is idempotent.
+  }
+  return Status::NotFound("api: no live refinement with handle " +
+                          std::to_string(handle.id));
 }
 
 Result<std::vector<QueryResponse>> Server::RunBatch(
@@ -155,29 +348,54 @@ Result<std::vector<QueryResponse>> Server::RunBatch(
 }
 
 Result<QueryResponse> Server::RankGraph(const QueryGraph& graph, int top_k) {
-  return RankGraph(graph, graph.answers, top_k);
+  QueryOptions options;
+  options.top_k = top_k;
+  return RankGraph(graph, graph.answers, options);
 }
 
 Result<QueryResponse> Server::RankGraph(const QueryGraph& graph,
                                         const std::vector<NodeId>& answers,
                                         int top_k) {
+  QueryOptions options;
+  options.top_k = top_k;
+  return RankGraph(graph, answers, options);
+}
+
+Result<QueryResponse> Server::RankGraph(const QueryGraph& graph,
+                                        const QueryOptions& options) {
+  return RankGraph(graph, graph.answers, options);
+}
+
+Result<QueryResponse> Server::RankGraph(const QueryGraph& graph,
+                                        const std::vector<NodeId>& answers,
+                                        const QueryOptions& options) {
   Tick();
   SteadyClock::time_point start = SteadyClock::now();
+  const SteadyClock::time_point deadline = options.DeadlineOrMax(start);
+  // Graph rankings pay the same SLO gate as Query: deadline-ordered
+  // admission, typed rejection, no partial answer.
+  Result<AdmissionQueue::Ticket> ticket = admission_.Admit(deadline);
+  if (!ticket.ok()) return ticket.status();
   QueryResponse response;
-  BIORANK_RETURN_IF_ERROR(
-      RankAnswerSubset(graph, answers, top_k, service_, response));
-  response.timing.rank_s = SecondsSince(start);
-  response.timing.total_s = response.timing.rank_s;
+  response.timing.queue_s = ticket.value().queue_s();
+  if (options.rank) {
+    BIORANK_RETURN_IF_ERROR(
+        RankWithOptions(graph, answers, options, deadline, response));
+  } else {
+    response.completeness.complete = true;
+  }
+  response.timing.total_s = SecondsSince(start);
   graph_rankings_.fetch_add(1, std::memory_order_relaxed);
   return response;
 }
 
 Result<SessionInfo> Server::OpenSession(const QueryRequest& request) {
   uint64_t now = Tick();
-  if (request.seed != 0 && request.seed != options_.ranking.seed) {
+  if (request.options.seed != 0 &&
+      request.options.seed != options_.ranking.seed) {
     return Status::InvalidArgument(
         "api: sessions share the canonical reliability cache and must use "
-        "the server's MC seed (leave request.seed = 0)");
+        "the server's MC seed (leave options.seed = 0)");
   }
   Result<Mediator::LiveExploratoryQuery> live =
       mediator_.ServeLive(request.query, service_);
@@ -301,6 +519,11 @@ size_t Server::session_count() const {
   return sessions_.size();
 }
 
+size_t Server::refinement_count() const {
+  std::lock_guard<std::mutex> lock(refinements_mu_);
+  return refinements_.size();
+}
+
 ServerStats Server::Stats() const {
   ServerStats stats;
   stats.queries = queries_.load(std::memory_order_relaxed);
@@ -313,7 +536,15 @@ ServerStats Server::Stats() const {
   stats.session_queries = session_queries_.load(std::memory_order_relaxed);
   stats.deltas_applied = deltas_applied_.load(std::memory_order_relaxed);
   stats.open_sessions = session_count();
+  stats.refinements_started =
+      refinements_started_.load(std::memory_order_relaxed);
+  stats.refinements_completed =
+      refinements_completed_.load(std::memory_order_relaxed);
+  stats.refinements_cancelled =
+      refinements_cancelled_.load(std::memory_order_relaxed);
+  stats.open_refinements = refinement_count();
   stats.cache = service_.cache().Stats();
+  stats.admission = admission_.Stats();
   return stats;
 }
 

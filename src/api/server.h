@@ -35,9 +35,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "api/admission.h"
 #include "api/query.h"
 #include "core/ranking.h"
 #include "datagen/protein_universe.h"
@@ -65,6 +68,9 @@ struct ServerOptions {
   /// more than this many server operations are closed first. 0 disables
   /// auto-eviction (EvictIdleSessions remains available).
   uint64_t session_idle_ops = 0;
+  /// Deadline-ordered admission in front of Query/Refine (the SLO gate).
+  /// The default (max_concurrent <= 0) admits everything immediately.
+  AdmissionOptions admission;
 };
 
 /// Monotonic service counters plus a point-in-time cache snapshot.
@@ -79,7 +85,12 @@ struct ServerStats {
   uint64_t session_queries = 0;  ///< QuerySession requests served OK.
   uint64_t deltas_applied = 0;
   uint64_t open_sessions = 0;    ///< Currently live sessions.
+  uint64_t refinements_started = 0;   ///< Anytime responses that left a handle.
+  uint64_t refinements_completed = 0; ///< Handles refined to completion.
+  uint64_t refinements_cancelled = 0; ///< CancelRefinement calls that took.
+  uint64_t open_refinements = 0;      ///< Currently live handles.
   serve::CacheStats cache;       ///< Shared reliability cache snapshot.
+  AdmissionStats admission;      ///< Queue depth/age gauges + counters.
 };
 
 /// The front door. Construction generates the synthetic world and wires
@@ -92,11 +103,36 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Serves one typed request end to end: mediator crawl, then (unless
-  /// request.rank is false or the answer set is empty) a top-k ranking
-  /// pass through the shared service — or through a request-private
-  /// service when the request pins a foreign MC seed.
+  /// Serves one typed request end to end: admission (deadline-ordered
+  /// when the server caps concurrency), mediator crawl, then (unless
+  /// options.rank is false or the answer set is empty) a ranking pass
+  /// through the shared service — or through a request-private service
+  /// when the request pins a foreign MC seed. kBlocking resolves every
+  /// survivor before returning; kAnytime returns the bounds-only ranking
+  /// plus whatever refinement the deadline/budget allowed, carrying a
+  /// RefinementHandle when answers are still open. A request whose
+  /// deadline passes while queued gets kDeadlineExceeded and no partial
+  /// answer.
   Result<QueryResponse> Query(const QueryRequest& request);
+
+  /// Advances a live anytime refinement by one increment (per-survivor
+  /// `options.mc_trial_budget` MC trials; <= 0 refines to convergence or
+  /// `options` deadline). The response carries the updated ranking,
+  /// cumulative stats, and completeness; when the ranking is final the
+  /// handle is retired (response.refinement.id == 0) and the result is
+  /// bit-identical to the blocking answer. Errors: NotFound (unknown or
+  /// already-finished handle), kCancelled (handle cancelled),
+  /// kDeadlineExceeded (deadline passed in the admission queue).
+  /// Refinement is deterministic: state advances by whole shards of the
+  /// per-candidate trial schedule, so any increment sequence converges
+  /// to the same values. Concurrent Refine calls on one handle serialize.
+  Result<QueryResponse> Refine(RefinementHandle handle,
+                               const QueryOptions& options = {});
+
+  /// Cancels a live refinement: the handle's state is dropped and every
+  /// later Refine on it fails with kCancelled. NotFound for handles that
+  /// never existed or already finished; cancelling twice is OK.
+  Status CancelRefinement(RefinementHandle handle);
 
   /// Fans `batch` (independent requests) across the shared pool and
   /// returns one response per request, in request order. Output is
@@ -121,12 +157,28 @@ class Server {
                                   const std::vector<NodeId>& answers,
                                   int top_k);
 
+  /// The full-options form of RankGraph: the same admission gate and
+  /// blocking/anytime dispatch as Query, minus the mediator crawl. An
+  /// anytime call leaves a RefinementHandle exactly like an anytime
+  /// Query; the refinement state owns its canonicalizations, so the
+  /// caller's graph need not outlive the handle. The plain int-top_k
+  /// overloads above forward here with default (blocking, no-deadline)
+  /// options.
+  Result<QueryResponse> RankGraph(const QueryGraph& graph,
+                                  const QueryOptions& options);
+
+  /// Same, restricted to the `answers` subset (the shard slice).
+  Result<QueryResponse> RankGraph(const QueryGraph& graph,
+                                  const std::vector<NodeId>& answers,
+                                  const QueryOptions& options);
+
   /// Stands `request.query` up as a live session: the materialized graph
   /// stays resident, evidence deltas apply incrementally, and queries
-  /// ride the per-answer canonicals. `request.top_k` is ignored (k is
-  /// per QuerySession call) and a foreign `request.seed` — nonzero and
-  /// different from the server's canonical seed — is rejected: sessions
-  /// share the canonical cache, which is only valid under that seed.
+  /// ride the per-answer canonicals. `request.options.top_k` and `.mode`
+  /// are ignored (k is per QuerySession call; sessions always serve
+  /// blocking) and a foreign `options.seed` — nonzero and different from
+  /// the server's canonical seed — is rejected: sessions share the
+  /// canonical cache, which is only valid under that seed.
   Result<SessionInfo> OpenSession(const QueryRequest& request);
 
   /// Ranks a live session's answer set (top_k <= 0 ranks all). The
@@ -154,6 +206,7 @@ class Server {
   size_t EvictIdleSessions(uint64_t min_idle_ops);
 
   size_t session_count() const;
+  size_t refinement_count() const;
 
   ServerStats Stats() const;
 
@@ -173,18 +226,27 @@ class Server {
     std::atomic<uint64_t> last_touch{0};
   };
 
+  /// One server-resident anytime refinement. The state owns its
+  /// canonicalizations (self-contained reduced residues), so the
+  /// original query graph does not stay resident; labels are captured
+  /// once at Query time. `private_service` is set when the request
+  /// pinned a foreign MC seed (refinement must keep resolving under
+  /// that seed, never through the shared cache).
+  struct Refinement {
+    std::mutex mu;  ///< Serializes Refine increments on this handle.
+    serve::RefinementState state;
+    std::unordered_map<NodeId, std::string> labels;
+    std::unique_ptr<serve::RankingService> private_service;
+  };
+
   /// Bumps the op clock (every public operation is one tick).
   uint64_t Tick() { return op_clock_.fetch_add(1, std::memory_order_relaxed) + 1; }
 
   /// Handle lookup; touches the session's idle clock on success.
   Result<std::shared_ptr<Session>> FindSession(SessionId id, uint64_t now);
 
-  /// Ranks `graph`'s answers on `service` and appends labeled answers +
-  /// stats to `response`. k <= 0 ranks the full answer set.
-  Status RankAnswers(const QueryGraph& graph, int top_k,
-                     serve::RankingService& service, QueryResponse& response);
-
-  /// Same, restricted to the `answers` subset (the shard slice).
+  /// Ranks the `answers` subset of `graph` on `service` (k <= 0 ranks
+  /// all) and appends labeled answers + stats to `response`.
   Status RankAnswerSubset(const QueryGraph& graph,
                           const std::vector<NodeId>& answers, int top_k,
                           serve::RankingService& service,
@@ -193,6 +255,25 @@ class Server {
   /// Evicts sessions idle for more than `min_idle_ops` at clock `now`.
   size_t EvictIdleLocked(uint64_t min_idle_ops, uint64_t now);
 
+  /// The ranking-mode dispatch shared by Query and the options-taking
+  /// RankGraph: blocking vs anytime, foreign-seed private service, and
+  /// refinement-handle registration. Fills the ranking half of
+  /// `response`; the caller already holds an admission ticket and owns
+  /// the timing/counter bookkeeping.
+  Status RankWithOptions(const QueryGraph& graph,
+                         const std::vector<NodeId>& answers,
+                         const QueryOptions& options,
+                         std::chrono::steady_clock::time_point deadline,
+                         QueryResponse& response);
+
+  /// Runs the refinement loop for one Query/Refine call under the
+  /// caller's deadline/budget and fills the ranking/stats/completeness
+  /// half of `response`. Caller holds `refinement->mu`.
+  Status AdvanceRefinement(Refinement& refinement,
+                           const QueryOptions& options,
+                           std::chrono::steady_clock::time_point deadline,
+                           QueryResponse& response);
+
   ServerOptions options_;
   ProteinUniverse universe_;
   SourceRegistry registry_;
@@ -200,10 +281,19 @@ class Server {
   serve::RankingService service_;
   ScenarioHarness harness_;
 
+  AdmissionQueue admission_;
+
   std::atomic<uint64_t> op_clock_{0};
   std::atomic<uint64_t> next_session_id_{1};
   mutable std::mutex sessions_mu_;
   std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
+
+  std::atomic<uint64_t> next_refinement_id_{1};
+  mutable std::mutex refinements_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Refinement>> refinements_;
+  /// Ids cancelled while (or after) being live: Refine on these answers
+  /// kCancelled, never NotFound, so callers can tell the two apart.
+  std::unordered_set<uint64_t> cancelled_refinements_;
 
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> batches_{0};
@@ -214,6 +304,9 @@ class Server {
   std::atomic<uint64_t> sessions_evicted_{0};
   std::atomic<uint64_t> session_queries_{0};
   std::atomic<uint64_t> deltas_applied_{0};
+  std::atomic<uint64_t> refinements_started_{0};
+  std::atomic<uint64_t> refinements_completed_{0};
+  std::atomic<uint64_t> refinements_cancelled_{0};
 };
 
 }  // namespace biorank::api

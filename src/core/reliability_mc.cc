@@ -356,8 +356,9 @@ Result<McEstimate> EstimateOnPointerView(const QueryGraph& query_graph,
 
 }  // namespace
 
-Result<McEstimate> EstimateReliabilityMcOnSnapshot(
-    const CsrQuerySnapshot& snapshot, const McOptions& options) {
+Result<McShardTallies> TallyReliabilityMcShards(
+    const CsrQuerySnapshot& snapshot, const McOptions& options,
+    int64_t shard_begin, int64_t shard_end) {
   BIORANK_RETURN_IF_ERROR(ValidateMcOptions(options));
   if (snapshot.source == kCsrInvalid ||
       snapshot.source >= snapshot.csr.num_nodes()) {
@@ -371,6 +372,14 @@ Result<McEstimate> EstimateReliabilityMcOnSnapshot(
       PlanTrialShards(options.trials, options.shard_trials);
   if (!plan.ok()) return plan.status();
   const std::vector<int64_t>& shards = plan.value();
+  if (shard_begin < 0 || shard_end < shard_begin ||
+      shard_end > static_cast<int64_t>(shards.size())) {
+    return Status::OutOfRange(
+        "MC shard range [" + std::to_string(shard_begin) + ", " +
+        std::to_string(shard_end) + ") is outside the " +
+        std::to_string(shards.size()) + "-shard schedule");
+  }
+  const int64_t range = shard_end - shard_begin;
 
   ThreadPool& pool = options.pool != nullptr ? *options.pool
                                              : ThreadPool::Global();
@@ -381,8 +390,9 @@ Result<McEstimate> EstimateReliabilityMcOnSnapshot(
   const CsrThresholds thresholds(csr);
   std::vector<CsrTrialWorkspace> workspaces(pool.slot_count());
   pool.ParallelFor(
-      static_cast<int64_t>(shards.size()),
-      [&](int slot, int64_t shard) {
+      range,
+      [&](int slot, int64_t offset) {
+        const int64_t shard = shard_begin + offset;
         CsrTrialWorkspace& ws = workspaces[slot];
         if (ws.reach_count.empty()) ws.Init(n, m, options.mode);
         // Same per-shard stream as Rng::ForStream(seed, shard).
@@ -399,18 +409,41 @@ Result<McEstimate> EstimateReliabilityMcOnSnapshot(
       max_parallelism);
 
   // Dense integer totals, then one expansion back to original NodeId
-  // indexing (dead nodes score 0) so callers are backend-agnostic.
+  // indexing (dead nodes count 0) so callers are backend-agnostic.
   std::vector<int64_t> totals(n, 0);
   for (const CsrTrialWorkspace& ws : workspaces) {
     if (ws.reach_count.empty()) continue;
     for (uint32_t i = 0; i < n; ++i) totals[i] += ws.reach_count[i];
   }
+  McShardTallies tallies;
+  for (int64_t shard = shard_begin; shard < shard_end; ++shard) {
+    tallies.trials += shards[shard];
+  }
+  tallies.counts.assign(static_cast<size_t>(csr.orig_capacity()), 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    tallies.counts[static_cast<size_t>(csr.orig_id[i])] = totals[i];
+  }
+  return tallies;
+}
+
+Result<McEstimate> EstimateReliabilityMcOnSnapshot(
+    const CsrQuerySnapshot& snapshot, const McOptions& options) {
+  // One full pass over the shard schedule. Expressing the one-shot
+  // estimator through the resumable tally keeps the two structurally
+  // incapable of drifting: an incremental refinement that covers the
+  // whole schedule sums exactly these integers.
+  Result<std::vector<int64_t>> plan =
+      PlanTrialShards(options.trials, options.shard_trials);
+  if (!plan.ok()) return plan.status();
+  Result<McShardTallies> tallies = TallyReliabilityMcShards(
+      snapshot, options, 0, static_cast<int64_t>(plan.value().size()));
+  if (!tallies.ok()) return tallies.status();
   McEstimate estimate;
   estimate.trials = options.trials;
-  estimate.scores.assign(static_cast<size_t>(csr.orig_capacity()), 0.0);
-  for (uint32_t i = 0; i < n; ++i) {
-    estimate.scores[static_cast<size_t>(csr.orig_id[i])] =
-        static_cast<double>(totals[i]) / static_cast<double>(options.trials);
+  estimate.scores.assign(tallies.value().counts.size(), 0.0);
+  for (size_t i = 0; i < estimate.scores.size(); ++i) {
+    estimate.scores[i] = static_cast<double>(tallies.value().counts[i]) /
+                         static_cast<double>(options.trials);
   }
   return estimate;
 }

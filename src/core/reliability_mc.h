@@ -88,6 +88,27 @@ Result<McEstimate> EstimateReliabilityMc(const QueryGraph& query_graph,
 Result<McEstimate> EstimateReliabilityMcOnSnapshot(
     const CsrQuerySnapshot& snapshot, const McOptions& options = {});
 
+/// Integer per-node reach counts for one contiguous range of the
+/// deterministic shard schedule PlanTrialShards(options.trials,
+/// options.shard_trials). This is the resumable half of the estimator:
+/// shard i always draws from RNG stream (options.seed, i) regardless of
+/// which call runs it, and the counts are integers, so summing the
+/// tallies of any partition of [0, num_shards) reproduces — bit for bit
+/// — the totals EstimateReliabilityMcOnSnapshot computes in one shot.
+/// The serve layer's anytime refinement path rides this: each Refine
+/// increment runs the next few shards and accumulates the tallies, and a
+/// fully-refined estimate equals the blocking one exactly.
+struct McShardTallies {
+  /// Per original-NodeId reach counts over the range's trials (dead
+  /// nodes count 0).
+  std::vector<int64_t> counts;
+  /// Trials the range covered (the sum of its shard sizes).
+  int64_t trials = 0;
+};
+Result<McShardTallies> TallyReliabilityMcShards(
+    const CsrQuerySnapshot& snapshot, const McOptions& options,
+    int64_t shard_begin, int64_t shard_end);
+
 }  // namespace biorank
 
 #endif  // BIORANK_CORE_RELIABILITY_MC_H_

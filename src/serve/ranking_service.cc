@@ -14,20 +14,6 @@
 
 namespace biorank::serve {
 
-namespace {
-
-/// Per-unique-canonical-key request state. All resolution work happens
-/// at this level: candidates sharing a key share one computation.
-struct UniqueState {
-  const CanonicalCandidate* canonical = nullptr;
-  CacheEntry entry;
-  bool have_bounds = false;
-  Resolution resolution = Resolution::kPruned;
-  Status status;
-};
-
-}  // namespace
-
 RankingService::RankingService(RankingServiceOptions options)
     : options_(options), cache_(options.cache) {
   Result<int64_t> trials =
@@ -83,24 +69,7 @@ Result<TopKResult> RankingService::RankTopK(const QueryGraph& query_graph,
   }
   const std::vector<NodeId>& answers = targets;
   if (&targets != &query_graph.answers) {
-    // A shard's slice must be a distinct subset of the graph's answer
-    // set: anything else means the partitioner and the materialized
-    // graph disagree, which would silently rank the wrong universe.
-    std::unordered_set<NodeId> answer_set(query_graph.answers.begin(),
-                                          query_graph.answers.end());
-    std::unordered_set<NodeId> seen;
-    seen.reserve(targets.size());
-    for (NodeId target : targets) {
-      if (answer_set.find(target) == answer_set.end()) {
-        return Status::InvalidArgument(
-            "serve: ranking target " + std::to_string(target) +
-            " is not an answer of the query graph");
-      }
-      if (!seen.insert(target).second) {
-        return Status::InvalidArgument("serve: duplicate ranking target " +
-                                       std::to_string(target));
-      }
-    }
+    BIORANK_RETURN_IF_ERROR(ValidateTargets(query_graph, targets));
   }
 
   // Phase 1 — canonicalize every candidate (pure per candidate, so the
@@ -120,26 +89,34 @@ Result<TopKResult> RankingService::RankTopK(const QueryGraph& query_graph,
   return RankPrepared(prepared, k);
 }
 
-Result<TopKResult> RankingService::RankPrepared(
-    const std::vector<PreparedCandidate>& candidates, int k) {
-  if (k < 1) return Status::InvalidArgument("serve: k must be >= 1");
-  if (mc_trials_ <= 0) {
-    return Status::InvalidArgument(
-        "serve: mc_epsilon must be in (0,1] and mc_delta in (0,1)");
-  }
-  for (const PreparedCandidate& c : candidates) {
-    if (c.canonical == nullptr) {
+Status RankingService::ValidateTargets(const QueryGraph& graph,
+                                       const std::vector<NodeId>& targets) {
+  // A shard's (or anytime request's) slice must be a distinct subset of
+  // the graph's answer set: anything else means the caller and the
+  // materialized graph disagree, which would silently rank the wrong
+  // universe.
+  std::unordered_set<NodeId> answer_set(graph.answers.begin(),
+                                        graph.answers.end());
+  std::unordered_set<NodeId> seen;
+  seen.reserve(targets.size());
+  for (NodeId target : targets) {
+    if (answer_set.find(target) == answer_set.end()) {
       return Status::InvalidArgument(
-          "serve: prepared candidate without a canonicalization");
+          "serve: ranking target " + std::to_string(target) +
+          " is not an answer of the query graph");
+    }
+    if (!seen.insert(target).second) {
+      return Status::InvalidArgument("serve: duplicate ranking target " +
+                                     std::to_string(target));
     }
   }
+  return Status::OK();
+}
 
-  TopKResult result;
-  RequestStats& stats = result.stats;
-  stats.candidates = static_cast<int>(candidates.size());
-  if (candidates.empty()) return result;
-  k = std::min(k, static_cast<int>(candidates.size()));
-
+Status RankingService::BuildUniqueStates(
+    const std::vector<PreparedCandidate>& candidates,
+    std::vector<UniqueState>& uniques, std::vector<int>& unique_index,
+    RequestStats& stats) {
   ThreadPool& pool =
       options_.pool != nullptr ? *options_.pool : ThreadPool::Global();
   const int max_parallelism = options_.num_threads == 0
@@ -150,9 +127,9 @@ Result<TopKResult> RankingService::RankPrepared(
   // cache (sequential: hit/miss accounting and LRU order stay
   // deterministic). Request-local duplicates count as hits — they are
   // served from the shared computation.
-  std::vector<UniqueState> uniques;
+  uniques.clear();
   uniques.reserve(candidates.size());
-  std::vector<int> unique_index(candidates.size(), -1);
+  unique_index.assign(candidates.size(), -1);
   std::unordered_map<std::string_view, int> by_repr;
   by_repr.reserve(candidates.size());
   for (size_t ci = 0; ci < candidates.size(); ++ci) {
@@ -206,16 +183,22 @@ Result<TopKResult> RankingService::RankPrepared(
       },
       max_parallelism);
   for (const UniqueState& u : uniques) {
-    if (!u.status.ok()) return u.status;
+    BIORANK_RETURN_IF_ERROR(u.status);
   }
+  return Status::OK();
+}
 
+double RankingService::ClassifySurvivors(const std::vector<int>& unique_index,
+                                         std::vector<UniqueState>& uniques,
+                                         int k, RequestStats& stats,
+                                         std::vector<int>& survivors) {
   // Phase 4 — the top-k cut: the k-th largest per-candidate lower bound
   // (resolved values stand in as tight lowers). Any candidate whose
   // upper bound is strictly below this provably cannot make the top k.
   std::vector<double> lowers;
-  lowers.reserve(candidates.size());
-  for (size_t ci = 0; ci < candidates.size(); ++ci) {
-    const UniqueState& u = uniques[static_cast<size_t>(unique_index[ci])];
+  lowers.reserve(unique_index.size());
+  for (int ui : unique_index) {
+    const UniqueState& u = uniques[static_cast<size_t>(ui)];
     lowers.push_back(u.entry.has_value ? u.entry.value : u.entry.lower);
   }
   std::nth_element(lowers.begin(), lowers.begin() + (k - 1), lowers.end(),
@@ -224,7 +207,6 @@ Result<TopKResult> RankingService::RankPrepared(
 
   // Phase 5 — classify the unresolved uniques: prune below the cut,
   // close tight bounds for free, and queue the rest for exact/MC work.
-  std::vector<int> survivors;
   for (size_t i = 0; i < uniques.size(); ++i) {
     UniqueState& u = uniques[i];
     if (u.entry.has_value) continue;  // Cached value: nothing to do.
@@ -241,66 +223,177 @@ Result<TopKResult> RankingService::RankPrepared(
       ++stats.bound_exact;
       continue;
     }
+    // Mark the survivor as an open bracket now: an anytime caller can
+    // read the state before any exact/MC work ran, and a default-value
+    // resolution would make it indistinguishable from pruned.
+    u.resolution = Resolution::kRefining;
     survivors.push_back(static_cast<int>(i));
   }
+  return threshold;
+}
+
+Status RankingService::TryResolveExact(UniqueState& u) {
+  if (u.entry.has_value || u.exact_attempted) return Status::OK();
+  // A partial MC tally means factoring already failed (or was out of
+  // budget) when this key first survived; stay on the MC path rather
+  // than re-paying the factoring budget every increment.
+  if (u.entry.trials > 0) return Status::OK();
+  const QueryGraph& graph = u.canonical->canonical;
+  if (graph.graph.num_edges() > options_.exact_max_edges) return Status::OK();
+  u.exact_attempted = true;
+  FactoringOptions factoring;
+  factoring.max_calls = options_.exact_max_calls;
+  Result<double> exact =
+      ExactReliabilityFactoring(graph, u.canonical->target, factoring);
+  if (exact.ok()) {
+    u.entry.has_value = true;
+    u.entry.value = exact.value();
+    u.entry.exact = true;
+    u.resolution = Resolution::kExact;
+    return Status::OK();
+  }
+  if (exact.status().code() != StatusCode::kFailedPrecondition) {
+    return exact.status();
+  }
+  // Too complex to factor within budget: the caller falls through to MC.
+  return Status::OK();
+}
+
+Status RankingService::AdvanceMonteCarlo(UniqueState& u,
+                                         int64_t trial_budget) {
+  if (u.entry.has_value) return Status::OK();
+  McOptions mc;
+  mc.trials = mc_trials_;
+  mc.seed = DeriveStreamSeed(options_.seed, u.canonical->key.hash);
+  mc.shard_trials = options_.mc_shard_trials;
+  mc.num_threads = options_.num_threads;
+  mc.pool = options_.pool;
+  Result<std::vector<int64_t>> plan =
+      PlanTrialShards(mc.trials, mc.shard_trials);
+  if (!plan.ok()) return plan.status();
+  const std::vector<int64_t>& shards = plan.value();
+  const int64_t num_shards = static_cast<int64_t>(shards.size());
+
+  // Resume position: the shard prefix covering the entry's trials. The
+  // serve layer only ever writes whole-prefix trial counts; an entry
+  // that does not align (a foreign writer) restarts from zero rather
+  // than double-counting a shard.
+  int64_t shard_begin = 0;
+  int64_t covered = 0;
+  while (shard_begin < num_shards && covered < u.entry.trials) {
+    covered += shards[shard_begin++];
+  }
+  if (covered != u.entry.trials) {
+    u.entry.trials = 0;
+    u.entry.tally = 0;
+    shard_begin = 0;
+  }
+
+  int64_t shard_end = shard_begin;
+  if (trial_budget <= 0) {
+    shard_end = num_shards;
+  } else {
+    int64_t taken = 0;
+    while (shard_end < num_shards && taken < trial_budget) {
+      taken += shards[shard_end++];
+    }
+  }
+
+  if (shard_end > shard_begin) {
+    // Pack the canonical residue once and simulate on the flat arrays;
+    // the tallies stay a pure function of (canonical key, seed, range).
+    Result<CsrQuerySnapshot> snapshot =
+        BuildCsrQuerySnapshot(u.canonical->canonical);
+    if (!snapshot.ok()) return snapshot.status();
+    Result<McShardTallies> tallies =
+        TallyReliabilityMcShards(snapshot.value(), mc, shard_begin, shard_end);
+    if (!tallies.ok()) return tallies.status();
+    u.entry.tally +=
+        tallies.value().counts[static_cast<size_t>(u.canonical->target)];
+    u.entry.trials += tallies.value().trials;
+    u.trials_spent += tallies.value().trials;
+  }
+
+  if (u.entry.trials >= mc_trials_) {
+    double value = static_cast<double>(u.entry.tally) /
+                   static_cast<double>(mc_trials_);
+    // The deterministic bounds are ground truth; clamping keeps MC
+    // noise from ever contradicting a pruning decision.
+    value = std::min(std::max(value, u.entry.lower), u.entry.upper);
+    u.entry.has_value = true;
+    u.entry.value = value;
+    u.entry.exact = false;
+    u.resolution = Resolution::kMonteCarlo;
+  } else {
+    u.resolution = Resolution::kRefining;
+  }
+  return Status::OK();
+}
+
+void RankingService::PublishEntries(const std::vector<UniqueState>& uniques) {
+  if (!options_.enable_cache) return;
+  for (const UniqueState& u : uniques) {
+    if (u.resolution == Resolution::kCacheValue) continue;  // Unchanged.
+    cache_.Put(u.canonical->key, u.entry);
+  }
+}
+
+Result<TopKResult> RankingService::RankPrepared(
+    const std::vector<PreparedCandidate>& candidates, int k) {
+  if (k < 1) return Status::InvalidArgument("serve: k must be >= 1");
+  if (mc_trials_ <= 0) {
+    return Status::InvalidArgument(
+        "serve: mc_epsilon must be in (0,1] and mc_delta in (0,1)");
+  }
+  for (const PreparedCandidate& c : candidates) {
+    if (c.canonical == nullptr) {
+      return Status::InvalidArgument(
+          "serve: prepared candidate without a canonicalization");
+    }
+  }
+
+  TopKResult result;
+  RequestStats& stats = result.stats;
+  stats.candidates = static_cast<int>(candidates.size());
+  if (candidates.empty()) return result;
+  k = std::min(k, static_cast<int>(candidates.size()));
+
+  ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : ThreadPool::Global();
+  const int max_parallelism = options_.num_threads == 0
+                                  ? ThreadPool::kUnlimitedParallelism
+                                  : options_.num_threads;
+
+  // Phases 2–3 — dedup, cache lookup, deterministic bounds.
+  std::vector<UniqueState> uniques;
+  std::vector<int> unique_index;
+  BIORANK_RETURN_IF_ERROR(
+      BuildUniqueStates(candidates, uniques, unique_index, stats));
+
+  // Phases 4–5 — top-k cut and classification.
+  std::vector<int> survivors;
+  ClassifySurvivors(unique_index, uniques, k, stats, survivors);
 
   // Phase 6 — resolve the survivors: factoring on small reduced
-  // residues, Monte Carlo on the canonical-hash stream otherwise. Both
-  // are pure functions of the canonical key, so fan-out order is
-  // irrelevant; the MC seed never depends on request or candidate order.
+  // residues, Monte Carlo to convergence on the canonical-hash stream
+  // otherwise. Both are pure functions of the canonical key, so fan-out
+  // order is irrelevant; the MC seed never depends on request or
+  // candidate order. A survivor carrying a partial anytime tally resumes
+  // at its next shard — the remaining shards complete the same integer
+  // sum the from-scratch path computes, so the value is bit-identical.
   pool.ParallelFor(
       static_cast<int64_t>(survivors.size()),
       [&](int, int64_t j) {
         UniqueState& u =
             uniques[static_cast<size_t>(survivors[static_cast<size_t>(j)])];
-        const QueryGraph& graph = u.canonical->canonical;
-        if (graph.graph.num_edges() <= options_.exact_max_edges) {
-          FactoringOptions factoring;
-          factoring.max_calls = options_.exact_max_calls;
-          Result<double> exact =
-              ExactReliabilityFactoring(graph, u.canonical->target, factoring);
-          if (exact.ok()) {
-            u.entry.has_value = true;
-            u.entry.value = exact.value();
-            u.entry.exact = true;
-            u.resolution = Resolution::kExact;
-            return;
-          }
-          if (exact.status().code() != StatusCode::kFailedPrecondition) {
-            u.status = exact.status();
-            return;
-          }
-          // Too complex to factor within budget: fall through to MC.
-        }
-        McOptions mc;
-        mc.trials = mc_trials_;
-        mc.seed = DeriveStreamSeed(options_.seed, u.canonical->key.hash);
-        mc.shard_trials = options_.mc_shard_trials;
-        mc.num_threads = options_.num_threads;
-        mc.pool = options_.pool;
-        // Pack the canonical residue once and simulate on the flat
-        // arrays; the value stays a pure function of the canonical key.
-        Result<CsrQuerySnapshot> snapshot = BuildCsrQuerySnapshot(graph);
-        if (!snapshot.ok()) {
-          u.status = snapshot.status();
+        Status st = TryResolveExact(u);
+        if (!st.ok()) {
+          u.status = st;
           return;
         }
-        Result<McEstimate> estimate =
-            EstimateReliabilityMcOnSnapshot(snapshot.value(), mc);
-        if (!estimate.ok()) {
-          u.status = estimate.status();
-          return;
-        }
-        double value =
-            estimate.value().scores[static_cast<size_t>(u.canonical->target)];
-        // The deterministic bounds are ground truth; clamping keeps MC
-        // noise from ever contradicting a pruning decision.
-        value = std::min(std::max(value, u.entry.lower), u.entry.upper);
-        u.entry.has_value = true;
-        u.entry.value = value;
-        u.entry.exact = false;
-        u.entry.trials = mc_trials_;
-        u.resolution = Resolution::kMonteCarlo;
+        if (u.entry.has_value) return;
+        st = AdvanceMonteCarlo(u, /*trial_budget=*/0);
+        if (!st.ok()) u.status = st;
       },
       max_parallelism);
   for (const UniqueState& u : uniques) {
@@ -312,7 +405,7 @@ Result<TopKResult> RankingService::RankPrepared(
       ++stats.exact;
     } else {
       ++stats.monte_carlo;
-      stats.mc_trials += u.entry.trials;
+      stats.mc_trials += u.trials_spent;
     }
   }
 
@@ -320,12 +413,7 @@ Result<TopKResult> RankingService::RankPrepared(
   // cache's LRU state is a deterministic function of the request
   // sequence). Pruned keys publish their bounds: the next request skips
   // straight to the prune gate.
-  if (options_.enable_cache) {
-    for (const UniqueState& u : uniques) {
-      if (u.resolution == Resolution::kCacheValue) continue;  // Unchanged.
-      cache_.Put(u.canonical->key, u.entry);
-    }
-  }
+  PublishEntries(uniques);
 
   // Phase 8 — rank the resolved candidates and truncate to k.
   for (size_t ci = 0; ci < candidates.size(); ++ci) {

@@ -35,6 +35,7 @@ enum class Resolution {
   kBoundExact,   ///< Bounds closed (lower == upper within tolerance): value free.
   kExact,        ///< Factoring on the reduced canonical graph.
   kMonteCarlo,   ///< Seeded shared-pool MC on the canonical graph.
+  kRefining,     ///< Anytime: MC in progress, value still a bracket.
 };
 
 /// One ranked answer of a request.
@@ -149,6 +150,21 @@ struct PreparedCandidate {
   const CanonicalCandidate* canonical = nullptr;  ///< Non-null, caller-owned.
 };
 
+/// Per-unique-canonical-key resolution state. All resolution work happens
+/// at this level: candidates sharing a key share one computation. The
+/// blocking pipeline (RankPrepared) builds these transiently; the anytime
+/// path (serve/refinement.h) holds them across Refine increments — the
+/// entry's `trials`/`tally` pair is the resumable MC position.
+struct UniqueState {
+  const CanonicalCandidate* canonical = nullptr;
+  CacheEntry entry;
+  bool have_bounds = false;
+  bool exact_attempted = false;  ///< Factoring tried (pay its budget once).
+  int64_t trials_spent = 0;      ///< MC trials this caller ran (vs adopted).
+  Resolution resolution = Resolution::kPruned;
+  Status status;
+};
+
 /// Thread-compatible ranking service; one instance owns the process-wide
 /// reliability cache. RankTopK / RankPrepared may be called from multiple
 /// threads (all request state is local and the cache is sharded); the
@@ -210,6 +226,65 @@ class RankingService {
                              const CanonicalizeOptions& canonicalize,
                              std::vector<CanonicalCandidate>& out,
                              const CsrSnapshot* graph_csr = nullptr);
+
+  // --- Pipeline phases, exposed for the anytime path ------------------
+  //
+  // RankPrepared is recomposed from these four steps; serve/refinement.h
+  // calls them individually so the bounds-only prepare, each Refine
+  // increment, and the blocking path execute the *same* code — which is
+  // what makes a fully-refined anytime ranking bit-identical to the
+  // one-shot answer.
+
+  /// Phases 2–3: dedup `candidates` by canonical repr, look unique keys
+  /// up in the cache (when the service cache is enabled), and compute
+  /// deterministic bounds for every unique that has none. `unique_index`
+  /// maps candidate position -> position in `uniques`. Sequential over
+  /// the dedup/lookup (deterministic hit accounting and LRU order),
+  /// parallel over the bounds.
+  Status BuildUniqueStates(const std::vector<PreparedCandidate>& candidates,
+                           std::vector<UniqueState>& uniques,
+                           std::vector<int>& unique_index,
+                           RequestStats& stats);
+
+  /// Phases 4–5: compute the top-k cut (k-th largest per-candidate lower
+  /// bound, resolved values standing in as tight lowers; `k` must already
+  /// be clamped to the candidate count) and classify every unresolved
+  /// unique: prune below the cut, close tight bounds for free, and append
+  /// the rest to `survivors`. Returns the threshold.
+  double ClassifySurvivors(const std::vector<int>& unique_index,
+                           std::vector<UniqueState>& uniques, int k,
+                           RequestStats& stats, std::vector<int>& survivors);
+
+  /// Phase 6a: exact factoring on a survivor whose reduced residue is
+  /// within the configured edge budget. At most one attempt per unique
+  /// (the result is deterministic, so retrying cannot change it); a
+  /// FailedPrecondition (budget blown) falls through to MC silently.
+  /// No-op when the entry already has a value or partial MC trials.
+  Status TryResolveExact(UniqueState& u);
+
+  /// Phase 6b: advance a survivor's Monte Carlo state by whole shards of
+  /// the deterministic schedule PlanTrialShards(McTrialsPerCandidate(),
+  /// mc_shard_trials), resuming at the entry's `trials` position.
+  /// `trial_budget` <= 0 runs to convergence; otherwise the increment
+  /// covers the fewest whole shards totalling >= trial_budget trials.
+  /// Because shard i always draws from the stream derived from (seed,
+  /// canonical hash, i) and tallies are integers, any increment sequence
+  /// reaching full coverage yields the bit-identical converged value the
+  /// blocking path computes. On convergence sets the value (clamped to
+  /// the bounds) and Resolution::kMonteCarlo; otherwise kRefining.
+  Status AdvanceMonteCarlo(UniqueState& u, int64_t trial_budget);
+
+  /// Phase 7: publish every changed unique to the cache in order
+  /// (sequential, so the LRU state is a deterministic function of the
+  /// request sequence). Partial (still-refining) entries publish too:
+  /// their tally/trials prefix is adoptable by any later request on the
+  /// same key. No-op when the service cache is disabled.
+  void PublishEntries(const std::vector<UniqueState>& uniques);
+
+  /// Validates that `targets` is a distinct subset of `graph.answers`
+  /// (the shard-serving and anytime entry contract).
+  static Status ValidateTargets(const QueryGraph& graph,
+                                const std::vector<NodeId>& targets);
 
   ReliabilityCache& cache() { return cache_; }
   const ReliabilityCache& cache() const { return cache_; }

@@ -1,0 +1,112 @@
+// Anytime top-k refinement: the resumable half of the serving pipeline.
+//
+// A blocking RankPrepared call runs bounds -> prune -> exact/MC to
+// convergence in one shot. The anytime path splits that at the prune
+// gate: PrepareAnytime runs the deterministic phases only (canonicalize,
+// cache lookup, bounds, top-k cut, classification — no factoring, no
+// Monte Carlo), leaving a RefinementState whose survivors carry partial
+// integer MC tallies. Each RefineIncrement advances every unresolved
+// survivor by whole shards of the same deterministic trial schedule the
+// blocking path uses, so when the state reaches convergence the ranking
+// is bit-identical — value for value — to the blocking answer (this is
+// the Bernecker-style incremental-rank pruning from the ROADMAP, built
+// on the paper's bounds).
+//
+// Determinism contract: refinement state is keyed by (canonical key,
+// service seed, trials-so-far). Shard i of a survivor always draws from
+// the RNG stream derived from (seed, canonical hash, i) regardless of
+// which increment runs it, and tallies are integers, so any increment
+// schedule — one big step, many small ones, partly adopted from another
+// handle via the shared cache — sums to the same converged value.
+
+#ifndef BIORANK_SERVE_REFINEMENT_H_
+#define BIORANK_SERVE_REFINEMENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "core/canonical.h"
+#include "core/query_graph.h"
+#include "serve/ranking_service.h"
+#include "util/status.h"
+
+namespace biorank::serve {
+
+/// How settled a (possibly still-refining) ranking is. Counts are per
+/// request candidate (duplicates counted once each, like RequestStats).
+struct Completeness {
+  int resolved = 0;   ///< Candidates with a final value (exact, cached, or converged MC).
+  int bounded = 0;    ///< Candidates settled by bounds alone (pruned from the top k).
+  int refining = 0;   ///< Candidates whose value is still an open bracket.
+  /// Widest upper-lower bracket among the still-refining candidates
+  /// (0 when none remain).
+  double widest_bracket = 0.0;
+  /// True once every candidate is resolved or pruned: the ranking is
+  /// final and bit-identical to the blocking answer.
+  bool complete = false;
+};
+
+/// Resumable state of one anytime ranking. Owns its canonicalizations
+/// (`uniques` hold pointers into `canonicals`, which stay valid under
+/// move — the vector's heap buffer moves wholesale — but not copy, so
+/// the type is move-only).
+struct RefinementState {
+  RefinementState() = default;
+  RefinementState(RefinementState&&) = default;
+  RefinementState& operator=(RefinementState&&) = default;
+  RefinementState(const RefinementState&) = delete;
+  RefinementState& operator=(const RefinementState&) = delete;
+
+  int k = 0;                          ///< Requested (clamped) top-k.
+  std::vector<NodeId> nodes;          ///< Per-candidate request node ids.
+  std::vector<CanonicalCandidate> canonicals;  ///< Per-candidate, owned.
+  std::vector<UniqueState> uniques;   ///< Per unique canonical key.
+  std::vector<int> unique_index;      ///< Candidate -> unique position.
+  std::vector<int> refinable;         ///< Uniques still needing exact/MC.
+  double threshold = 0.0;             ///< The prepare-time top-k cut.
+  RequestStats stats;                 ///< Accumulated across increments.
+
+  bool complete() const { return refinable.empty(); }
+};
+
+/// Runs the deterministic prefix of the pipeline — canonicalize,
+/// cache lookup, bounds, top-k cut, classify — and returns the resumable
+/// state. Spends no factoring or Monte Carlo work: a ranking read off
+/// this state is the pure bounds-only answer. `targets` must be a
+/// distinct subset of `graph.answers`; `k` is clamped to the target
+/// count. Bounds (and free bound-exact closures) are published to the
+/// service cache exactly like the blocking path's phase 7.
+Result<RefinementState> PrepareAnytime(RankingService& service,
+                                       const QueryGraph& graph,
+                                       const std::vector<NodeId>& targets,
+                                       int k);
+
+/// Advances every unresolved survivor by up to `trial_budget` MC trials
+/// (rounded up to whole shards; <= 0 means run each survivor to
+/// convergence), trying exact factoring first where the residue is small
+/// enough. Survivors are visited in deterministic (unique) order; when
+/// `deadline` is in the past the sweep stops between survivors and the
+/// call returns with whatever progress was made. Progress is published
+/// to the service cache after each survivor, so concurrent handles on
+/// isomorphic candidates adopt each other's tallies instead of repeating
+/// coin flips. Returns the state's completeness after the increment.
+Result<Completeness> RefineIncrement(
+    RankingService& service, RefinementState& state, int64_t trial_budget,
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max());
+
+/// The ranking the state supports right now: resolved candidates rank by
+/// value; still-refining survivors rank by their bracket midpoint with
+/// Resolution::kRefining and the open [lower, upper] attached; pruned
+/// candidates are omitted (provably outside the top k). Sorted by the
+/// one serving order (RanksBefore), truncated to the state's k. Once the
+/// state is complete this is bit-identical to the blocking ranking.
+std::vector<RankedCandidate> CurrentRanking(const RefinementState& state);
+
+/// Completeness summary of the state (see Completeness).
+Completeness Summarize(const RefinementState& state);
+
+}  // namespace biorank::serve
+
+#endif  // BIORANK_SERVE_REFINEMENT_H_

@@ -33,7 +33,13 @@ struct CacheEntry {
   bool has_value = false;   ///< True once the reliability is resolved.
   double value = 0.0;       ///< Resolved reliability (clamped to bounds).
   bool exact = false;       ///< Value from closed form / factoring, not MC.
-  int64_t trials = 0;       ///< MC trials spent (0 for exact values).
+  int64_t trials = 0;       ///< MC trials spent so far (0 for exact values).
+  /// Integer reach count over the first `trials` trials of the shard
+  /// schedule. While `trials` is short of the service's convergence
+  /// target the entry is a resumable partial MC state (has_value stays
+  /// false); any later refinement — this request's or another's — picks
+  /// up at the next shard, so partial work is shared across handles.
+  int64_t tally = 0;
 };
 
 /// Monotonic counters; `entries` is the current live total. The snapshot

@@ -98,7 +98,7 @@ Status ShardRouter::ScatterGather(const QueryGraph& graph, int top_k,
         ShardQuery query;
         query.graph = &graph;
         query.answers = std::move(slices[s]);
-        query.top_k = k;
+        query.options.top_k = k;
         Result<ShardReply> reply = transport_.Call(s, query);
         if (reply.ok()) {
           replies[static_cast<size_t>(i)] = std::move(reply.value());
@@ -114,12 +114,22 @@ Status ShardRouter::ScatterGather(const QueryGraph& graph, int top_k,
   }
   if (failed > 0) {
     shard_errors_.fetch_add(failed, std::memory_order_relaxed);
-    // First (lowest shard index) error wins, wrapped as the router's
-    // typed unavailability — a partial merge is never returned.
+    // First (lowest shard index) error wins — a partial merge is never
+    // returned. Scheduling-class codes (deadline, cancellation,
+    // backpressure) pass through so callers can react in kind; anything
+    // else is wrapped as the router's typed unavailability.
     for (size_t i = 0; i < errors.size(); ++i) {
       if (!errors[i].ok()) {
-        return Status::Unavailable("shard " + std::to_string(active[i]) +
-                                   " failed: " + errors[i].ToString());
+        const std::string detail = "shard " + std::to_string(active[i]) +
+                                   " failed: " + errors[i].ToString();
+        switch (errors[i].code()) {
+          case StatusCode::kDeadlineExceeded:
+          case StatusCode::kCancelled:
+          case StatusCode::kResourceExhausted:
+            return Status(errors[i].code(), detail);
+          default:
+            return Status::Unavailable(detail);
+        }
       }
     }
   }
@@ -213,21 +223,30 @@ api::Result<api::QueryResponse> ShardRouter::Query(
         "shard: router at its admission cap of " +
         std::to_string(options_.max_inflight) + " inflight queries");
   }
-  if (request.seed != 0 && request.seed != front_.options().ranking.seed) {
+  if (request.options.seed != 0 &&
+      request.options.seed != front_.options().ranking.seed) {
     return Status::InvalidArgument(
         "shard: the fleet serves through per-shard canonical caches and "
-        "must use the configured MC seed (leave request.seed = 0)");
+        "must use the configured MC seed (leave options.seed = 0)");
   }
   SteadyClock::time_point start = SteadyClock::now();
+  const SteadyClock::time_point deadline =
+      request.options.DeadlineOrMax(start);
   api::QueryRequest probe = request;
-  probe.rank = false;
+  probe.options.rank = false;
   api::Result<api::QueryResponse> materialized = front_.Query(probe);
   if (!materialized.ok()) return materialized.status();
   api::QueryResponse response = std::move(materialized.value());
-  if (request.rank) {
+  if (request.options.rank) {
+    // The router enforces the request deadline at scatter time: a query
+    // whose deadline fired during materialization never fans out.
+    if (SteadyClock::now() >= deadline) {
+      return Status::DeadlineExceeded(
+          "shard: request deadline passed before the scatter");
+    }
     SteadyClock::time_point rank_start = SteadyClock::now();
-    Status ranked =
-        ScatterGather(response.result.query_graph, request.top_k, response);
+    Status ranked = ScatterGather(response.result.query_graph,
+                                  request.options.top_k, response);
     if (!ranked.ok()) return ranked;
     response.timing.rank_s = SecondsSince(rank_start);
   }

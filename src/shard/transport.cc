@@ -56,8 +56,8 @@ Result<ShardReply> InProcessTransport::Call(uint32_t shard,
   if (query.graph == nullptr) {
     return Status::InvalidArgument("shard: query carries no graph");
   }
-  Result<api::QueryResponse> response =
-      servers_[shard]->RankGraph(*query.graph, query.answers, query.top_k);
+  Result<api::QueryResponse> response = servers_[shard]->RankGraph(
+      *query.graph, query.answers, query.options.top_k);
   if (!response.ok()) return response.status();
   ShardReply reply;
   reply.stats = response.value().stats;

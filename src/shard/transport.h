@@ -27,14 +27,19 @@
 namespace biorank::shard {
 
 /// One shard RPC: rank `answers` (the shard's slice of `graph->answers`)
-/// and return the slice's top `top_k`. The graph is borrowed for the
-/// duration of the call — the in-process backend reads it in place; a
-/// serializing backend would ship it (or, once shards hold resident
-/// replicas, just the query id).
+/// and return the slice's top `options.top_k`. The graph is borrowed for
+/// the duration of the call — the in-process backend reads it in place;
+/// a serializing backend would ship it (or, once shards hold resident
+/// replicas, just the query id). The serving knobs ride in one
+/// api::QueryOptions block (the same shape every other caller speaks),
+/// so new knobs — deadlines, modes — reach shards without a transport
+/// schema change. Today shards serve top_k blocking rankings; `mode`,
+/// `seed`, and the deadline fields are carried for the router (which
+/// enforces the deadline at scatter time) rather than interpreted here.
 struct ShardQuery {
   const QueryGraph* graph = nullptr;
   std::vector<NodeId> answers;
-  int top_k = 0;
+  api::QueryOptions options;
 };
 
 /// A shard's answer: its slice's top-k in serve::RanksBefore order,

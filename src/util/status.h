@@ -24,6 +24,8 @@ enum class StatusCode {
   kInternal,          ///< Invariant violation inside the library (a bug).
   kUnavailable,       ///< A dependency (shard, transport) failed to answer.
   kResourceExhausted, ///< Admission control rejected the request (backpressure).
+  kDeadlineExceeded,  ///< The request's deadline passed before it could be served.
+  kCancelled,         ///< The caller cancelled the operation (e.g. a refinement).
 };
 
 /// Human-readable name of a status code, e.g. "InvalidArgument".
@@ -64,6 +66,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

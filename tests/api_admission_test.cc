@@ -1,0 +1,169 @@
+#include "api/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace biorank::api {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using std::chrono::milliseconds;
+
+TEST(AdmissionQueueTest, UnlimitedByDefault) {
+  AdmissionQueue queue;
+  std::vector<AdmissionQueue::Ticket> tickets;
+  for (int i = 0; i < 8; ++i) {
+    Result<AdmissionQueue::Ticket> ticket = queue.Admit();
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+    EXPECT_TRUE(ticket.value().valid());
+    tickets.push_back(std::move(ticket).value());
+  }
+  AdmissionStats stats = queue.Stats();
+  EXPECT_EQ(stats.admitted, 8u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.inflight, 8);
+  tickets.clear();
+  EXPECT_EQ(queue.Stats().inflight, 0);
+}
+
+TEST(AdmissionQueueTest, ExpiredDeadlineRejectsImmediately) {
+  AdmissionQueue queue;  // Slots free — the deadline alone rejects.
+  Result<AdmissionQueue::Ticket> ticket =
+      queue.Admit(Clock::now() - milliseconds(1));
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_EQ(ticket.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(queue.Stats().rejected_deadline, 1u);
+  EXPECT_EQ(queue.Stats().admitted, 0u);
+}
+
+TEST(AdmissionQueueTest, QueueOverflowRejectsWithResourceExhausted) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.max_queue_depth = 0;  // Saturated means rejected, never parked.
+  AdmissionQueue queue(options);
+  Result<AdmissionQueue::Ticket> holder = queue.Admit();
+  ASSERT_TRUE(holder.ok()) << holder.status();
+  Result<AdmissionQueue::Ticket> overflow = queue.Admit();
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(queue.Stats().rejected_capacity, 1u);
+}
+
+TEST(AdmissionQueueTest, DeadlineExpiresWhileQueued) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  AdmissionQueue queue(options);
+  // The holder keeps the only slot for the waiter's whole deadline
+  // window, so the waiter must park, expire, and come back typed.
+  Result<AdmissionQueue::Ticket> holder = queue.Admit();
+  ASSERT_TRUE(holder.ok()) << holder.status();
+  Status observed;
+  double waited_s = -1.0;
+  std::thread waiter([&queue, &observed, &waited_s] {
+    Result<AdmissionQueue::Ticket> ticket =
+        queue.Admit(Clock::now() + milliseconds(20));
+    observed = ticket.status();
+    waited_s = ticket.ok() ? ticket.value().queue_s() : -1.0;
+  });
+  waiter.join();
+  EXPECT_EQ(observed.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(waited_s, -1.0);
+  AdmissionStats stats = queue.Stats();
+  EXPECT_EQ(stats.rejected_deadline, 1u);
+  EXPECT_EQ(stats.queued, 1u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_GT(stats.queue_wait_s_total, 0.0);
+
+  // The slot was never leaked: releasing the holder lets a fresh
+  // arrival straight through.
+  holder.value() = AdmissionQueue::Ticket();
+  Result<AdmissionQueue::Ticket> next = queue.Admit(Clock::now() + milliseconds(100));
+  ASSERT_TRUE(next.ok()) << next.status();
+}
+
+TEST(AdmissionQueueTest, EarliestDeadlineIsAdmittedFirst) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  AdmissionQueue queue(options);
+  Result<AdmissionQueue::Ticket> holder = queue.Admit();
+  ASSERT_TRUE(holder.ok()) << holder.status();
+
+  std::mutex order_mu;
+  std::vector<std::string> order;
+  auto waiter = [&](const std::string& name, milliseconds slack) {
+    Result<AdmissionQueue::Ticket> ticket = queue.Admit(Clock::now() + slack);
+    if (ticket.ok()) {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(name);
+    }
+    // Holding briefly keeps admissions strictly sequential.
+    std::this_thread::sleep_for(milliseconds(5));
+  };
+  // "late" arrives first but has the later deadline; "soon" must jump it.
+  std::thread late(waiter, "late", milliseconds(10000));
+  while (queue.Stats().queue_depth < 1) std::this_thread::yield();
+  std::thread soon(waiter, "soon", milliseconds(5000));
+  while (queue.Stats().queue_depth < 2) std::this_thread::yield();
+
+  holder.value() = AdmissionQueue::Ticket();  // Free the slot.
+  late.join();
+  soon.join();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "soon");
+  EXPECT_EQ(order[1], "late");
+  AdmissionStats stats = queue.Stats();
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.queued, 2u);
+  EXPECT_EQ(stats.peak_queue_depth, 2u);
+  EXPECT_EQ(stats.inflight, 0);
+}
+
+TEST(AdmissionQueueTest, ManyContendersAllResolveExactlyOnce) {
+  // A hammer for the waiter bookkeeping: every Admit either gets a
+  // ticket or a typed rejection, slots never leak, and the gauges
+  // return to zero. Run under TSan via the concurrency label.
+  AdmissionOptions options;
+  options.max_concurrent = 2;
+  options.max_queue_depth = 64;
+  AdmissionQueue queue(options);
+  std::atomic<uint64_t> served{0};
+  std::atomic<uint64_t> rejected{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&queue, &served, &rejected, t] {
+      for (int i = 0; i < 25; ++i) {
+        // A mix of generous and hopeless deadlines.
+        milliseconds slack(t % 2 == 0 ? 2000 : 0);
+        Result<AdmissionQueue::Ticket> ticket =
+            queue.Admit(Clock::now() + slack);
+        if (ticket.ok()) {
+          served.fetch_add(1);
+        } else {
+          EXPECT_TRUE(ticket.status().code() ==
+                          StatusCode::kDeadlineExceeded ||
+                      ticket.status().code() ==
+                          StatusCode::kResourceExhausted)
+              << ticket.status();
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(served.load() + rejected.load(), 200u);
+  AdmissionStats stats = queue.Stats();
+  EXPECT_EQ(stats.admitted, served.load());
+  EXPECT_EQ(stats.rejected_deadline + stats.rejected_capacity,
+            rejected.load());
+  EXPECT_EQ(stats.inflight, 0);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+}  // namespace
+}  // namespace biorank::api

@@ -82,7 +82,7 @@ TEST(ApiServerTest, TopKSemantics) {
 TEST(ApiServerTest, GraphOnlyRequestSkipsRanking) {
   Server& server = SharedServer();
   QueryRequest request = MakeProteinFunctionRequest(WellStudiedSymbol(server, 3));
-  request.rank = false;
+  request.options.rank = false;
   Result<QueryResponse> response = server.Query(request);
   ASSERT_TRUE(response.ok()) << response.status();
   EXPECT_FALSE(response.value().result.query_graph.answers.empty());
@@ -112,7 +112,7 @@ TEST(ApiServerTest, ForeignSeedNeverTouchesTheSharedCache) {
   Result<QueryResponse> shared = server.Query(request);
   ASSERT_TRUE(shared.ok()) << shared.status();
   serve::CacheStats before = server.Stats().cache;
-  request.seed = 0xfeedface;
+  request.options.seed = 0xfeedface;
   Result<QueryResponse> foreign = server.Query(request);
   ASSERT_TRUE(foreign.ok()) << foreign.status();
   serve::CacheStats after = server.Stats().cache;
@@ -241,7 +241,7 @@ TEST(ApiServerTest, SessionLifecycle) {
 TEST(ApiServerTest, SessionRejectsForeignSeed) {
   Server server;
   QueryRequest request = MakeProteinFunctionRequest(WellStudiedSymbol(server, 0));
-  request.seed = 7;
+  request.options.seed = 7;
   EXPECT_EQ(server.OpenSession(request).status().code(),
             StatusCode::kInvalidArgument);
 }

@@ -242,12 +242,12 @@ TEST(ShardRouterTest, ShortCircuitAccountingRetiresHopelessShards) {
 TEST(ShardRouterTest, ForeignSeedIsRejectedCanonicalSeedAccepted) {
   api::QueryRequest request =
       api::MakeProteinFunctionRequest(WellStudiedSymbol(0), 3);
-  request.seed = Monolith().options().ranking.seed + 1;
+  request.options.seed = Monolith().options().ranking.seed + 1;
   api::Result<api::QueryResponse> foreign = SharedRouter().Query(request);
   ASSERT_FALSE(foreign.ok());
   EXPECT_EQ(foreign.status().code(), StatusCode::kInvalidArgument);
 
-  request.seed = Monolith().options().ranking.seed;
+  request.options.seed = Monolith().options().ranking.seed;
   api::Result<api::QueryResponse> canonical = SharedRouter().Query(request);
   ASSERT_TRUE(canonical.ok()) << canonical.status();
   EXPECT_EQ(canonical.value().top.size(), 3u);

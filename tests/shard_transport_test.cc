@@ -37,7 +37,7 @@ ShardQuery MakeQuery(const QueryGraph& graph, int top_k) {
   ShardQuery query;
   query.graph = &graph;
   query.answers = graph.answers;
-  query.top_k = top_k;
+  query.options.top_k = top_k;
   return query;
 }
 
@@ -57,7 +57,7 @@ TEST(ShardTransportTest, OutOfRangeShardIsInvalidArgument) {
 TEST(ShardTransportTest, NullGraphIsInvalidArgument) {
   ShardQuery query;
   query.answers = {1};
-  query.top_k = 1;
+  query.options.top_k = 1;
   Result<ShardReply> reply = SharedTransport().Call(0, query);
   ASSERT_FALSE(reply.ok());
   EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
@@ -70,7 +70,7 @@ TEST(ShardTransportTest, RanksTheSliceInServingOrder) {
   ShardQuery query;
   query.graph = &graph;
   query.answers = slice;
-  query.top_k = 3;
+  query.options.top_k = 3;
   Result<ShardReply> reply = SharedTransport().Call(0, query);
   ASSERT_TRUE(reply.ok()) << reply.status();
   const ShardReply& r = reply.value();
@@ -94,7 +94,7 @@ TEST(ShardTransportTest, NonAnswerSliceMemberIsInvalidArgument) {
   ShardQuery query;
   query.graph = &graph;
   query.answers = {graph.source};  // The source is never an answer.
-  query.top_k = 1;
+  query.options.top_k = 1;
   Result<ShardReply> reply = SharedTransport().Call(0, query);
   ASSERT_FALSE(reply.ok());
   EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);

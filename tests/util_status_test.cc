@@ -29,6 +29,18 @@ TEST(StatusTest, AllCodesHaveDistinctNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
                "Unimplemented");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+}
+
+TEST(StatusTest, SchedulingCodesHaveNamedConstructors) {
+  Status deadline = Status::DeadlineExceeded("too slow");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: too slow");
+  Status cancelled = Status::Cancelled("caller gave up");
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: caller gave up");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
