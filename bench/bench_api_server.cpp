@@ -25,6 +25,8 @@
 #include "bench_json.h"
 #include "bench_util.h"
 #include "core/query_graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -296,6 +298,24 @@ int main() {
         final_ranking == api::RankingFingerprint(blocking.value());
   }
 
+  // Tracing on vs. off must be bit-identical (the obs layer's
+  // zero-perturbation contract): re-serve the first request with a
+  // caller trace attached and compare against the serial fingerprint.
+  bool tracing_identical = true;
+  {
+    obs::Trace trace(1);
+    api::QueryRequest traced = requests[0];
+    traced.options.trace = &trace;
+    api::Result<api::QueryResponse> response = server.Query(traced);
+    if (!response.ok()) {
+      std::cerr << response.status() << "\n";
+      return 1;
+    }
+    tracing_identical =
+        api::RankingFingerprint(response.value()) == expected[0] &&
+        trace.SpanCount() > 0;
+  }
+
   // Idle eviction: retire every session through the registry's sweep
   // (each CloseSession/EvictIdleSessions path is exercised).
   if (!server.CloseSession(sessions[0]).ok()) {
@@ -356,6 +376,24 @@ int main() {
   report.SetMetric("deterministic_batch", deterministic_batch);
   report.SetMetric("session_rebuild_identical", session_rebuild_identical);
   report.SetMetric("anytime_identical", anytime_identical);
+  report.SetMetric("tracing_identical", tracing_identical);
+
+  // The served latency distribution, read back from the shared
+  // biorank_api_query_seconds histogram — the same numbers a Prometheus
+  // scrape of this server would report.
+  obs::Snapshot metrics_snapshot = server.MetricsSnapshot();
+  report.SetMetric("metrics_exposed",
+                   static_cast<int64_t>(metrics_snapshot.MetricCount()));
+  for (const obs::HistogramSnapshot& h : metrics_snapshot.histograms) {
+    if (h.name == "biorank_api_query_seconds") {
+      report.SetMetric("hist_queries", static_cast<int64_t>(h.count));
+      report.SetMetric("hist_p50_ms", h.Quantile(0.5) * 1e3);
+      report.SetMetric("hist_p99_ms", h.Quantile(0.99) * 1e3);
+      report.SetMetric("hist_p999_ms", h.Quantile(0.999) * 1e3);
+    }
+  }
+  Status metrics_status =
+      bench::WriteMetricsDump("api_server", server.MetricsText());
   Status write_status = report.Write();
 
   bool hit_gate = mixed_hit_rate > 0.5;
@@ -372,8 +410,12 @@ int main() {
     std::cerr << "api gate FAILED: refined anytime ranking diverged from "
                  "the blocking answer\n";
   }
+  if (!tracing_identical) {
+    std::cerr << "api gate FAILED: tracing perturbed the ranking\n";
+  }
   return deterministic_batch && session_rebuild_identical && hit_gate &&
-                 anytime_identical && write_status.ok()
+                 anytime_identical && tracing_identical &&
+                 write_status.ok() && metrics_status.ok()
              ? 0
              : 1;
 }

@@ -127,7 +127,12 @@ std::string JsonReport::ToJson() const {
   // queue_s_total / anytime_refine_s / anytime_identical and the new
   // bench_open_loop report (blocking_p99_s, anytime_p99_s, p99_ratio,
   // slo_p99_s, deadline-rejection counters); layout unchanged again.
-  out += "  \"schema_version\": 6,\n";
+  // v7: adds the observability fields — metrics_exposed and the
+  // histogram-derived hist_p50_ms/hist_p99_ms of bench_api_server and
+  // bench_open_loop (read from the shared biorank_api_query_seconds
+  // histogram), bench_serve_topk's obs_overhead_ratio A/B measurement,
+  // and bench_shard_scaling's rpc_hist_count; layout unchanged again.
+  out += "  \"schema_version\": 7,\n";
   out += "  \"bench\": \"" + JsonEscape(name_) + "\",\n";
   out += "  \"threads\": " + std::to_string(threads_) + ",\n";
   out += "  \"wall_time_s\": " + FormatNumber(wall_time_s_) + ",\n";
@@ -159,6 +164,26 @@ Status JsonReport::Write() const {
     return Status::Internal("write to " + path + " failed");
   }
   std::cout << "(bench json written to " << path << ")\n";
+  return Status::OK();
+}
+
+Status WriteMetricsDump(const std::string& name, const std::string& text) {
+  const char* dir = std::getenv("BIORANK_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && *dir != '\0')
+                         ? std::string(dir) + "/METRICS_" + name + ".prom"
+                         : "METRICS_" + name + ".prom";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "bench metrics: cannot open " << path << "\n";
+    return Status::Internal("cannot open " + path);
+  }
+  out << text;
+  out.close();
+  if (!out) {
+    std::cerr << "bench metrics: write to " << path << " failed\n";
+    return Status::Internal("write to " + path + " failed");
+  }
+  std::cout << "(metrics dump written to " << path << ")\n";
   return Status::OK();
 }
 

@@ -105,6 +105,11 @@ class JsonReport {
 /// characters); exposed for tests.
 std::string JsonEscape(const std::string& text);
 
+/// Writes METRICS_<name>.prom (a Prometheus exposition dump, typically
+/// api::Server::MetricsText()) next to the BENCH_*.json reports so
+/// compare_baselines.py can gate the metrics surface's shape.
+Status WriteMetricsDump(const std::string& name, const std::string& text);
+
 }  // namespace biorank::bench
 
 #endif  // BIORANK_BENCH_BENCH_JSON_H_

@@ -8,7 +8,11 @@
 // acceptance gates of the serve layer.
 //
 // BENCH_serve_topk.json metrics: cache_hit_rate (> 0.5 expected on this
-// workload), pruned_fraction (> 0.3 expected), deterministic_output.
+// workload), pruned_fraction (> 0.3 expected), deterministic_output,
+// and obs_overhead_ratio — the same cache-off workload through a bare
+// (registry-free) RankingService vs one recording into a registry, so
+// the cost of the metrics hot path stays measured (report-only; the
+// zero-perturbation *output* contract is gated, here and in the tests).
 
 #include <algorithm>
 #include <iostream>
@@ -18,6 +22,8 @@
 #include "bench_json.h"
 #include "bench_util.h"
 #include "integrate/scenario_harness.h"
+#include "obs/metrics.h"
+#include "serve/ranking_service.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -163,6 +169,60 @@ int main() {
             << " factoring and " << irreducible_mc
             << " MC resolutions exercised.\n";
 
+  // Observability overhead A/B: the identical cache-off single-thread
+  // workload through a bare RankingService (registry = nullptr — the
+  // metrics-free configuration) and through one recording into a live
+  // registry. Min-of-reps per side keeps this container's scheduling
+  // noise out of the ratio; the ratio itself stays report-only (a hard
+  // gate on a timing ratio is flaky on shared 1-core CI hosts), but the
+  // two sides' outputs are gated bit-identical — recording metrics must
+  // never perturb a ranking.
+  serve::RankingServiceOptions bare_options;
+  bare_options.enable_cache = false;
+  bare_options.num_threads = 1;
+  serve::RankingService bare_service(bare_options);
+  obs::Registry ab_registry;
+  serve::RankingServiceOptions observed_options = bare_options;
+  observed_options.registry = &ab_registry;
+  serve::RankingService observed_service(observed_options);
+  const int ab_reps = std::max(3, bench::Repetitions(3));
+  double bare_s = 0.0;
+  double observed_s = 0.0;
+  for (int rep = 0; rep < ab_reps; ++rep) {
+    double bare_pass = 0.0;
+    double observed_pass = 0.0;
+    for (const ScenarioQuery& query : queries.value()) {
+      bench::WallTimer bare_timer;
+      Result<serve::TopKResult> by_bare = bare_service.RankTopK(query.graph, k);
+      bare_pass += bare_timer.Seconds();
+      bench::WallTimer observed_timer;
+      Result<serve::TopKResult> by_observed =
+          observed_service.RankTopK(query.graph, k);
+      observed_pass += observed_timer.Seconds();
+      if (!by_bare.ok() || !by_observed.ok()) {
+        std::cerr << "obs A/B workload failed\n";
+        return 1;
+      }
+      const std::vector<serve::RankedCandidate>& bt = by_bare.value().top;
+      const std::vector<serve::RankedCandidate>& ot = by_observed.value().top;
+      if (bt.size() != ot.size()) deterministic = false;
+      for (size_t j = 0; j < bt.size() && j < ot.size(); ++j) {
+        if (bt[j].node != ot[j].node ||
+            bt[j].reliability != ot[j].reliability) {
+          deterministic = false;
+        }
+      }
+    }
+    bare_s = rep == 0 ? bare_pass : std::min(bare_s, bare_pass);
+    observed_s = rep == 0 ? observed_pass : std::min(observed_s, observed_pass);
+  }
+  const double obs_overhead_ratio = observed_s / std::max(bare_s, 1e-9);
+  std::cout << "Observability overhead: bare "
+            << FormatDouble(bare_s * 1e3, 3) << " ms vs recorded "
+            << FormatDouble(observed_s * 1e3, 3) << " ms per pass ("
+            << FormatDouble((obs_overhead_ratio - 1.0) * 100.0, 2)
+            << "% overhead, outputs bit-identical).\n";
+
   serve::CacheStats cache = server.Stats().cache;
   double hit_rate = total.CacheHitRate();
   double pruned_fraction = total.PrunedFraction();
@@ -196,6 +256,8 @@ int main() {
   report.SetMetric("irreducible_exact_resolutions", irreducible_exact);
   report.SetMetric("irreducible_mc_resolutions", irreducible_mc);
   report.SetMetric("deterministic_output", deterministic);
+  report.SetMetric("obs_overhead_ratio", obs_overhead_ratio);
+  report.SetMetric("obs_ab_reps", ab_reps);
   Status write_status = report.Write();
 
   bool pass_gates = hit_rate > 0.5 && pruned_fraction > 0.3;

@@ -330,6 +330,17 @@ int main() {
   report.SetMetric(
       "short_circuited_candidates",
       static_cast<int64_t>(sweep_stats.short_circuited_candidates));
+  // Per-shard RPC latency histograms (biorank_shard_rpc_shard<i>_seconds
+  // in the front server's registry, snapshotted into RouterStats):
+  // every observation across the 4-shard sweep landed in exactly one
+  // shard's histogram, so the summed count must equal shard_calls.
+  int64_t rpc_hist_count = 0;
+  for (const obs::HistogramSnapshot& h : sweep_stats.shard_rpc) {
+    rpc_hist_count += static_cast<int64_t>(h.count);
+  }
+  report.SetMetric("rpc_hist_shards",
+                   static_cast<int64_t>(sweep_stats.shard_rpc.size()));
+  report.SetMetric("rpc_hist_count", rpc_hist_count);
   Status write_status = report.Write();
 
   bool scaling_ok = !scaling_gated || scaling_1_to_4 >= 2.0;

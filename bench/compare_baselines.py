@@ -37,6 +37,7 @@ and commit the result (see docs/ARCHITECTURE.md, "Perf-trend gate").
 import argparse
 import json
 import os
+import re
 import sys
 from pathlib import Path
 
@@ -154,6 +155,10 @@ BENCH_GATES = {
              "output diverged from the cache-off single-thread reference"),
         floor("cache_hit_rate", 0.5),
         floor("pruned_fraction", 0.3),
+        # obs_overhead_ratio itself stays report-only (a timing ratio is
+        # flaky on shared 1-core hosts) but it must exist and be sane —
+        # a zero would mean the A/B never ran.
+        floor("obs_overhead_ratio", 0.0),
     ],
     "ingest_updates": [
         flag("deterministic_output",
@@ -169,6 +174,11 @@ BENCH_GATES = {
              "live-session output diverged from the from-scratch rebuild"),
         flag("anytime_identical",
              "refined anytime ranking diverged from the blocking answer"),
+        flag("tracing_identical",
+             "ranking with tracing on diverged from tracing off — the "
+             "zero-perturbation contract broke"),
+        floor("metrics_exposed", 20, strict=False),
+        positive("hist_queries"),
         floor("mixed_hit_rate", 0.5),
         positive("batch_requests"),
         positive("deltas"),
@@ -178,6 +188,7 @@ BENCH_GATES = {
         open_loop_slo,
         positive("deadline_rejections"),
         positive("arrivals"),
+        positive("hist_queries"),
     ],
     "parallel_scaling": [
         flag("deterministic_across_threads",
@@ -194,6 +205,7 @@ BENCH_GATES = {
              "router Query path diverged from the monolith"),
         shard_scaling_floor,
         positive("shard_calls"),
+        positive("rpc_hist_count"),
     ],
 }
 
@@ -202,7 +214,106 @@ TRACKED_METRICS = ("cache_hit_rate", "pruned_fraction", "trials_per_sec",
                    "preserved_hit_rate", "update_latency_ms_mean",
                    "mixed_hit_rate", "batch_s_mean", "csr_speedup",
                    "scaling_1_to_4", "p99_ratio", "anytime_p99_s",
-                   "queue_s_total", "anytime_refine_s")
+                   "queue_s_total", "anytime_refine_s",
+                   "obs_overhead_ratio", "hist_p50_ms", "hist_p99_ms",
+                   "metrics_exposed")
+
+
+# --- Metrics-shape gate (METRICS_*.prom dumps) --------------------------
+#
+# bench_api_server dumps its server's full Prometheus exposition next to
+# the JSON reports. This gate owns the *shape* of that surface: every
+# family name obeys the biorank_<layer>_<name> grammar (layer in
+# api/serve/shard/ingest), counters end in _total, histograms end in
+# _seconds and carry a complete cumulative _bucket series (with +Inf)
+# plus _sum and _count, and the api_server dump is wide enough (>= 20
+# families, >= 3 histograms) that a silently shrunken registry fails CI
+# instead of rotting.
+
+METRIC_NAME_RE = re.compile(r"^biorank_(api|serve|shard|ingest)(_[a-z0-9]+)+$")
+SAMPLE_LINE_RE = re.compile(
+    r"^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})? (-?[0-9].*|[+-]?Inf|NaN)$")
+
+
+def check_metrics_dump(path: Path):
+    """Validates one Prometheus text dump; returns failure strings."""
+    failures = []
+    types = {}          # family -> counter|gauge|histogram
+    sample_names = set()
+    bucket_les = {}     # histogram family -> set of le labels seen
+    suffixed = set()    # histogram families with _sum / _count seen
+    for line_number, line in enumerate(path.read_text().splitlines(), 1):
+        if not line or line.startswith("# HELP"):
+            continue
+        if line.startswith("# TYPE"):
+            parts = line.split()
+            if len(parts) != 4:
+                failures.append(f"line {line_number}: malformed TYPE line")
+                continue
+            types[parts[2]] = parts[3]
+            continue
+        match = SAMPLE_LINE_RE.match(line)
+        if not match:
+            failures.append(f"line {line_number}: not a metric sample: "
+                            f"{line[:60]!r}")
+            continue
+        name, labels = match.group(1), match.group(2)
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in types:
+                base = name[:-len(suffix)]
+                if suffix == "_bucket":
+                    le = re.search(r'le="([^"]*)"', labels or "")
+                    bucket_les.setdefault(base, set()).add(
+                        le.group(1) if le else "")
+                else:
+                    suffixed.add(base)
+                break
+        sample_names.add(base)
+        if not METRIC_NAME_RE.match(base):
+            failures.append(
+                f"line {line_number}: {base} violates the "
+                f"biorank_<layer>_<name> grammar")
+    for family, kind in types.items():
+        if family not in sample_names:
+            failures.append(f"{family}: TYPE declared but no samples")
+        if kind == "counter" and not family.endswith("_total"):
+            failures.append(f"{family}: counter must end in _total")
+        if kind == "histogram":
+            if not family.endswith("_seconds"):
+                failures.append(f"{family}: histogram must end in _seconds")
+            les = bucket_les.get(family, set())
+            if "+Inf" not in les:
+                failures.append(f"{family}: no le=\"+Inf\" bucket")
+            if family not in suffixed:
+                failures.append(f"{family}: missing _sum/_count series")
+        if kind == "gauge" and family.endswith("_total"):
+            failures.append(f"{family}: gauge must not end in _total")
+    return failures, types
+
+
+def check_metrics_shape(run_dir: Path, current):
+    failures = []
+    dumps = sorted(run_dir.glob("METRICS_*.prom"))
+    if "api_server" in current and not any(
+            d.name == "METRICS_api_server.prom" for d in dumps):
+        failures.append("api_server: BENCH_api_server.json exists but "
+                        "METRICS_api_server.prom was not dumped")
+    for dump in dumps:
+        dump_failures, types = check_metrics_dump(dump)
+        failures.extend(f"{dump.name}: {f}" for f in dump_failures)
+        if dump.name == "METRICS_api_server.prom" and not dump_failures:
+            histograms = sum(1 for kind in types.values()
+                             if kind == "histogram")
+            if len(types) < 20:
+                failures.append(
+                    f"{dump.name}: only {len(types)} metric families "
+                    f"(>= 20 required across api/serve/shard/ingest)")
+            if histograms < 3:
+                failures.append(
+                    f"{dump.name}: only {histograms} latency histograms "
+                    f"(>= 3 required)")
+    return failures
 
 
 def load_reports(directory: Path):
@@ -313,6 +424,8 @@ def main() -> int:
         for checker in checkers:
             failures.extend(f"{name}: {failure}"
                             for failure in checker(metrics))
+
+    failures.extend(check_metrics_shape(args.run_dir, current))
 
     lines.append("")
     if warnings:

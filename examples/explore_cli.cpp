@@ -7,8 +7,10 @@
 //
 // Usage:
 //   ./build/examples/explore_cli [gene_symbol] [method] [top_n]
+//   ./build/examples/explore_cli --metrics [gene_symbol]
 // With no arguments it picks the first well-studied protein and
-// reliability ranking.
+// reliability ranking. --metrics serves one query and dumps the
+// server's Prometheus metrics instead of the ranking.
 
 #include <cstdlib>
 #include <iostream>
@@ -48,6 +50,24 @@ void PrintEvidence(const QueryGraph& graph, NodeId answer) {
 
 int main(int argc, char** argv) {
   api::Server server;
+
+  if (argc > 1 && std::string(argv[1]) == "--metrics") {
+    // Serve one real query so the scrape shows live numbers, then dump
+    // the full registry in Prometheus exposition format.
+    std::string symbol = argc > 2 ? argv[2]
+                                  : server.universe()
+                                        .protein(server.universe()
+                                                     .well_studied()[0])
+                                        .gene_symbol;
+    api::Result<api::QueryResponse> response =
+        server.Query(api::MakeProteinFunctionRequest(symbol, 8));
+    if (!response.ok()) {
+      std::cerr << response.status() << "\n";
+      return 1;
+    }
+    std::cout << server.MetricsText();
+    return 0;
+  }
 
   std::string symbol;
   if (argc > 1) {

@@ -180,5 +180,29 @@ int main() {
             << " deltas; cache holds " << stats.cache.entries
             << " canonical entries (hit rate "
             << FormatDouble(stats.cache.HitRate(), 3) << ").\n";
+
+  // 6. The metrics snapshot: everything above was also recorded into
+  // the server's registry — counters, gauges, and latency histograms
+  // with Prometheus-style names (biorank_<layer>_<name>). MetricsText()
+  // is the scrape endpoint's payload; the JSON form adds derived
+  // p50/p99/p999 per histogram. Here: the end-to-end latency histogram
+  // and a few counters, straight from the snapshot.
+  obs::Snapshot metrics = server.MetricsSnapshot();
+  std::cout << "\nMetrics registry: " << metrics.MetricCount()
+            << " metrics exported.\n";
+  for (const obs::HistogramSnapshot& h : metrics.histograms) {
+    if (h.name == "biorank_api_query_seconds") {
+      std::cout << "  " << h.name << ": count " << h.count << ", p50 "
+                << FormatCompact(h.Quantile(0.5) * 1e3, 3) << " ms, p99 "
+                << FormatCompact(h.Quantile(0.99) * 1e3, 3) << " ms\n";
+    }
+  }
+  for (const obs::CounterSnapshot& c : metrics.counters) {
+    if (c.name == "biorank_serve_mc_trials_total" ||
+        c.name == "biorank_serve_cache_hits_total" ||
+        c.name == "biorank_ingest_deltas_total") {
+      std::cout << "  " << c.name << " " << c.value << "\n";
+    }
+  }
   return 0;
 }

@@ -25,6 +25,10 @@
 #include "serve/refinement.h"
 #include "util/status.h"
 
+namespace biorank::obs {
+class Trace;
+}  // namespace biorank::obs
+
 namespace biorank::api {
 
 /// The api layer speaks the library's Status/Result vocabulary; the
@@ -80,6 +84,15 @@ struct QueryOptions {
   /// means bounds-only (spend nothing); <= 0 with a deadline means
   /// refine to convergence or deadline, whichever first.
   int64_t mc_trial_budget = 0;
+  /// Request tracing (obs/trace.h): when non-null, the serving layers
+  /// record nested spans (admit, integrate, bounds, prune, MC, shard
+  /// fan-out/merge, refinement increments) into this caller-owned
+  /// trace. Borrowed for the duration of the call; crossing the shard
+  /// Transport in-process forwards the pointer (a socket transport
+  /// would serialize only the trace id). Zero-perturbation contract:
+  /// tracing only observes — rankings are bit-identical with or
+  /// without it. Null (the default) costs one branch per span site.
+  obs::Trace* trace = nullptr;
 
   bool has_deadline() const {
     return budget_s > 0.0 ||

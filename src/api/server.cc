@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/export.h"
 #include "util/parallel.h"
 
 namespace biorank::api {
@@ -17,16 +18,185 @@ double SecondsSince(SteadyClock::time_point start) {
   return std::chrono::duration<double>(SteadyClock::now() - start).count();
 }
 
+/// The ranking options the shared service is built from: the caller's,
+/// plus the server's metrics registry (unless the caller already wired
+/// a registry of their own).
+serve::RankingServiceOptions WithRegistry(serve::RankingServiceOptions ranking,
+                                          obs::Registry* registry) {
+  if (ranking.registry == nullptr) ranking.registry = registry;
+  return ranking;
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
+      obs_registry_(options_.obs.registry != nullptr
+                        ? options_.obs.registry
+                        : std::make_shared<obs::Registry>()),
       universe_(ProteinUniverse::Generate(options_.universe)),
       registry_(universe_, options_.sources),
       mediator_(registry_, options_.mediator),
-      service_(options_.ranking),
+      service_(WithRegistry(options_.ranking, obs_registry_.get())),
       harness_(universe_, registry_, mediator_, options_.ranker),
-      admission_(options_.admission) {}
+      admission_(options_.admission),
+      slow_log_(options_.obs.slow_trace_capacity,
+                options_.obs.slow_query_threshold_s) {
+  options_.ranking.registry = service_.options().registry;
+  InitMetrics();
+}
+
+void Server::InitMetrics() {
+  obs::Registry& reg = *obs_registry_;
+  metrics_.queries =
+      reg.GetCounter("biorank_api_queries_total", "Query requests served OK");
+  metrics_.batches = reg.GetCounter("biorank_api_batches_total",
+                                    "RunBatch calls");
+  metrics_.batch_requests = reg.GetCounter(
+      "biorank_api_batch_requests_total", "Requests served inside batches");
+  metrics_.graph_rankings = reg.GetCounter("biorank_api_graph_rankings_total",
+                                           "RankGraph calls served OK");
+  metrics_.sessions_opened =
+      reg.GetCounter("biorank_api_sessions_opened_total", "Sessions opened");
+  metrics_.sessions_closed = reg.GetCounter(
+      "biorank_api_sessions_closed_total", "Explicit CloseSession calls");
+  metrics_.sessions_evicted = reg.GetCounter(
+      "biorank_api_sessions_evicted_total", "Idle-eviction closures");
+  metrics_.session_queries = reg.GetCounter(
+      "biorank_api_session_queries_total", "QuerySession requests served OK");
+  metrics_.deltas_applied = reg.GetCounter("biorank_ingest_deltas_total",
+                                           "Evidence deltas applied");
+  metrics_.delta_ops = reg.GetCounter("biorank_ingest_delta_ops_total",
+                                      "Ops inside applied deltas");
+  metrics_.dirty_answers =
+      reg.GetCounter("biorank_ingest_dirty_answers_total",
+                     "Answers re-entering the pipeline after a delta");
+  metrics_.invalidated_entries =
+      reg.GetCounter("biorank_ingest_invalidated_entries_total",
+                     "Cache entries dropped by delta invalidation");
+  metrics_.refinements_started =
+      reg.GetCounter("biorank_api_refinements_started_total",
+                     "Anytime responses that left a handle");
+  metrics_.refinements_completed =
+      reg.GetCounter("biorank_api_refinements_completed_total",
+                     "Handles refined to completion");
+  metrics_.refinements_cancelled =
+      reg.GetCounter("biorank_api_refinements_cancelled_total",
+                     "CancelRefinement calls that took");
+  metrics_.errors = reg.GetCounter("biorank_api_errors_total",
+                                   "Requests that returned an error status");
+  metrics_.slow_queries = reg.GetCounter(
+      "biorank_api_slow_queries_total",
+      "Requests captured by the slow-query trace ring buffer");
+  metrics_.query_seconds =
+      reg.GetHistogram("biorank_api_query_seconds",
+                       "End-to-end request latency, every entry point");
+  metrics_.queue_seconds = reg.GetHistogram(
+      "biorank_api_queue_seconds", "Admission-queue wait per request");
+  metrics_.integrate_seconds = reg.GetHistogram(
+      "biorank_api_integrate_seconds", "Mediator crawl + graph stitching");
+  metrics_.rank_seconds = reg.GetHistogram(
+      "biorank_api_rank_seconds", "Serving-layer bounds + blocking top-k");
+  metrics_.refine_seconds = reg.GetHistogram(
+      "biorank_api_refine_seconds", "Incremental anytime MC per call");
+  metrics_.apply_seconds = reg.GetHistogram(
+      "biorank_ingest_apply_seconds", "Evidence-delta apply latency");
+  // Gauges and the legacy Stats() structs (cache, admission) are
+  // snapshot views: collectors flatten them at TakeSnapshot() time, so
+  // the structs stay the source of truth they always were.
+  reg.AddCollector([this](obs::Snapshot& snapshot) {
+    snapshot.gauges.push_back({"biorank_api_open_sessions",
+                               "Currently live sessions",
+                               static_cast<double>(session_count())});
+    snapshot.gauges.push_back({"biorank_api_open_refinements",
+                               "Currently live refinement handles",
+                               static_cast<double>(refinement_count())});
+    const serve::CacheStats cache = service_.cache().Stats();
+    snapshot.counters.push_back({"biorank_serve_cache_hits_total",
+                                 "Reliability-cache store hits", cache.hits});
+    snapshot.counters.push_back({"biorank_serve_cache_misses_total",
+                                 "Reliability-cache store misses",
+                                 cache.misses});
+    snapshot.counters.push_back({"biorank_serve_cache_insertions_total",
+                                 "Reliability-cache insertions",
+                                 cache.insertions});
+    snapshot.counters.push_back({"biorank_serve_cache_evictions_total",
+                                 "Reliability-cache LRU evictions",
+                                 cache.evictions});
+    snapshot.counters.push_back({"biorank_serve_cache_invalidations_total",
+                                 "Reliability-cache delta invalidations",
+                                 cache.invalidations});
+    snapshot.gauges.push_back({"biorank_serve_cache_entries",
+                               "Live reliability-cache entries",
+                               static_cast<double>(cache.entries)});
+    const AdmissionStats admission = admission_.Stats();
+    snapshot.counters.push_back({"biorank_api_admission_admitted_total",
+                                 "Requests admitted", admission.admitted});
+    snapshot.counters.push_back(
+        {"biorank_api_admission_rejected_deadline_total",
+         "Rejections: deadline passed while queued",
+         admission.rejected_deadline});
+    snapshot.counters.push_back(
+        {"biorank_api_admission_rejected_capacity_total",
+         "Rejections: queue at capacity", admission.rejected_capacity});
+    snapshot.counters.push_back({"biorank_api_admission_queued_total",
+                                 "Requests that waited in the queue",
+                                 admission.queued});
+    snapshot.gauges.push_back({"biorank_api_admission_queue_depth",
+                               "Requests waiting right now",
+                               static_cast<double>(admission.queue_depth)});
+    snapshot.gauges.push_back(
+        {"biorank_api_admission_peak_queue_depth", "Peak queue depth",
+         static_cast<double>(admission.peak_queue_depth)});
+    snapshot.gauges.push_back({"biorank_api_admission_inflight",
+                               "Requests being served right now",
+                               static_cast<double>(admission.inflight)});
+    snapshot.gauges.push_back({"biorank_api_admission_queue_wait_seconds",
+                               "Cumulative admission-queue wait",
+                               admission.queue_wait_s_total});
+  });
+}
+
+Server::TraceHolder Server::StartTrace(obs::Trace* caller_trace) {
+  TraceHolder holder;
+  holder.trace = caller_trace;
+  if (caller_trace == nullptr && slow_log_.threshold_s() > 0.0) {
+    holder.owned = std::make_unique<obs::Trace>(
+        next_trace_id_.fetch_add(1, std::memory_order_relaxed));
+    holder.trace = holder.owned.get();
+  }
+  return holder;
+}
+
+void Server::RecordPhases(const PhaseTiming& timing) {
+  if (timing.queue_s > 0.0) metrics_.queue_seconds->Observe(timing.queue_s);
+  if (timing.integrate_s > 0.0) {
+    metrics_.integrate_seconds->Observe(timing.integrate_s);
+  }
+  if (timing.rank_s > 0.0) metrics_.rank_seconds->Observe(timing.rank_s);
+  if (timing.refine_s > 0.0) metrics_.refine_seconds->Observe(timing.refine_s);
+  metrics_.query_seconds->Observe(timing.total_s);
+}
+
+void Server::MaybeCaptureSlow(const char* entry_point, const obs::Trace* trace,
+                              double total_s) {
+  if (trace == nullptr) return;
+  if (slow_log_.Offer(entry_point, *trace, total_s)) {
+    metrics_.slow_queries->Add();
+  }
+}
+
+std::string Server::MetricsText() const {
+  return obs::RenderPrometheusText(obs_registry_->TakeSnapshot());
+}
+
+std::string Server::MetricsJson() const {
+  return obs::RenderJson(obs_registry_->TakeSnapshot());
+}
+
+obs::Snapshot Server::MetricsSnapshot() const {
+  return obs_registry_->TakeSnapshot();
+}
 
 namespace {
 
@@ -126,29 +296,54 @@ Result<QueryResponse> Server::Query(const QueryRequest& request) {
   const QueryOptions& options = request.options;
   SteadyClock::time_point start = SteadyClock::now();
   const SteadyClock::time_point deadline = options.DeadlineOrMax(start);
-  // Admission first: a request that cannot start before its deadline is
-  // rejected with the typed code and no partial answer. The ticket is
-  // held for the whole call — integration and ranking both count
-  // against the server's concurrency cap.
-  Result<AdmissionQueue::Ticket> ticket = admission_.Admit(deadline);
-  if (!ticket.ok()) return ticket.status();
+  TraceHolder tracing = StartTrace(options.trace);
   QueryResponse response;
-  response.timing.queue_s = ticket.value().queue_s();
+  {
+    // The root span binds this thread's trace context; the serve layer
+    // records its phase spans under it via obs::CurrentTrace(). Closed
+    // before the slow-query offer so the captured tree has durations.
+    obs::SpanScope root(tracing.trace, "api.query");
+    // Admission first: a request that cannot start before its deadline
+    // is rejected with the typed code and no partial answer. The ticket
+    // is held for the whole call — integration and ranking both count
+    // against the server's concurrency cap.
+    obs::SpanScope admit(tracing.trace, "api.admit");
+    Result<AdmissionQueue::Ticket> ticket = admission_.Admit(deadline);
+    admit.End();
+    if (!ticket.ok()) {
+      metrics_.errors->Add();
+      return ticket.status();
+    }
+    response.timing.queue_s = ticket.value().queue_s();
 
-  SteadyClock::time_point integrate_start = SteadyClock::now();
-  Result<ExploratoryQueryResult> run = mediator_.Run(request.query);
-  if (!run.ok()) return run.status();
-  response.result = std::move(run.value());
-  response.timing.integrate_s = SecondsSince(integrate_start);
-  if (options.rank) {
-    BIORANK_RETURN_IF_ERROR(RankWithOptions(response.result.query_graph,
-                                            response.result.query_graph.answers,
-                                            options, deadline, response));
-  } else {
-    response.completeness.complete = true;  // Nothing ranked, nothing open.
+    SteadyClock::time_point integrate_start = SteadyClock::now();
+    obs::SpanScope integrate(tracing.trace, "api.integrate");
+    Result<ExploratoryQueryResult> run = mediator_.Run(request.query);
+    integrate.End();
+    if (!run.ok()) {
+      metrics_.errors->Add();
+      return run.status();
+    }
+    response.result = std::move(run.value());
+    response.timing.integrate_s = SecondsSince(integrate_start);
+    if (options.rank) {
+      obs::SpanScope rank(tracing.trace, "api.rank");
+      Status ranked =
+          RankWithOptions(response.result.query_graph,
+                          response.result.query_graph.answers, options,
+                          deadline, response);
+      if (!ranked.ok()) {
+        metrics_.errors->Add();
+        return ranked;
+      }
+    } else {
+      response.completeness.complete = true;  // Nothing ranked, nothing open.
+    }
+    response.timing.total_s = SecondsSince(start);
+    metrics_.queries->Add();
+    RecordPhases(response.timing);
   }
-  response.timing.total_s = SecondsSince(start);
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  MaybeCaptureSlow("Query", tracing.trace, response.timing.total_s);
   return response;
 }
 
@@ -223,7 +418,7 @@ Status Server::RankWithOptions(const QueryGraph& graph,
       std::lock_guard<std::mutex> lock(refinements_mu_);
       refinements_.emplace(handle.id, std::move(refinement));
     }
-    refinements_started_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.refinements_started->Add();
     response.refinement = handle;
   }
   return Status::OK();
@@ -234,58 +429,72 @@ Result<QueryResponse> Server::Refine(RefinementHandle handle,
   Tick();
   SteadyClock::time_point start = SteadyClock::now();
   const SteadyClock::time_point deadline = options.DeadlineOrMax(start);
-  // Refinement increments compete for the server like fresh queries do:
-  // same deadline-ordered queue, same typed rejection.
-  Result<AdmissionQueue::Ticket> ticket = admission_.Admit(deadline);
-  if (!ticket.ok()) return ticket.status();
-
-  std::shared_ptr<Refinement> refinement;
-  {
-    std::lock_guard<std::mutex> lock(refinements_mu_);
-    if (cancelled_refinements_.count(handle.id) > 0) {
-      return Status::Cancelled("api: refinement " + std::to_string(handle.id) +
-                               " was cancelled");
-    }
-    auto it = refinements_.find(handle.id);
-    if (it == refinements_.end()) {
-      return Status::NotFound("api: no live refinement with handle " +
-                              std::to_string(handle.id));
-    }
-    refinement = it->second;
-  }
-
+  TraceHolder tracing = StartTrace(options.trace);
   QueryResponse response;
-  response.timing.queue_s = ticket.value().queue_s();
-  bool complete = false;
   {
-    std::lock_guard<std::mutex> lock(refinement->mu);
-    QueryOptions increment = options;
-    increment.mode = QueryMode::kAnytime;  // Refine is inherently anytime…
-    if (!increment.has_deadline() && increment.mc_trial_budget <= 0) {
-      // …but a Refine with no budget and no deadline means "finish the
-      // job", not "do nothing" (the bounds-only phase already ran).
-      increment.mode = QueryMode::kBlocking;
+    obs::SpanScope root(tracing.trace, "api.refine");
+    // Refinement increments compete for the server like fresh queries
+    // do: same deadline-ordered queue, same typed rejection.
+    obs::SpanScope admit(tracing.trace, "api.admit");
+    Result<AdmissionQueue::Ticket> ticket = admission_.Admit(deadline);
+    admit.End();
+    if (!ticket.ok()) {
+      metrics_.errors->Add();
+      return ticket.status();
     }
-    BIORANK_RETURN_IF_ERROR(
-        AdvanceRefinement(*refinement, increment, deadline, response));
-    complete = refinement->state.complete();
-  }
-  if (complete) {
-    // Retire the handle: later Refine calls get NotFound. A concurrent
-    // Refine that also just completed loses the erase race benignly.
-    bool erased = false;
+
+    std::shared_ptr<Refinement> refinement;
     {
       std::lock_guard<std::mutex> lock(refinements_mu_);
-      erased = refinements_.erase(handle.id) > 0;
+      if (cancelled_refinements_.count(handle.id) > 0) {
+        return Status::Cancelled("api: refinement " +
+                                 std::to_string(handle.id) +
+                                 " was cancelled");
+      }
+      auto it = refinements_.find(handle.id);
+      if (it == refinements_.end()) {
+        return Status::NotFound("api: no live refinement with handle " +
+                                std::to_string(handle.id));
+      }
+      refinement = it->second;
     }
-    if (erased) {
-      refinements_completed_.fetch_add(1, std::memory_order_relaxed);
+
+    response.timing.queue_s = ticket.value().queue_s();
+    bool complete = false;
+    {
+      std::lock_guard<std::mutex> lock(refinement->mu);
+      QueryOptions increment = options;
+      increment.mode = QueryMode::kAnytime;  // Refine is inherently anytime…
+      if (!increment.has_deadline() && increment.mc_trial_budget <= 0) {
+        // …but a Refine with no budget and no deadline means "finish the
+        // job", not "do nothing" (the bounds-only phase already ran).
+        increment.mode = QueryMode::kBlocking;
+      }
+      Status advanced =
+          AdvanceRefinement(*refinement, increment, deadline, response);
+      if (!advanced.ok()) {
+        metrics_.errors->Add();
+        return advanced;
+      }
+      complete = refinement->state.complete();
     }
-    response.refinement.id = 0;
-  } else {
-    response.refinement = handle;
+    if (complete) {
+      // Retire the handle: later Refine calls get NotFound. A concurrent
+      // Refine that also just completed loses the erase race benignly.
+      bool erased = false;
+      {
+        std::lock_guard<std::mutex> lock(refinements_mu_);
+        erased = refinements_.erase(handle.id) > 0;
+      }
+      if (erased) metrics_.refinements_completed->Add();
+      response.refinement.id = 0;
+    } else {
+      response.refinement = handle;
+    }
+    response.timing.total_s = SecondsSince(start);
+    RecordPhases(response.timing);
   }
-  response.timing.total_s = SecondsSince(start);
+  MaybeCaptureSlow("Refine", tracing.trace, response.timing.total_s);
   return response;
 }
 
@@ -294,7 +503,7 @@ Status Server::CancelRefinement(RefinementHandle handle) {
   std::lock_guard<std::mutex> lock(refinements_mu_);
   if (refinements_.erase(handle.id) > 0) {
     cancelled_refinements_.insert(handle.id);
-    refinements_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.refinements_cancelled->Add();
     return Status::OK();
   }
   if (cancelled_refinements_.count(handle.id) > 0) {
@@ -307,7 +516,7 @@ Status Server::CancelRefinement(RefinementHandle handle) {
 Result<std::vector<QueryResponse>> Server::RunBatch(
     const std::vector<QueryRequest>& batch) {
   Tick();
-  batches_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.batches->Add();
   std::vector<QueryResponse> responses(batch.size());
   if (batch.empty()) return responses;
   ThreadPool& pool = options_.ranking.pool != nullptr
@@ -332,7 +541,7 @@ Result<std::vector<QueryResponse>> Server::RunBatch(
           // Counted per served request (not in bulk on success) so the
           // stats stay reconciled with `queries` when a batch fails
           // partway: every request Query() served still shows up here.
-          batch_requests_.fetch_add(1, std::memory_order_relaxed);
+          metrics_.batch_requests->Add();
         } else {
           errors[static_cast<size_t>(i)] = response.status();
           failed.store(true, std::memory_order_relaxed);
@@ -372,20 +581,36 @@ Result<QueryResponse> Server::RankGraph(const QueryGraph& graph,
   Tick();
   SteadyClock::time_point start = SteadyClock::now();
   const SteadyClock::time_point deadline = options.DeadlineOrMax(start);
-  // Graph rankings pay the same SLO gate as Query: deadline-ordered
-  // admission, typed rejection, no partial answer.
-  Result<AdmissionQueue::Ticket> ticket = admission_.Admit(deadline);
-  if (!ticket.ok()) return ticket.status();
+  TraceHolder tracing = StartTrace(options.trace);
   QueryResponse response;
-  response.timing.queue_s = ticket.value().queue_s();
-  if (options.rank) {
-    BIORANK_RETURN_IF_ERROR(
-        RankWithOptions(graph, answers, options, deadline, response));
-  } else {
-    response.completeness.complete = true;
+  {
+    obs::SpanScope root(tracing.trace, "api.rank_graph");
+    // Graph rankings pay the same SLO gate as Query: deadline-ordered
+    // admission, typed rejection, no partial answer.
+    obs::SpanScope admit(tracing.trace, "api.admit");
+    Result<AdmissionQueue::Ticket> ticket = admission_.Admit(deadline);
+    admit.End();
+    if (!ticket.ok()) {
+      metrics_.errors->Add();
+      return ticket.status();
+    }
+    response.timing.queue_s = ticket.value().queue_s();
+    if (options.rank) {
+      obs::SpanScope rank(tracing.trace, "api.rank");
+      Status ranked =
+          RankWithOptions(graph, answers, options, deadline, response);
+      if (!ranked.ok()) {
+        metrics_.errors->Add();
+        return ranked;
+      }
+    } else {
+      response.completeness.complete = true;
+    }
+    response.timing.total_s = SecondsSince(start);
+    metrics_.graph_rankings->Add();
+    RecordPhases(response.timing);
   }
-  response.timing.total_s = SecondsSince(start);
-  graph_rankings_.fetch_add(1, std::memory_order_relaxed);
+  MaybeCaptureSlow("RankGraph", tracing.trace, response.timing.total_s);
   return response;
 }
 
@@ -415,7 +640,7 @@ Result<SessionInfo> Server::OpenSession(const QueryRequest& request) {
     info.id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
     sessions_.emplace(info.id, std::move(session));
   }
-  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.sessions_opened->Add();
   return info;
 }
 
@@ -454,7 +679,8 @@ Result<QueryResponse> Server::QuerySession(SessionId id, int top_k) {
   }
   response.timing.rank_s = SecondsSince(start);
   response.timing.total_s = response.timing.rank_s;
-  session_queries_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.session_queries->Add();
+  RecordPhases(response.timing);
   return response;
 }
 
@@ -463,9 +689,23 @@ Result<ingest::ApplyReport> Server::ApplyDelta(
   uint64_t now = Tick();
   Result<std::shared_ptr<Session>> session = FindSession(id, now);
   if (!session.ok()) return session.status();
+  SteadyClock::time_point start = SteadyClock::now();
+  obs::SpanScope span(obs::CurrentTrace(), "ingest.apply_delta");
   Result<ingest::ApplyReport> report =
       mediator_.ApplyDelta(session.value()->live, delta);
-  if (report.ok()) deltas_applied_.fetch_add(1, std::memory_order_relaxed);
+  if (report.ok()) {
+    const ingest::ApplyReport& applied = report.value();
+    metrics_.deltas_applied->Add();
+    metrics_.delta_ops->Add(static_cast<uint64_t>(applied.ops));
+    metrics_.dirty_answers->Add(static_cast<uint64_t>(applied.dirty_answers));
+    metrics_.invalidated_entries->Add(
+        static_cast<uint64_t>(applied.invalidated_entries));
+    metrics_.apply_seconds->Observe(SecondsSince(start));
+    span.Counter("ops", applied.ops);
+    span.Counter("dirty_answers", applied.dirty_answers);
+  } else {
+    metrics_.errors->Add();
+  }
   return report;
 }
 
@@ -485,7 +725,7 @@ Status Server::CloseSession(SessionId id) {
                             std::to_string(id));
   }
   sessions_.erase(it);
-  sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.sessions_closed->Add();
   return Status::OK();
 }
 
@@ -504,7 +744,7 @@ size_t Server::EvictIdleLocked(uint64_t min_idle_ops, uint64_t now) {
       ++it;
     }
   }
-  sessions_evicted_.fetch_add(evicted, std::memory_order_relaxed);
+  metrics_.sessions_evicted->Add(static_cast<uint64_t>(evicted));
   return evicted;
 }
 
@@ -525,23 +765,22 @@ size_t Server::refinement_count() const {
 }
 
 ServerStats Server::Stats() const {
+  // A snapshot view over the registry counters: same numbers the
+  // Prometheus/JSON exporters report, folded back into the legacy shape.
   ServerStats stats;
-  stats.queries = queries_.load(std::memory_order_relaxed);
-  stats.batches = batches_.load(std::memory_order_relaxed);
-  stats.batch_requests = batch_requests_.load(std::memory_order_relaxed);
-  stats.graph_rankings = graph_rankings_.load(std::memory_order_relaxed);
-  stats.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
-  stats.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
-  stats.sessions_evicted = sessions_evicted_.load(std::memory_order_relaxed);
-  stats.session_queries = session_queries_.load(std::memory_order_relaxed);
-  stats.deltas_applied = deltas_applied_.load(std::memory_order_relaxed);
+  stats.queries = metrics_.queries->Value();
+  stats.batches = metrics_.batches->Value();
+  stats.batch_requests = metrics_.batch_requests->Value();
+  stats.graph_rankings = metrics_.graph_rankings->Value();
+  stats.sessions_opened = metrics_.sessions_opened->Value();
+  stats.sessions_closed = metrics_.sessions_closed->Value();
+  stats.sessions_evicted = metrics_.sessions_evicted->Value();
+  stats.session_queries = metrics_.session_queries->Value();
+  stats.deltas_applied = metrics_.deltas_applied->Value();
   stats.open_sessions = session_count();
-  stats.refinements_started =
-      refinements_started_.load(std::memory_order_relaxed);
-  stats.refinements_completed =
-      refinements_completed_.load(std::memory_order_relaxed);
-  stats.refinements_cancelled =
-      refinements_cancelled_.load(std::memory_order_relaxed);
+  stats.refinements_started = metrics_.refinements_started->Value();
+  stats.refinements_completed = metrics_.refinements_completed->Value();
+  stats.refinements_cancelled = metrics_.refinements_cancelled->Value();
   stats.open_refinements = refinement_count();
   stats.cache = service_.cache().Stats();
   stats.admission = admission_.Stats();

@@ -47,10 +47,31 @@
 #include "ingest/delta.h"
 #include "integrate/mediator.h"
 #include "integrate/scenario_harness.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/ranking_service.h"
 #include "sources/source_registry.h"
 
 namespace biorank::api {
+
+/// The server's observability knobs (obs/). Metrics are always on —
+/// handle-based recording is cheap enough to never gate — but tracing
+/// is opt-in per request (QueryOptions::trace) or threshold-triggered
+/// (slow_query_threshold_s).
+struct ObservabilityOptions {
+  /// Metrics registry to record into; null (the default) gives the
+  /// server its own. Injected registries are shared with the caller:
+  /// the server registers collectors that read server state, so do not
+  /// snapshot the registry after the server is destroyed.
+  std::shared_ptr<obs::Registry> registry;
+  /// Requests whose end-to-end latency reaches this many seconds keep
+  /// their full span tree in the slow-query ring buffer. <= 0 (the
+  /// default) disables capture — and with it the per-request Trace
+  /// allocation, keeping the always-on hot path metrics-only.
+  double slow_query_threshold_s = 0.0;
+  /// Ring-buffer capacity for captured slow-query traces.
+  size_t slow_trace_capacity = 32;
+};
 
 /// Everything a server instance is built from. One options bundle, one
 /// world: the universe seed determines the sources, the mediator metrics
@@ -71,9 +92,14 @@ struct ServerOptions {
   /// Deadline-ordered admission in front of Query/Refine (the SLO gate).
   /// The default (max_concurrent <= 0) admits everything immediately.
   AdmissionOptions admission;
+  /// Metrics registry + slow-query tracing (obs/).
+  ObservabilityOptions obs;
 };
 
 /// Monotonic service counters plus a point-in-time cache snapshot.
+/// Since the obs migration this is a snapshot *view*: the counters live
+/// in the server's metrics registry (biorank_api_*_total) and Stats()
+/// reads them back, so the struct and MetricsText() can never disagree.
 struct ServerStats {
   uint64_t queries = 0;          ///< Query requests served OK (batched included).
   uint64_t batches = 0;          ///< RunBatch calls.
@@ -210,6 +236,24 @@ class Server {
 
   ServerStats Stats() const;
 
+  /// Point-in-time metrics: the server's registry snapshot rendered in
+  /// Prometheus text exposition format / as one JSON object. Spans
+  /// api (request counters, phase latency histograms), serve
+  /// (scheduler counters, bounds/MC histograms, cache), ingest (delta
+  /// counters, apply latency), and — when a shard::ShardRouter records
+  /// into this server's registry — the shard layer.
+  std::string MetricsText() const;
+  std::string MetricsJson() const;
+  obs::Snapshot MetricsSnapshot() const;
+
+  /// The server's metrics registry (shard routers and benches record
+  /// into or read from it). Lives as long as the server.
+  obs::Registry& registry() const { return *obs_registry_; }
+
+  /// Captured slow-query traces (empty unless
+  /// ObservabilityOptions::slow_query_threshold_s is set).
+  const obs::SlowQueryLog& slow_queries() const { return slow_log_; }
+
   const ProteinUniverse& universe() const { return universe_; }
   const SourceRegistry& sources() const { return registry_; }
   const Mediator& mediator() const { return mediator_; }
@@ -274,7 +318,62 @@ class Server {
                            std::chrono::steady_clock::time_point deadline,
                            QueryResponse& response);
 
+  /// The trace an entry point serves under: the caller's (options.trace)
+  /// when set, a server-owned one when slow-query capture is armed,
+  /// null otherwise.
+  struct TraceHolder {
+    std::unique_ptr<obs::Trace> owned;
+    obs::Trace* trace = nullptr;
+  };
+  TraceHolder StartTrace(obs::Trace* caller_trace);
+
+  /// Resolves the registry handles (constructor) and registers the
+  /// gauge collectors for sessions/refinements/cache/admission.
+  void InitMetrics();
+
+  /// Records one finished request's phases into the shared latency
+  /// histograms — every entry point (Query, RankGraph, QuerySession,
+  /// Refine) stamps through here, so the histograms cover them all.
+  void RecordPhases(const PhaseTiming& timing);
+
+  /// Offers a finished trace to the slow-query ring buffer.
+  void MaybeCaptureSlow(const char* entry_point, const obs::Trace* trace,
+                        double total_s);
+
+  /// Per-server registry-backed counters/histograms (see InitMetrics
+  /// for names). Raw handles: the registry owns the metrics and lives
+  /// as long as the server.
+  struct Metrics {
+    obs::Counter* queries = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* batch_requests = nullptr;
+    obs::Counter* graph_rankings = nullptr;
+    obs::Counter* sessions_opened = nullptr;
+    obs::Counter* sessions_closed = nullptr;
+    obs::Counter* sessions_evicted = nullptr;
+    obs::Counter* session_queries = nullptr;
+    obs::Counter* deltas_applied = nullptr;
+    obs::Counter* delta_ops = nullptr;
+    obs::Counter* dirty_answers = nullptr;
+    obs::Counter* invalidated_entries = nullptr;
+    obs::Counter* refinements_started = nullptr;
+    obs::Counter* refinements_completed = nullptr;
+    obs::Counter* refinements_cancelled = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* slow_queries = nullptr;
+    obs::Histogram* query_seconds = nullptr;
+    obs::Histogram* queue_seconds = nullptr;
+    obs::Histogram* integrate_seconds = nullptr;
+    obs::Histogram* rank_seconds = nullptr;
+    obs::Histogram* refine_seconds = nullptr;
+    obs::Histogram* apply_seconds = nullptr;
+  };
+
   ServerOptions options_;
+  /// Declared before service_ so the ranking options can carry the
+  /// registry pointer into the service's constructor. `registry_` was
+  /// already taken (the SourceRegistry), hence the obs_ prefix.
+  std::shared_ptr<obs::Registry> obs_registry_;
   ProteinUniverse universe_;
   SourceRegistry registry_;
   Mediator mediator_;
@@ -282,6 +381,8 @@ class Server {
   ScenarioHarness harness_;
 
   AdmissionQueue admission_;
+  obs::SlowQueryLog slow_log_;
+  Metrics metrics_;
 
   std::atomic<uint64_t> op_clock_{0};
   std::atomic<uint64_t> next_session_id_{1};
@@ -295,18 +396,7 @@ class Server {
   /// kCancelled, never NotFound, so callers can tell the two apart.
   std::unordered_set<uint64_t> cancelled_refinements_;
 
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> batch_requests_{0};
-  std::atomic<uint64_t> graph_rankings_{0};
-  std::atomic<uint64_t> sessions_opened_{0};
-  std::atomic<uint64_t> sessions_closed_{0};
-  std::atomic<uint64_t> sessions_evicted_{0};
-  std::atomic<uint64_t> session_queries_{0};
-  std::atomic<uint64_t> deltas_applied_{0};
-  std::atomic<uint64_t> refinements_started_{0};
-  std::atomic<uint64_t> refinements_completed_{0};
-  std::atomic<uint64_t> refinements_cancelled_{0};
+  std::atomic<uint64_t> next_trace_id_{1};
 };
 
 }  // namespace biorank::api

@@ -1,0 +1,32 @@
+// Exporters for obs snapshots and captured traces.
+//
+//   RenderPrometheusText  — Prometheus text exposition format 0.0.4:
+//     # HELP / # TYPE comment pairs, counters as `name value`,
+//     histograms as cumulative `name_bucket{le="..."}` series plus
+//     `name_sum` / `name_count`. What api::Server::MetricsText()
+//     returns and what the bench-smoke metrics-shape gate parses.
+//   RenderJson            — the same snapshot as one JSON object
+//     (api::Server::MetricsJson()), machine-diffable in tests.
+//   RenderTraceTree       — a captured slow-query trace as an indented
+//     span tree with durations and per-span counters, for logs and the
+//     explore_cli --metrics dump.
+
+#ifndef BIORANK_OBS_EXPORT_H_
+#define BIORANK_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace biorank::obs {
+
+std::string RenderPrometheusText(const Snapshot& snapshot);
+
+std::string RenderJson(const Snapshot& snapshot);
+
+std::string RenderTraceTree(const CapturedTrace& trace);
+
+}  // namespace biorank::obs
+
+#endif  // BIORANK_OBS_EXPORT_H_

@@ -1,0 +1,214 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+namespace biorank::obs {
+
+namespace {
+
+uint64_t DoubleToBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// fetch_add for doubles via CAS on the bit pattern; C++17-portable and
+/// TSan-clean (every access is an atomic RMW on the same object).
+void AtomicAddDouble(std::atomic<uint64_t>& bits, double delta) {
+  uint64_t old_bits = bits.load(std::memory_order_relaxed);
+  while (!bits.compare_exchange_weak(
+      old_bits, DoubleToBits(BitsToDouble(old_bits) + delta),
+      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int ThisThreadSlot() {
+  // Hash the thread id once per thread; threads beyond kWriteSlots
+  // share slots (still atomic, just occasionally contended).
+  static thread_local const int slot = static_cast<int>(
+      std::hash<std::thread::id>()(std::this_thread::get_id()) %
+      static_cast<size_t>(kWriteSlots));
+  return slot;
+}
+
+Histogram::Histogram(HistogramOptions options) {
+  if (options.buckets < 1) options.buckets = 1;
+  if (!(options.min_bound > 0.0)) options.min_bound = 1e-6;
+  bounds_.reserve(static_cast<size_t>(options.buckets));
+  double bound = options.min_bound;
+  for (int i = 0; i < options.buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= 2.0;
+  }
+  for (Slot& slot : slots_) {
+    slot.counts = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(double value) {
+  if (std::isnan(value)) return;
+  // First bucket whose upper bound admits the value; +Inf bucket at
+  // bounds_.size() when none does. Linear scan: the ladder is ~28
+  // doubles in one cacheline pair, and latencies cluster low.
+  size_t bucket = 0;
+  while (bucket < bounds_.size() && value > bounds_[bucket]) ++bucket;
+  Slot& slot = slots_[static_cast<size_t>(ThisThreadSlot())];
+  slot.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(slot.sum_bits, value < 0.0 ? 0.0 : value);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    for (const std::atomic<uint64_t>& c : slot.counts) {
+      total += c.load(std::memory_order_acquire);
+    }
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const Slot& slot : slots_) {
+    total += BitsToDouble(slot.sum_bits.load(std::memory_order_acquire));
+  }
+  return total;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> merged(bounds_.size() + 1, 0);
+  for (const Slot& slot : slots_) {
+    for (size_t i = 0; i < merged.size(); ++i) {
+      merged[i] += slot.counts[i].load(std::memory_order_acquire);
+    }
+  }
+  return merged;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based), then walk the ladder.
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(
+                                q * static_cast<double>(count))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t in_bucket = counts[i];
+    if (seen + in_bucket < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    if (i >= bounds.size()) {
+      // +Inf bucket: report the last finite bound (documented floor).
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double upper = bounds[i];
+    const double lower = i == 0 ? upper / 2.0 : bounds[i - 1];
+    if (in_bucket == 0) return upper;
+    // Log-linear interpolation inside the ~2x bucket.
+    const double frac =
+        static_cast<double>(rank - seen) / static_cast<double>(in_bucket);
+    return lower * std::pow(upper / lower, frac);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+Counter* Registry::GetCounter(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(gauges_.find(name) == gauges_.end() &&
+         histograms_.find(name) == histograms_.end());
+  CounterEntry& entry = counters_[name];
+  if (!entry.metric) {
+    entry.help = help;
+    entry.metric = std::make_unique<Counter>();
+  }
+  return entry.metric.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(counters_.find(name) == counters_.end() &&
+         histograms_.find(name) == histograms_.end());
+  GaugeEntry& entry = gauges_[name];
+  if (!entry.metric) {
+    entry.help = help;
+    entry.metric = std::make_unique<Gauge>();
+  }
+  return entry.metric.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& help,
+                                  HistogramOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(counters_.find(name) == counters_.end() &&
+         gauges_.find(name) == gauges_.end());
+  HistogramEntry& entry = histograms_[name];
+  if (!entry.metric) {
+    entry.help = help;
+    entry.metric = std::make_unique<Histogram>(options);
+  }
+  return entry.metric.get();
+}
+
+uint64_t Registry::AddCollector(Collector fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t token = next_collector_token_++;
+  collectors_.emplace(token, std::move(fn));
+  return token;
+}
+
+void Registry::RemoveCollector(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.erase(token);
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, entry] : counters_) {
+    snapshot.counters.push_back({name, entry.help, entry.metric->Value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, entry] : gauges_) {
+    snapshot.gauges.push_back(
+        {name, entry.help, static_cast<double>(entry.metric->Value())});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, entry] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.help = entry.help;
+    h.bounds = entry.metric->bounds();
+    h.counts = entry.metric->BucketCounts();
+    h.count = 0;
+    for (uint64_t c : h.counts) h.count += c;
+    h.sum = entry.metric->Sum();
+    snapshot.histograms.push_back(std::move(h));
+  }
+  for (const auto& [token, collect] : collectors_) collect(snapshot);
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::stable_sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::stable_sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  std::stable_sort(snapshot.histograms.begin(), snapshot.histograms.end(),
+                   by_name);
+  return snapshot;
+}
+
+}  // namespace biorank::obs

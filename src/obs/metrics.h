@@ -1,0 +1,245 @@
+// Process-local metrics registry: named counters, gauges, and
+// log-bucketed latency histograms with cheap handle-based recording on
+// hot paths. A Registry instance is owned by whoever fronts a
+// deployment (api::Server owns one per server; the shard router records
+// into its front server's registry) — deliberately NOT a process-global
+// singleton, because InProcessTransport stands up N servers in one
+// process and their metrics must not collide.
+//
+// Recording contract (the hot-path side):
+//   - Counter::Add and Histogram::Observe are lock-free: relaxed
+//     atomics sharded across cacheline-padded slots keyed by thread, so
+//     concurrent writers never contend on one cacheline and TSan sees
+//     only atomic traffic.
+//   - Gauge is a single atomic (gauges are low-rate by nature).
+//   - Handles returned by Get* are stable for the Registry's lifetime;
+//     resolve them once at construction, not per request.
+//
+// Snapshot contract (the reading side): TakeSnapshot() holds the
+// registry mutex, runs registered collector callbacks (the bridge from
+// legacy Stats() structs — CacheStats, AdmissionStats, RouterStats —
+// which remain the point-in-time snapshot views they always were), and
+// returns a self-contained Snapshot sorted by metric name. Individual
+// counter reads sum their slots with acquire ordering; a snapshot is a
+// consistent *list* of metrics, each atomically summed, not a global
+// atomic cut — the same contract Prometheus scrapes live with.
+//
+// Histograms use a fixed ~2x bucket ladder: bucket i holds observations
+// <= min_bound * 2^i (cumulative counts are computed at snapshot time,
+// matching Prometheus `le` semantics). Quantiles are derived from the
+// bucket counts with log-linear interpolation inside the bucket —
+// approximate by construction, exact enough for p50/p99/p999 gates.
+//
+// Naming convention (enforced by the exporter tests, see
+// docs/ARCHITECTURE.md §9): biorank_<layer>_<name> with layer one of
+// api/serve/shard/ingest, counters suffixed _total, latency histograms
+// suffixed _seconds.
+
+#ifndef BIORANK_OBS_METRICS_H_
+#define BIORANK_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace biorank::obs {
+
+/// Number of cacheline-padded slots a Counter/Histogram stripes its
+/// writers across. Eight covers the pool widths this repo runs (the
+/// thread pool is sized to hardware_concurrency, typically <= 8 here);
+/// more threads than slots just share slots, still atomically.
+inline constexpr int kWriteSlots = 8;
+
+/// Stable per-thread slot index in [0, kWriteSlots).
+int ThisThreadSlot();
+
+/// A monotonically increasing counter. Add() is wait-free on the hot
+/// path; Value() sums the slots.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) {
+    slots_[static_cast<size_t>(ThisThreadSlot())].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Slot& slot : slots_) {
+      total += slot.v.load(std::memory_order_acquire);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Slot, kWriteSlots> slots_;
+};
+
+/// A settable instantaneous value (queue depth, open sessions, ...).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Histogram shape: a fixed ladder of `buckets` finite upper bounds
+/// min_bound * 2^i plus an implicit +Inf bucket. The default spans
+/// 1 microsecond .. ~134 seconds in 28 doublings — wide enough for
+/// every latency this stack records, from cache probes to blocked
+/// open-loop queries.
+struct HistogramOptions {
+  double min_bound = 1e-6;
+  int buckets = 28;
+};
+
+/// A log-bucketed histogram. Observe() is wait-free (bucket search is a
+/// handful of compares on a 28-entry ladder); the running sum uses a
+/// CAS loop because C++17 has no atomic<double>::fetch_add.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = HistogramOptions());
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one observation. Values below the first bound land in
+  /// bucket 0; values above the last finite bound land in the +Inf
+  /// bucket. NaN is dropped (never recorded) so a poisoned timing can
+  /// not corrupt the sum.
+  void Observe(double value);
+
+  uint64_t Count() const;
+  double Sum() const;
+
+  /// Finite upper bounds (size options.buckets); the +Inf bucket is
+  /// implicit at index options.buckets in per-bucket counts.
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Raw (non-cumulative) per-bucket counts, size bounds().size() + 1.
+  std::vector<uint64_t> BucketCounts() const;
+
+ private:
+  struct alignas(64) Slot {
+    std::vector<std::atomic<uint64_t>> counts;
+    std::atomic<uint64_t> sum_bits{0};  // bit-cast double accumulator
+  };
+
+  std::vector<double> bounds_;
+  std::array<Slot, kWriteSlots> slots_;
+};
+
+/// Point-in-time views assembled by Registry::TakeSnapshot().
+struct CounterSnapshot {
+  std::string name;
+  std::string help;
+  uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  std::string help;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::string help;
+  std::vector<double> bounds;    ///< finite upper bounds, ascending
+  std::vector<uint64_t> counts;  ///< raw per-bucket, size bounds+1 (+Inf last)
+  uint64_t count = 0;
+  double sum = 0.0;
+
+  /// Quantile estimate (q in [0,1]) by log-linear interpolation within
+  /// the bucket holding the q-th observation. Returns 0 on an empty
+  /// histogram; observations in the +Inf bucket report the last finite
+  /// bound (a deliberate floor — the ladder is sized so this is rare).
+  double Quantile(double q) const;
+};
+
+struct Snapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Distinct metric names across all three kinds.
+  size_t MetricCount() const {
+    return counters.size() + gauges.size() + histograms.size();
+  }
+};
+
+/// A collector contributes derived metrics (typically a legacy Stats()
+/// struct flattened into counters/gauges) at snapshot time, under the
+/// registry lock. Collectors must not call back into the Registry.
+using Collector = std::function<void(Snapshot&)>;
+
+/// The registry proper. Get* calls are idempotent: the first call for a
+/// name creates the metric, later calls return the same handle (help
+/// text from the first registration wins). Metric names must be
+/// distinct across kinds — registering "x" as both a counter and a
+/// gauge is a programming error and aborts in debug builds.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& help = "",
+                          HistogramOptions options = HistogramOptions());
+
+  /// Registers a snapshot-time collector (see Collector above). The
+  /// returned token deregisters it — a component whose lifetime is
+  /// shorter than the registry's (e.g. a ShardRouter borrowing its
+  /// front server's registry) must RemoveCollector before dying.
+  uint64_t AddCollector(Collector fn);
+  void RemoveCollector(uint64_t token);
+
+  /// Locked point-in-time snapshot: native metrics first, then
+  /// collectors, then a stable sort by name within each kind.
+  Snapshot TakeSnapshot() const;
+
+ private:
+  struct CounterEntry {
+    std::string help;
+    std::unique_ptr<Counter> metric;
+  };
+  struct GaugeEntry {
+    std::string help;
+    std::unique_ptr<Gauge> metric;
+  };
+  struct HistogramEntry {
+    std::string help;
+    std::unique_ptr<Histogram> metric;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, CounterEntry> counters_;
+  std::map<std::string, GaugeEntry> gauges_;
+  std::map<std::string, HistogramEntry> histograms_;
+  std::map<uint64_t, Collector> collectors_;
+  uint64_t next_collector_token_ = 1;
+};
+
+}  // namespace biorank::obs
+
+#endif  // BIORANK_OBS_METRICS_H_

@@ -1,0 +1,150 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace biorank::obs {
+
+namespace {
+
+struct ThreadBinding {
+  Trace* trace = nullptr;
+  int span = -1;
+};
+
+thread_local ThreadBinding g_binding;
+
+uint64_t NanosSince(std::chrono::steady_clock::time_point epoch) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+}  // namespace
+
+Trace::Trace(uint64_t id) : id_(id), epoch_(std::chrono::steady_clock::now()) {}
+
+int Trace::BeginSpan(const std::string& name, int parent) {
+  const uint64_t start = NanosSince(epoch_);
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.name = name;
+  span.parent =
+      parent >= 0 && parent < static_cast<int>(spans_.size()) ? parent : -1;
+  span.start_ns = start;
+  spans_.push_back(std::move(span));
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+void Trace::EndSpan(int index) {
+  const uint64_t now = NanosSince(epoch_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index < 0 || index >= static_cast<int>(spans_.size())) return;
+  Span& span = spans_[static_cast<size_t>(index)];
+  span.duration_ns = now > span.start_ns ? now - span.start_ns : 0;
+}
+
+void Trace::AddCounter(int index, const std::string& key, int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index < 0 || index >= static_cast<int>(spans_.size())) return;
+  spans_[static_cast<size_t>(index)].counters.emplace_back(key, value);
+}
+
+std::vector<Span> Trace::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Trace::SpanCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+Trace* CurrentTrace() { return g_binding.trace; }
+int CurrentSpanIndex() { return g_binding.span; }
+
+SpanScope::SpanScope(Trace* trace, const std::string& name) : trace_(trace) {
+  if (!trace_) return;
+  // Nest under the thread's current span only if it belongs to the
+  // same trace; a different (or no) trace on this thread roots.
+  const int parent = g_binding.trace == trace_ ? g_binding.span : -1;
+  index_ = trace_->BeginSpan(name, parent);
+  Bind();
+}
+
+SpanScope::SpanScope(Trace* trace, const std::string& name, int parent)
+    : trace_(trace) {
+  if (!trace_) return;
+  index_ = trace_->BeginSpan(name, parent);
+  Bind();
+}
+
+void SpanScope::Bind() {
+  prev_trace_ = g_binding.trace;
+  prev_index_ = g_binding.span;
+  g_binding.trace = trace_;
+  g_binding.span = index_;
+}
+
+SpanScope::~SpanScope() { End(); }
+
+void SpanScope::End() {
+  if (!trace_) return;
+  trace_->EndSpan(index_);
+  g_binding.trace = prev_trace_;
+  g_binding.span = prev_index_;
+  trace_ = nullptr;
+}
+
+void SpanScope::Counter(const std::string& key, int64_t value) {
+  if (!trace_) return;
+  trace_->AddCounter(index_, key, value);
+}
+
+SlowQueryLog::SlowQueryLog(size_t capacity, double threshold_s)
+    : capacity_(std::max<size_t>(1, capacity)), threshold_s_(threshold_s) {}
+
+bool SlowQueryLog::Offer(const std::string& entry_point, const Trace& trace,
+                         double total_s) {
+  if (threshold_s_ <= 0.0) return false;
+  std::vector<Span> spans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++offered_;
+    if (total_s < threshold_s_) return false;
+  }
+  // Copy the span tree outside our own lock (Trace has its own).
+  spans = trace.Spans();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++captured_;
+  CapturedTrace captured;
+  captured.id = trace.id();
+  captured.entry_point = entry_point;
+  captured.total_s = total_s;
+  captured.spans = std::move(spans);
+  ring_.push_back(std::move(captured));
+  while (ring_.size() > capacity_) ring_.pop_front();
+  return true;
+}
+
+std::vector<CapturedTrace> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<CapturedTrace>(ring_.begin(), ring_.end());
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t SlowQueryLog::offered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return offered_;
+}
+
+uint64_t SlowQueryLog::captured() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return captured_;
+}
+
+}  // namespace biorank::obs

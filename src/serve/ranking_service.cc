@@ -1,6 +1,7 @@
 #include "serve/ranking_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -10,15 +11,48 @@
 #include "core/reliability_exact.h"
 #include "core/reliability_mc.h"
 #include "core/trial_bound.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace biorank::serve {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
 
 RankingService::RankingService(RankingServiceOptions options)
     : options_(options), cache_(options.cache) {
   Result<int64_t> trials =
       RequiredMcTrials(options_.mc_epsilon, options_.mc_delta);
   mc_trials_ = trials.ok() ? trials.value() : 0;  // 0 => error per request.
+  if (options_.registry != nullptr) {
+    obs::Registry& reg = *options_.registry;
+    metrics_.candidates = reg.GetCounter(
+        "biorank_serve_candidates_total", "Answer candidates scheduled");
+    metrics_.pruned = reg.GetCounter("biorank_serve_pruned_total",
+                                     "Candidates pruned by the top-k cut");
+    metrics_.bound_exact =
+        reg.GetCounter("biorank_serve_bound_exact_total",
+                       "Candidates resolved by closed bounds");
+    metrics_.exact = reg.GetCounter("biorank_serve_exact_total",
+                                    "Candidates resolved by factoring");
+    metrics_.monte_carlo = reg.GetCounter(
+        "biorank_serve_monte_carlo_total", "Candidates resolved by Monte Carlo");
+    metrics_.mc_trials =
+        reg.GetCounter("biorank_serve_mc_trials_total", "MC trials spent");
+    metrics_.bounds_seconds = reg.GetHistogram(
+        "biorank_serve_bounds_seconds",
+        "Dedup + cache lookup + deterministic bounds phase latency");
+    metrics_.mc_seconds = reg.GetHistogram(
+        "biorank_serve_mc_seconds",
+        "Exact-factoring / Monte Carlo resolve phase latency");
+  }
 }
 
 Status RankingService::CanonicalizeTargets(
@@ -75,11 +109,15 @@ Result<TopKResult> RankingService::RankTopK(const QueryGraph& query_graph,
   // Phase 1 — canonicalize every candidate (pure per candidate, so the
   // fan-out is deterministic at any thread count). One flat snapshot of
   // the request graph serves every target's restriction traversal.
-  const CsrSnapshot request_csr = BuildCsrSnapshot(query_graph.graph);
   std::vector<CanonicalCandidate> canonicals;
-  BIORANK_RETURN_IF_ERROR(CanonicalizeTargets(query_graph, answers,
-                                              options_.canonicalize,
-                                              canonicals, &request_csr));
+  {
+    obs::SpanScope span(obs::CurrentTrace(), "serve.canonicalize");
+    const CsrSnapshot request_csr = BuildCsrSnapshot(query_graph.graph);
+    BIORANK_RETURN_IF_ERROR(CanonicalizeTargets(query_graph, answers,
+                                                options_.canonicalize,
+                                                canonicals, &request_csr));
+    span.Counter("targets", static_cast<int64_t>(answers.size()));
+  }
 
   std::vector<PreparedCandidate> prepared(answers.size());
   for (size_t i = 0; i < answers.size(); ++i) {
@@ -367,12 +405,27 @@ Result<TopKResult> RankingService::RankPrepared(
   // Phases 2–3 — dedup, cache lookup, deterministic bounds.
   std::vector<UniqueState> uniques;
   std::vector<int> unique_index;
-  BIORANK_RETURN_IF_ERROR(
-      BuildUniqueStates(candidates, uniques, unique_index, stats));
+  {
+    obs::SpanScope span(obs::CurrentTrace(), "serve.cache_bounds");
+    const auto bounds_start = std::chrono::steady_clock::now();
+    BIORANK_RETURN_IF_ERROR(
+        BuildUniqueStates(candidates, uniques, unique_index, stats));
+    if (metrics_.bounds_seconds != nullptr) {
+      metrics_.bounds_seconds->Observe(SecondsSince(bounds_start));
+    }
+    span.Counter("cache_hits", stats.cache_hits);
+    span.Counter("cache_misses", stats.cache_misses);
+  }
 
   // Phases 4–5 — top-k cut and classification.
   std::vector<int> survivors;
-  ClassifySurvivors(unique_index, uniques, k, stats, survivors);
+  {
+    obs::SpanScope span(obs::CurrentTrace(), "serve.prune");
+    ClassifySurvivors(unique_index, uniques, k, stats, survivors);
+    span.Counter("pruned", stats.pruned);
+    span.Counter("bound_exact", stats.bound_exact);
+    span.Counter("survivors", static_cast<int64_t>(survivors.size()));
+  }
 
   // Phase 6 — resolve the survivors: factoring on small reduced
   // residues, Monte Carlo to convergence on the canonical-hash stream
@@ -381,21 +434,42 @@ Result<TopKResult> RankingService::RankPrepared(
   // candidate order. A survivor carrying a partial anytime tally resumes
   // at its next shard — the remaining shards complete the same integer
   // sum the from-scratch path computes, so the value is bit-identical.
-  pool.ParallelFor(
-      static_cast<int64_t>(survivors.size()),
-      [&](int, int64_t j) {
-        UniqueState& u =
-            uniques[static_cast<size_t>(survivors[static_cast<size_t>(j)])];
-        Status st = TryResolveExact(u);
-        if (!st.ok()) {
-          u.status = st;
-          return;
-        }
-        if (u.entry.has_value) return;
-        st = AdvanceMonteCarlo(u, /*trial_budget=*/0);
-        if (!st.ok()) u.status = st;
-      },
-      max_parallelism);
+  {
+    // The fan-out runs on pool threads, which carry no thread-local
+    // trace binding; per-survivor spans attach to the resolve span by
+    // explicit parent index instead (the Trace itself is mutex-guarded).
+    obs::SpanScope resolve_span(obs::CurrentTrace(), "serve.resolve");
+    obs::Trace* trace = obs::CurrentTrace();
+    const int resolve_parent = resolve_span.index();
+    const auto mc_start = std::chrono::steady_clock::now();
+    pool.ParallelFor(
+        static_cast<int64_t>(survivors.size()),
+        [&](int, int64_t j) {
+          UniqueState& u =
+              uniques[static_cast<size_t>(survivors[static_cast<size_t>(j)])];
+          obs::SpanScope span(trace, "serve.mc_shards", resolve_parent);
+          Status st = TryResolveExact(u);
+          if (!st.ok()) {
+            u.status = st;
+            return;
+          }
+          if (u.entry.has_value) {
+            span.Counter("exact", 1);
+            return;
+          }
+          st = AdvanceMonteCarlo(u, /*trial_budget=*/0);
+          if (!st.ok()) {
+            u.status = st;
+            return;
+          }
+          span.Counter("trials", u.trials_spent);
+        },
+        max_parallelism);
+    if (metrics_.mc_seconds != nullptr && !survivors.empty()) {
+      metrics_.mc_seconds->Observe(SecondsSince(mc_start));
+    }
+    resolve_span.Counter("survivors", static_cast<int64_t>(survivors.size()));
+  }
   for (const UniqueState& u : uniques) {
     if (!u.status.ok()) return u.status;
   }
@@ -413,7 +487,19 @@ Result<TopKResult> RankingService::RankPrepared(
   // cache's LRU state is a deterministic function of the request
   // sequence). Pruned keys publish their bounds: the next request skips
   // straight to the prune gate.
-  PublishEntries(uniques);
+  {
+    obs::SpanScope span(obs::CurrentTrace(), "serve.publish");
+    PublishEntries(uniques);
+  }
+
+  if (metrics_.candidates != nullptr) {
+    metrics_.candidates->Add(static_cast<uint64_t>(stats.candidates));
+    metrics_.pruned->Add(static_cast<uint64_t>(stats.pruned));
+    metrics_.bound_exact->Add(static_cast<uint64_t>(stats.bound_exact));
+    metrics_.exact->Add(static_cast<uint64_t>(stats.exact));
+    metrics_.monte_carlo->Add(static_cast<uint64_t>(stats.monte_carlo));
+    metrics_.mc_trials->Add(static_cast<uint64_t>(stats.mc_trials));
+  }
 
   // Phase 8 — rank the resolved candidates and truncate to k.
   for (size_t ci = 0; ci < candidates.size(); ++ci) {

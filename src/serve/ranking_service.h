@@ -22,6 +22,7 @@
 #include "core/canonical.h"
 #include "core/query_graph.h"
 #include "core/reliability_bounds.h"
+#include "obs/metrics.h"
 #include "serve/reliability_cache.h"
 #include "util/parallel.h"
 #include "util/status.h"
@@ -130,6 +131,13 @@ struct RankingServiceOptions {
   ThreadPool* pool = nullptr;
   /// Disable to measure the cache's contribution; results are identical.
   bool enable_cache = true;
+  /// Metrics sink (obs/metrics.h), borrowed and must outlive the
+  /// service. When set, the pipeline records scheduler counters
+  /// (biorank_serve_*_total) and the bounds/MC phase latency histograms
+  /// (biorank_serve_bounds_seconds, biorank_serve_mc_seconds) into it;
+  /// null (the default) records nothing. api::Server injects its own
+  /// registry here; a bare RankingService stays metrics-free.
+  obs::Registry* registry = nullptr;
 };
 
 /// The result of one top-k request: surviving candidates sorted by
@@ -295,9 +303,23 @@ class RankingService {
   int64_t McTrialsPerCandidate() const { return mc_trials_; }
 
  private:
+  /// Resolved once at construction when options.registry is set; all
+  /// null otherwise (one branch per record site on the hot path).
+  struct Metrics {
+    obs::Counter* candidates = nullptr;
+    obs::Counter* pruned = nullptr;
+    obs::Counter* bound_exact = nullptr;
+    obs::Counter* exact = nullptr;
+    obs::Counter* monte_carlo = nullptr;
+    obs::Counter* mc_trials = nullptr;
+    obs::Histogram* bounds_seconds = nullptr;
+    obs::Histogram* mc_seconds = nullptr;
+  };
+
   RankingServiceOptions options_;
   ReliabilityCache cache_;
   int64_t mc_trials_ = 0;
+  Metrics metrics_;
 };
 
 }  // namespace biorank::serve

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/csr_snapshot.h"
+#include "obs/trace.h"
 
 namespace biorank::serve {
 
@@ -59,6 +60,8 @@ Result<Completeness> RefineIncrement(
     RankingService& service, RefinementState& state, int64_t trial_budget,
     std::chrono::steady_clock::time_point deadline) {
   const bool use_cache = service.options().enable_cache;
+  obs::SpanScope span(obs::CurrentTrace(), "serve.refine_increment");
+  const int64_t trials_before = state.stats.mc_trials;
   std::vector<int> still;
   still.reserve(state.refinable.size());
   for (size_t idx = 0; idx < state.refinable.size(); ++idx) {
@@ -114,6 +117,8 @@ Result<Completeness> RefineIncrement(
     }
   }
   state.refinable.swap(still);
+  span.Counter("trials", state.stats.mc_trials - trials_before);
+  span.Counter("open", static_cast<int64_t>(state.refinable.size()));
   return Summarize(state);
 }
 

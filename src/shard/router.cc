@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace biorank::shard {
@@ -61,7 +62,65 @@ ShardRouter::ShardRouter(api::Server& front, Transport& transport,
     : front_(front),
       transport_(transport),
       options_(options),
-      partitioner_(options.partition) {}
+      partitioner_(options.partition),
+      obs_registry_(&front.registry()) {
+  rpc_seconds_ = obs_registry_->GetHistogram(
+      "biorank_shard_rpc_seconds", "Shard RPC latency, all shards pooled");
+  const uint32_t num_shards = transport_.shard_count();
+  shard_rpc_seconds_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shard_rpc_seconds_.push_back(obs_registry_->GetHistogram(
+        "biorank_shard_rpc_shard" + std::to_string(s) + "_seconds",
+        "Shard RPC latency, shard " + std::to_string(s)));
+  }
+  // RouterStats stays the atomic source of truth; the collector is its
+  // snapshot view on the shared exporter surface.
+  collector_token_ = obs_registry_->AddCollector([this](
+                                                     obs::Snapshot& snapshot) {
+    snapshot.counters.push_back({"biorank_shard_queries_total",
+                                 "Router queries admitted",
+                                 queries_.load(std::memory_order_relaxed)});
+    snapshot.counters.push_back({"biorank_shard_queries_ok_total",
+                                 "Router queries that returned a merge",
+                                 queries_ok_.load(std::memory_order_relaxed)});
+    snapshot.counters.push_back(
+        {"biorank_shard_admission_rejected_total",
+         "Router queries rejected by the inflight cap",
+         admission_rejected_.load(std::memory_order_relaxed)});
+    snapshot.counters.push_back({"biorank_shard_calls_total",
+                                 "Transport calls issued",
+                                 shard_calls_.load(std::memory_order_relaxed)});
+    snapshot.counters.push_back(
+        {"biorank_shard_errors_total", "Transport calls that failed",
+         shard_errors_.load(std::memory_order_relaxed)});
+    snapshot.counters.push_back(
+        {"biorank_shard_empty_slices_total",
+         "Shards skipped because they owned no answers",
+         empty_slices_.load(std::memory_order_relaxed)});
+    snapshot.counters.push_back(
+        {"biorank_shard_merged_candidates_total",
+         "Candidates gathered from shard replies",
+         merged_candidates_.load(std::memory_order_relaxed)});
+    snapshot.counters.push_back(
+        {"biorank_shard_short_circuited_total",
+         "Shards retired by the bounds cutoff",
+         shards_short_circuited_.load(std::memory_order_relaxed)});
+    snapshot.counters.push_back(
+        {"biorank_shard_short_circuited_candidates_total",
+         "Unmerged leftovers of bound-retired shards",
+         short_circuited_candidates_.load(std::memory_order_relaxed)});
+    snapshot.gauges.push_back(
+        {"biorank_shard_inflight", "Router queries being served right now",
+         static_cast<double>(inflight_.load(std::memory_order_relaxed))});
+    snapshot.gauges.push_back(
+        {"biorank_shard_peak_inflight", "Peak concurrent router queries",
+         static_cast<double>(peak_inflight_.load(std::memory_order_relaxed))});
+  });
+}
+
+ShardRouter::~ShardRouter() {
+  obs_registry_->RemoveCollector(collector_token_);
+}
 
 Status ShardRouter::ScatterGather(const QueryGraph& graph, int top_k,
                                   api::QueryResponse& response) {
@@ -91,6 +150,14 @@ Status ShardRouter::ScatterGather(const QueryGraph& graph, int top_k,
   std::vector<ShardReply> replies(active.size());
   std::vector<Status> errors(active.size());
   shard_calls_.fetch_add(active.size(), std::memory_order_relaxed);
+  // Scatter workers run on pool threads with no inherited trace
+  // binding, so the parent span index crosses the seam explicitly
+  // inside each ShardQuery. Tracing and latency recording happen after
+  // (around) each call — never inside any ranking decision.
+  obs::Trace* trace = obs::CurrentTrace();
+  obs::SpanScope scatter(trace, "shard.scatter");
+  scatter.Counter("shards", static_cast<int64_t>(active.size()));
+  const int scatter_parent = scatter.index();
   ThreadPool::Global().ParallelFor(
       static_cast<int64_t>(active.size()),
       [&](int, int64_t i) {
@@ -99,7 +166,15 @@ Status ShardRouter::ScatterGather(const QueryGraph& graph, int top_k,
         query.graph = &graph;
         query.answers = std::move(slices[s]);
         query.options.top_k = k;
+        query.options.trace = trace;
+        query.trace_parent = scatter_parent;
+        SteadyClock::time_point call_start = SteadyClock::now();
         Result<ShardReply> reply = transport_.Call(s, query);
+        const double call_s = SecondsSince(call_start);
+        rpc_seconds_->Observe(call_s);
+        if (s < shard_rpc_seconds_.size()) {
+          shard_rpc_seconds_[s]->Observe(call_s);
+        }
         if (reply.ok()) {
           replies[static_cast<size_t>(i)] = std::move(reply.value());
         } else {
@@ -107,6 +182,7 @@ Status ShardRouter::ScatterGather(const QueryGraph& graph, int top_k,
         }
       },
       ThreadPool::kUnlimitedParallelism);
+  scatter.End();
 
   uint64_t failed = 0;
   for (const Status& status : errors) {
@@ -138,9 +214,11 @@ Status ShardRouter::ScatterGather(const QueryGraph& graph, int top_k,
   // the monolith's phase-8 comparator, so cross-shard ties break
   // identically. Per-shard lists are themselves RanksBefore-sorted, so
   // the merge consumes a prefix of each and stops after k takes.
+  obs::SpanScope merge(trace, "shard.merge");
   size_t gathered = 0;
   for (const ShardReply& reply : replies) gathered += reply.top.size();
   merged_candidates_.fetch_add(gathered, std::memory_order_relaxed);
+  merge.Counter("gathered", static_cast<int64_t>(gathered));
 
   std::vector<size_t> next(replies.size(), 0);
   std::vector<serve::RankedCandidate> merged;
@@ -232,6 +310,10 @@ api::Result<api::QueryResponse> ShardRouter::Query(
   SteadyClock::time_point start = SteadyClock::now();
   const SteadyClock::time_point deadline =
       request.options.DeadlineOrMax(start);
+  // Binds the caller's trace (if any) so the front server's
+  // materialization span and the scatter/merge/rpc spans all nest
+  // under one shard.query root.
+  obs::SpanScope root(request.options.trace, "shard.query");
   api::QueryRequest probe = request;
   probe.options.rank = false;
   api::Result<api::QueryResponse> materialized = front_.Query(probe);
@@ -264,6 +346,7 @@ api::Result<api::QueryResponse> ShardRouter::RankGraph(const QueryGraph& graph,
         std::to_string(options_.max_inflight) + " inflight queries");
   }
   SteadyClock::time_point start = SteadyClock::now();
+  obs::SpanScope root(obs::CurrentTrace(), "shard.rank_graph");
   api::QueryResponse response;
   BIORANK_RETURN_IF_ERROR(ScatterGather(graph, top_k, response));
   response.timing.rank_s = SecondsSince(start);
@@ -288,6 +371,17 @@ RouterStats ShardRouter::Stats() const {
       short_circuited_candidates_.load(std::memory_order_relaxed);
   stats.inflight = inflight_.load(std::memory_order_relaxed);
   stats.peak_inflight = peak_inflight_.load(std::memory_order_relaxed);
+  stats.shard_rpc.reserve(shard_rpc_seconds_.size());
+  for (size_t s = 0; s < shard_rpc_seconds_.size(); ++s) {
+    const obs::Histogram& histogram = *shard_rpc_seconds_[s];
+    obs::HistogramSnapshot snapshot;
+    snapshot.name = "biorank_shard_rpc_shard" + std::to_string(s) + "_seconds";
+    snapshot.bounds = histogram.bounds();
+    snapshot.counts = histogram.BucketCounts();
+    for (uint64_t c : snapshot.counts) snapshot.count += c;
+    snapshot.sum = histogram.Sum();
+    stats.shard_rpc.push_back(std::move(snapshot));
+  }
   return stats;
 }
 

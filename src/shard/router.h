@@ -49,6 +49,7 @@
 
 #include "api/query.h"
 #include "api/server.h"
+#include "obs/metrics.h"
 #include "shard/partitioner.h"
 #include "shard/transport.h"
 
@@ -76,6 +77,9 @@ struct RouterStats {
   uint64_t short_circuited_candidates = 0;  ///< Their unmerged leftovers.
   uint64_t inflight = 0;           ///< Queries being served right now.
   uint64_t peak_inflight = 0;
+  /// Per-shard RPC latency snapshots (biorank_shard_rpc_shard<i>_seconds),
+  /// one per transport shard, in shard order.
+  std::vector<obs::HistogramSnapshot> shard_rpc;
 };
 
 /// The scatter–gather front door. Thread-compatible with concurrent
@@ -87,6 +91,7 @@ class ShardRouter {
   /// borrowed and must outlive the router.
   ShardRouter(api::Server& front, Transport& transport,
               ShardRouterOptions options = {});
+  ~ShardRouter();
 
   ShardRouter(const ShardRouter&) = delete;
   ShardRouter& operator=(const ShardRouter&) = delete;
@@ -123,6 +128,15 @@ class ShardRouter {
   Transport& transport_;
   ShardRouterOptions options_;
   Partitioner partitioner_;
+
+  /// The front server's registry: the router contributes shard-layer
+  /// metrics (RPC latency histograms, RouterStats counters) to the same
+  /// exporter surface the rest of the deployment scrapes. The collector
+  /// reads `this`, so the destructor deregisters it.
+  obs::Registry* obs_registry_ = nullptr;
+  obs::Histogram* rpc_seconds_ = nullptr;  ///< all shards pooled
+  std::vector<obs::Histogram*> shard_rpc_seconds_;  ///< one per shard
+  uint64_t collector_token_ = 0;
 
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> queries_ok_{0};

@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace biorank::shard {
 
 InProcessTransport::InProcessTransport(uint32_t num_shards,
@@ -56,8 +58,19 @@ Result<ShardReply> InProcessTransport::Call(uint32_t shard,
   if (query.graph == nullptr) {
     return Status::InvalidArgument("shard: query carries no graph");
   }
+  // The RPC span attaches to the router's trace by explicit parent
+  // index (scatter workers run on pool threads with no inherited
+  // binding); the shard server's own spans then nest under it through
+  // the thread-local binding SpanScope establishes. Only top_k and the
+  // trace cross the seam — shards serve blocking top-k rankings, and
+  // the other knobs stay router-enforced (see ShardQuery).
+  obs::SpanScope rpc(query.options.trace, "shard.rpc", query.trace_parent);
+  rpc.Counter("shard", static_cast<int64_t>(shard));
+  api::QueryOptions shard_options;
+  shard_options.top_k = query.options.top_k;
+  shard_options.trace = query.options.trace;
   Result<api::QueryResponse> response = servers_[shard]->RankGraph(
-      *query.graph, query.answers, query.options.top_k);
+      *query.graph, query.answers, shard_options);
   if (!response.ok()) return response.status();
   ShardReply reply;
   reply.stats = response.value().stats;

@@ -40,6 +40,11 @@ struct ShardQuery {
   const QueryGraph* graph = nullptr;
   std::vector<NodeId> answers;
   api::QueryOptions options;
+  /// Index of the parent span in options.trace that shard-side spans
+  /// attach under (the router's scatter span). Trace context crosses
+  /// the transport seam explicitly because the call usually lands on a
+  /// different thread than the one that opened the parent. -1 roots.
+  int trace_parent = -1;
 };
 
 /// A shard's answer: its slice's top-k in serve::RanksBefore order,
