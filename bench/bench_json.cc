@@ -132,7 +132,11 @@ std::string JsonReport::ToJson() const {
   // bench_open_loop (read from the shared biorank_api_query_seconds
   // histogram), bench_serve_topk's obs_overhead_ratio A/B measurement,
   // and bench_shard_scaling's rpc_hist_count; layout unchanged again.
-  out += "  \"schema_version\": 7,\n";
+  // v8: adds the durability fields — the new bench_durability report
+  // (recovery_identical / hit_rate_preserved flags, recovery_seconds,
+  // wal_appends_per_sec, checkpoint throughput counters); layout
+  // unchanged again.
+  out += "  \"schema_version\": 8,\n";
   out += "  \"bench\": \"" + JsonEscape(name_) + "\",\n";
   out += "  \"threads\": " + std::to_string(threads_) + ",\n";
   out += "  \"wall_time_s\": " + FormatNumber(wall_time_s_) + ",\n";

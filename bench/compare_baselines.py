@@ -207,6 +207,20 @@ BENCH_GATES = {
         positive("shard_calls"),
         positive("rpc_hist_count"),
     ],
+    "durability": [
+        flag("recovery_identical",
+             "warm-booted rankings diverged bitwise from the pre-kill "
+             "server"),
+        flag("hit_rate_preserved",
+             "post-recovery cache hit rate drifted more than 0.05 from "
+             "the pre-kill pass"),
+        # Group-fsync append path: even a slow CI disk batches fsyncs,
+        # so the raw WAL append rate has a real floor.
+        floor("wal_appends_per_sec", 1000.0),
+        positive("replayed_records"),
+        positive("checkpoint_bytes"),
+        positive("cache_entries_restored"),
+    ],
 }
 
 # Headline metrics worth a column when both sides have them.
@@ -216,7 +230,8 @@ TRACKED_METRICS = ("cache_hit_rate", "pruned_fraction", "trials_per_sec",
                    "scaling_1_to_4", "p99_ratio", "anytime_p99_s",
                    "queue_s_total", "anytime_refine_s",
                    "obs_overhead_ratio", "hist_p50_ms", "hist_p99_ms",
-                   "metrics_exposed")
+                   "metrics_exposed", "recovery_seconds",
+                   "wal_appends_per_sec", "checkpoint_mb_per_sec")
 
 
 # --- Metrics-shape gate (METRICS_*.prom dumps) --------------------------
@@ -224,13 +239,14 @@ TRACKED_METRICS = ("cache_hit_rate", "pruned_fraction", "trials_per_sec",
 # bench_api_server dumps its server's full Prometheus exposition next to
 # the JSON reports. This gate owns the *shape* of that surface: every
 # family name obeys the biorank_<layer>_<name> grammar (layer in
-# api/serve/shard/ingest), counters end in _total, histograms end in
+# api/serve/shard/ingest/storage), counters end in _total, histograms end in
 # _seconds and carry a complete cumulative _bucket series (with +Inf)
 # plus _sum and _count, and the api_server dump is wide enough (>= 20
 # families, >= 3 histograms) that a silently shrunken registry fails CI
 # instead of rotting.
 
-METRIC_NAME_RE = re.compile(r"^biorank_(api|serve|shard|ingest)(_[a-z0-9]+)+$")
+METRIC_NAME_RE = re.compile(
+    r"^biorank_(api|serve|shard|ingest|storage)(_[a-z0-9]+)+$")
 SAMPLE_LINE_RE = re.compile(
     r"^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})? (-?[0-9].*|[+-]?Inf|NaN)$")
 

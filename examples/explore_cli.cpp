@@ -8,13 +8,23 @@
 // Usage:
 //   ./build/examples/explore_cli [gene_symbol] [method] [top_n]
 //   ./build/examples/explore_cli --metrics [gene_symbol]
+//   ./build/examples/explore_cli --storage-dir DIR [--checkpoint] [args...]
 // With no arguments it picks the first well-studied protein and
 // reliability ranking. --metrics serves one query and dumps the
 // server's Prometheus metrics instead of the ranking.
+//
+// --storage-dir makes the server durable over DIR: the boot warm-loads
+// the newest snapshot plus the WAL tail (the recovery line says what it
+// found), reliability queries run through a live *session* (logged to
+// the WAL, so a later boot rebuilds it), and --checkpoint writes a
+// versioned snapshot before exit. Kill the process between runs and the
+// next run picks up where this one left off — see docs/quickstart
+// section 7 for the round trip.
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "api/server.h"
 #include "core/explanation.h"
@@ -46,19 +56,73 @@ void PrintEvidence(const QueryGraph& graph, NodeId answer) {
   }
 }
 
+/// Writes a checkpoint (when asked to) and reports what it captured.
+int MaybeCheckpoint(api::Server& server, bool requested) {
+  if (!requested) return 0;
+  api::Result<api::CheckpointReport> report = server.Checkpoint();
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
+    return 1;
+  }
+  std::cout << "\n(checkpoint @ LSN " << report.value().wal_lsn << ": "
+            << report.value().bytes << " bytes, " << report.value().sessions
+            << " sessions, " << report.value().cache_entries
+            << " cache entries -> " << report.value().path << ")\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  api::Server server;
+  bool metrics = false;
+  bool checkpoint = false;
+  std::string storage_dir;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--checkpoint") {
+      checkpoint = true;
+    } else if (arg == "--storage-dir") {
+      if (i + 1 >= argc) {
+        std::cerr << "--storage-dir needs a directory\n";
+        return 2;
+      }
+      storage_dir = argv[++i];
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (checkpoint && storage_dir.empty()) {
+    std::cerr << "--checkpoint needs --storage-dir\n";
+    return 2;
+  }
 
-  if (argc > 1 && std::string(argv[1]) == "--metrics") {
+  api::ServerOptions server_options;
+  server_options.storage_dir = storage_dir;
+  api::Server server(server_options);
+  if (!storage_dir.empty()) {
+    if (!server.storage_status().ok()) {
+      std::cerr << "storage boot failed: " << server.storage_status() << "\n";
+      return 1;
+    }
+    const storage::RecoveryReport& boot = server.recovery_report();
+    std::cout << "(durable over " << storage_dir << ": "
+              << boot.sessions_recovered << " sessions recovered, "
+              << boot.replayed_records << " WAL records replayed, "
+              << boot.cache_entries_restored << " cache entries restored)\n";
+  }
+
+  if (metrics) {
     // Serve one real query so the scrape shows live numbers, then dump
     // the full registry in Prometheus exposition format.
-    std::string symbol = argc > 2 ? argv[2]
-                                  : server.universe()
-                                        .protein(server.universe()
-                                                     .well_studied()[0])
-                                        .gene_symbol;
+    std::string symbol = !positional.empty()
+                             ? positional[0]
+                             : server.universe()
+                                   .protein(server.universe()
+                                                .well_studied()[0])
+                                   .gene_symbol;
     api::Result<api::QueryResponse> response =
         server.Query(api::MakeProteinFunctionRequest(symbol, 8));
     if (!response.ok()) {
@@ -66,12 +130,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << server.MetricsText();
-    return 0;
+    return MaybeCheckpoint(server, checkpoint);
   }
 
   std::string symbol;
-  if (argc > 1) {
-    symbol = argv[1];
+  if (!positional.empty()) {
+    symbol = positional[0];
   } else {
     symbol = server.universe()
                  .protein(server.universe().well_studied()[0])
@@ -79,26 +143,45 @@ int main(int argc, char** argv) {
     std::cout << "(no gene symbol given; using " << symbol << ")\n";
   }
   RankingMethod method = RankingMethod::kReliability;
-  if (argc > 2) {
-    Result<RankingMethod> parsed = ParseMethod(argv[2]);
+  if (positional.size() > 1) {
+    Result<RankingMethod> parsed = ParseMethod(positional[1]);
     if (!parsed.ok()) {
       std::cerr << parsed.status() << "\n";
       return 2;
     }
     method = parsed.value();
   }
-  int top_n = argc > 3 ? std::atoi(argv[3]) : 8;
+  int top_n = positional.size() > 2 ? std::atoi(positional[2].c_str()) : 8;
 
   if (method == RankingMethod::kReliability) {
-    // The served path: typed request in, typed response out.
+    // The served path: typed request in, typed response out. A durable
+    // server serves through a live session instead, so the query lands
+    // in the WAL and the next boot over the same directory rebuilds it.
     api::Result<api::QueryResponse> response =
-        server.Query(api::MakeProteinFunctionRequest(symbol, top_n));
+        Status::Internal("unserved");
+    QueryGraph session_graph;
+    if (server.durable()) {
+      api::Result<api::SessionInfo> session =
+          server.OpenSession(api::MakeProteinFunctionRequest(symbol, top_n));
+      if (!session.ok()) {
+        std::cerr << session.status() << "\n";
+        return 1;
+      }
+      std::cout << "(live session " << session.value().id << ")\n";
+      response = server.QuerySession(session.value().id, top_n);
+      api::Result<QueryGraph> snapshot =
+          server.SessionSnapshot(session.value().id);
+      if (snapshot.ok()) session_graph = std::move(snapshot.value());
+    } else {
+      response = server.Query(api::MakeProteinFunctionRequest(symbol, top_n));
+    }
     if (!response.ok()) {
       std::cerr << response.status() << "\n";
       return 1;
     }
     const api::QueryResponse& r = response.value();
-    const QueryGraph& graph = r.result.query_graph;
+    const QueryGraph& graph =
+        server.durable() ? session_graph : r.result.query_graph;
     std::cout << "Query (EntrezProtein.name = \"" << symbol << "\", AmiGO): "
               << graph.graph.num_nodes() << " nodes, "
               << graph.graph.num_edges() << " edges, "
@@ -115,7 +198,7 @@ int main(int argc, char** argv) {
                 << FormatCompact(answer.upper, 4) << "])\n";
       PrintEvidence(graph, answer.node);
     }
-    return 0;
+    return MaybeCheckpoint(server, checkpoint);
   }
 
   // Offline methods: materialize the graph through the facade, score
@@ -151,5 +234,5 @@ int main(int argc, char** argv) {
               << FormatCompact(answer.score, 4) << ")\n";
     PrintEvidence(graph, answer.node);
   }
-  return 0;
+  return MaybeCheckpoint(server, checkpoint);
 }

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
+#include "core/canonical.h"
 #include "obs/export.h"
+#include "storage/codec.h"
+#include "util/file.h"
 #include "util/parallel.h"
 
 namespace biorank::api {
@@ -44,6 +48,251 @@ Server::Server(ServerOptions options)
                 options_.obs.slow_query_threshold_s) {
   options_.ranking.registry = service_.options().registry;
   InitMetrics();
+  if (!options_.storage_dir.empty()) {
+    storage_status_ = BootStorage();
+    if (!storage_status_.ok()) {
+      // A failed boot must not leave half-recovered sessions serving:
+      // fall back to a memory-only server and surface the error through
+      // storage_status(). (The construction contract is "never throws";
+      // callers that require durability check storage_status()/durable().)
+      sessions_.clear();
+      wal_.reset();
+      next_session_id_.store(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+Server::~Server() {
+  if (wal_ != nullptr) wal_->Sync();  // Best-effort; errors have nowhere to go.
+}
+
+uint64_t Server::StorageFingerprint() const {
+  // Every option that changes ranking values (or graph shape) goes into
+  // the key; formatting knobs (observability, admission, eviction) stay
+  // out — they are free to differ across restarts of the same store.
+  std::string key;
+  auto field = [&key](uint64_t v) {
+    key += std::to_string(v);
+    key += '|';
+  };
+  const UniverseOptions& u = options_.universe;
+  field(u.seed);
+  field(static_cast<uint64_t>(u.num_go_terms));
+  field(static_cast<uint64_t>(u.num_families));
+  field(static_cast<uint64_t>(u.proteins_per_family));
+  field(static_cast<uint64_t>(u.hypothetical_family_size));
+  field(static_cast<uint64_t>(u.family_function_pool));
+  field(static_cast<uint64_t>(u.num_well_studied));
+  field(static_cast<uint64_t>(u.num_hypothetical));
+  field(options_.mediator.include_minor_sources ? 1 : 0);
+  const serve::RankingServiceOptions& r = options_.ranking;
+  field(r.seed);
+  field(static_cast<uint64_t>(r.exact_max_edges));
+  field(static_cast<uint64_t>(r.mc_shard_trials));
+  // Doubles ride their bit patterns (the values are configuration
+  // constants, so bit-equality is the right notion of "same").
+  auto double_field = [&](double v) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    field(bits);
+  };
+  double_field(r.mc_epsilon);
+  double_field(r.mc_delta);
+  double_field(r.bound_resolve_epsilon);
+  return Fnv1a64(key);
+}
+
+Status Server::BootStorage() {
+  const SteadyClock::time_point start = SteadyClock::now();
+  const std::string& dir = options_.storage_dir;
+  BIORANK_RETURN_IF_ERROR(util::EnsureDir(dir));
+  const uint64_t fingerprint = StorageFingerprint();
+
+  // 1. Newest valid snapshot (corrupt ones fall back to older; a
+  //    fingerprint mismatch aborts the boot).
+  Result<storage::SnapshotLoadResult> loaded =
+      storage::LoadNewestValidSnapshot(dir, fingerprint);
+  if (!loaded.ok()) return loaded.status();
+  storage::SnapshotLoadResult& snap = loaded.value();
+  recovery_report_.snapshot_loaded = snap.found;
+  recovery_report_.corrupt_snapshots_skipped = snap.corrupt_skipped;
+
+  uint64_t covering_lsn = 0;
+  uint64_t next_id = 1;
+  // Per-session replay floor: deltas with lsn <= the floor are already
+  // baked into the snapshotted graph.
+  std::unordered_map<uint64_t, uint64_t> applied_lsn;
+  if (snap.found) {
+    covering_lsn = snap.state.wal_lsn;
+    recovery_report_.snapshot_lsn = covering_lsn;
+    next_id = snap.state.next_session_id;
+    for (storage::SnapshotSession& s : snap.state.sessions) {
+      auto session = std::make_shared<Session>();
+      session->live.applier = std::make_unique<ingest::UpdateApplier>(
+          std::move(s.graph), &service_, std::move(s.csr), s.applied_lsn);
+      session->live.go_node = std::move(s.go_node);
+      session->live.answer_labels = std::move(s.answer_labels);
+      session->live.matched_proteins = s.matched_proteins;
+      applied_lsn[s.id] = s.applied_lsn;
+      sessions_.emplace(s.id, std::move(session));
+    }
+    std::vector<std::pair<std::string, serve::CacheEntry>> entries;
+    entries.reserve(snap.state.cache_entries.size());
+    for (storage::SnapshotCacheEntry& e : snap.state.cache_entries) {
+      entries.emplace_back(std::move(e.repr), e.entry);
+    }
+    service_.cache().Restore(entries);
+    recovery_report_.cache_entries_restored = entries.size();
+  }
+
+  // 2. WAL open: scans every complete record, truncates a torn tail.
+  storage::WalOptions wal_options = options_.wal;
+  if (wal_options.registry == nullptr) {
+    wal_options.registry = obs_registry_.get();
+  }
+  Result<storage::Wal::OpenResult> opened =
+      storage::Wal::Open(storage::WalPath(dir), fingerprint, wal_options);
+  if (!opened.ok()) return opened.status();
+  storage::WalReplay replay = std::move(opened.value().replay);
+  wal_ = std::move(opened.value().wal);
+  recovery_report_.wal_truncated_bytes = replay.truncated_bytes;
+  recovery_report_.wal_torn_tail = replay.torn_tail;
+
+  // 3. Replay past the snapshot. Records are in LSN order, so a delta
+  //    always finds its session already opened (or already closed — in
+  //    which case its whole history is settled and it skips).
+  for (const storage::WalRecord& record : replay.records) {
+    switch (record.type) {
+      case storage::WalRecordType::kOpenSession: {
+        if (record.lsn <= covering_lsn) {
+          ++recovery_report_.skipped_records;
+          break;
+        }
+        ExploratoryQuery query;
+        storage::ByteReader in(record.body);
+        BIORANK_RETURN_IF_ERROR(storage::DecodeQuery(in, query));
+        // Re-materializing is deterministic (the universe and sources
+        // are pure functions of the options), so the replayed session is
+        // the one that was opened.
+        Result<Mediator::LiveExploratoryQuery> live =
+            mediator_.ServeLive(query, service_);
+        if (!live.ok()) return live.status();
+        auto session = std::make_shared<Session>();
+        session->live = std::move(live.value());
+        sessions_[record.session_id] = std::move(session);
+        applied_lsn[record.session_id] = 0;
+        next_id = std::max(next_id, record.session_id + 1);
+        ++recovery_report_.replayed_records;
+        break;
+      }
+      case storage::WalRecordType::kCloseSession: {
+        if (record.lsn <= covering_lsn) {
+          ++recovery_report_.skipped_records;
+          break;
+        }
+        sessions_.erase(record.session_id);
+        ++recovery_report_.replayed_records;
+        break;
+      }
+      case storage::WalRecordType::kApplyDelta: {
+        auto it = sessions_.find(record.session_id);
+        if (it == sessions_.end() ||
+            record.lsn <= applied_lsn[record.session_id]) {
+          ++recovery_report_.skipped_records;
+          break;
+        }
+        ingest::EvidenceDelta delta;
+        storage::ByteReader in(record.body);
+        BIORANK_RETURN_IF_ERROR(storage::DecodeDelta(in, delta));
+        // Structural validation ran before the record was logged, so the
+        // replayed apply revalidates against the same graph state and
+        // cannot fail for a delta that succeeded live.
+        Result<ingest::ApplyReport> applied =
+            it->second->live.applier->ApplyReplayed(delta, record.lsn);
+        if (!applied.ok()) return applied.status();
+        ++recovery_report_.replayed_records;
+        break;
+      }
+    }
+  }
+  next_session_id_.store(next_id, std::memory_order_relaxed);
+  for (auto& [id, session] : sessions_) {
+    session->live.applier->AttachWal(wal_.get(), id);
+  }
+  recovery_report_.sessions_recovered = sessions_.size();
+  recovery_report_.seconds = SecondsSince(start);
+  metrics_.recovery_seconds->Observe(recovery_report_.seconds);
+  metrics_.replayed_records->Add(recovery_report_.replayed_records);
+  return Status::OK();
+}
+
+Result<CheckpointReport> Server::Checkpoint() {
+  Tick();
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "api: server has no storage attached (set ServerOptions::"
+        "storage_dir; check storage_status() for a boot failure)");
+  }
+  const SteadyClock::time_point start = SteadyClock::now();
+  storage::SnapshotState state;
+  state.fingerprint = StorageFingerprint();
+  std::vector<std::pair<SessionId, std::shared_ptr<Session>>> live;
+  {
+    // The LSN capture and the session-set capture happen under the one
+    // lock that open/close records are appended under, so the captured
+    // LSN cleanly partitions session-lifecycle records into "reflected
+    // in the list" and "to be replayed".
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    state.wal_lsn = wal_->last_lsn();
+    state.next_session_id =
+        next_session_id_.load(std::memory_order_relaxed);
+    live.assign(sessions_.begin(), sessions_.end());
+  }
+  // Everything below runs off the registry lock: opens, closes, deltas,
+  // and rankings all proceed concurrently. Freeze takes each applier's
+  // *shared* lock, so even the frozen session keeps serving reads.
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  state.sessions.reserve(live.size());
+  for (auto& [id, session] : live) {
+    ingest::UpdateApplier::FrozenState frozen = session->live.applier->Freeze();
+    storage::SnapshotSession snap;
+    snap.id = id;
+    snap.applied_lsn = frozen.wal_lsn;
+    snap.matched_proteins = session->live.matched_proteins;
+    snap.go_node = session->live.go_node;
+    snap.answer_labels = session->live.answer_labels;
+    snap.graph = std::move(frozen.graph);
+    snap.csr = std::move(frozen.csr);
+    state.sessions.push_back(std::move(snap));
+  }
+  for (auto& [repr, entry] : service_.cache().Export()) {
+    state.cache_entries.push_back({std::move(repr), entry});
+  }
+  // Durability barrier: every LSN the snapshot references (the covering
+  // LSN and every session's applied_lsn) was appended before this point,
+  // so after the sync none of them can be lost to a torn tail — which is
+  // what makes resuming appends at replay.last_lsn + 1 safe (an LSN the
+  // next boot's snapshot references is never reassigned).
+  BIORANK_RETURN_IF_ERROR(wal_->Sync());
+  CheckpointReport report;
+  BIORANK_RETURN_IF_ERROR(storage::WriteSnapshotFile(
+      options_.storage_dir, state, &report.path, &report.bytes));
+  report.wal_lsn = state.wal_lsn;
+  report.sessions = state.sessions.size();
+  report.cache_entries = state.cache_entries.size();
+  report.seconds = SecondsSince(start);
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.checkpoints->Add();
+  metrics_.snapshot_write_seconds->Observe(report.seconds);
+  return report;
+}
+
+Result<uint64_t> Server::LogSessionEventLocked(storage::WalRecordType type,
+                                               SessionId id,
+                                               const std::string& body) {
+  return wal_->Append(type, id, body);
 }
 
 void Server::InitMetrics() {
@@ -88,6 +337,17 @@ void Server::InitMetrics() {
   metrics_.slow_queries = reg.GetCounter(
       "biorank_api_slow_queries_total",
       "Requests captured by the slow-query trace ring buffer");
+  metrics_.checkpoints = reg.GetCounter(
+      "biorank_storage_checkpoints_total", "Snapshot files written");
+  metrics_.replayed_records = reg.GetCounter(
+      "biorank_storage_replayed_records_total",
+      "WAL records applied during warm boots");
+  metrics_.snapshot_write_seconds = reg.GetHistogram(
+      "biorank_storage_snapshot_write_seconds",
+      "Checkpoint wall time, capture through rename");
+  metrics_.recovery_seconds = reg.GetHistogram(
+      "biorank_storage_recovery_seconds",
+      "Warm-boot wall time (snapshot load + WAL replay)");
   metrics_.query_seconds =
       reg.GetHistogram("biorank_api_query_seconds",
                        "End-to-end request latency, every entry point");
@@ -638,6 +898,20 @@ Result<SessionInfo> Server::OpenSession(const QueryRequest& request) {
       EvictIdleLocked(options_.session_idle_ops, now);
     }
     info.id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+    if (wal_ != nullptr) {
+      // Log-then-install: the open record hits the WAL before the
+      // session becomes visible, so a session a caller ever saw is a
+      // session recovery will rebuild.
+      storage::ByteWriter body;
+      storage::EncodeQuery(request.query, body);
+      Result<uint64_t> lsn = LogSessionEventLocked(
+          storage::WalRecordType::kOpenSession, info.id, body.bytes());
+      if (!lsn.ok()) {
+        metrics_.errors->Add();
+        return lsn.status();
+      }
+      session->live.applier->AttachWal(wal_.get(), info.id);
+    }
     sessions_.emplace(info.id, std::move(session));
   }
   metrics_.sessions_opened->Add();
@@ -724,6 +998,17 @@ Status Server::CloseSession(SessionId id) {
     return Status::NotFound("api: no live session with handle " +
                             std::to_string(id));
   }
+  if (wal_ != nullptr) {
+    // Log before erase: on append failure the session stays live and the
+    // caller sees the error (erasing first would close in memory while
+    // recovery resurrects the session — a silent divergence).
+    Result<uint64_t> lsn = LogSessionEventLocked(
+        storage::WalRecordType::kCloseSession, id, std::string());
+    if (!lsn.ok()) {
+      metrics_.errors->Add();
+      return lsn.status();
+    }
+  }
   sessions_.erase(it);
   metrics_.sessions_closed->Add();
   return Status::OK();
@@ -738,6 +1023,14 @@ size_t Server::EvictIdleLocked(uint64_t min_idle_ops, uint64_t now) {
     // such a session is active, not idle (unsigned subtraction would
     // wrap and evict it).
     if (touched <= now && now - touched > min_idle_ops) {
+      if (wal_ != nullptr) {
+        // Best-effort: an append failure means the WAL is fail-stopped
+        // (every later append errors too), so eviction proceeds in
+        // memory — recovery may resurrect the session, which idle
+        // eviction will then close again.
+        LogSessionEventLocked(storage::WalRecordType::kCloseSession,
+                              it->first, std::string());
+      }
       it = sessions_.erase(it);
       ++evicted;
     } else {
@@ -784,6 +1077,10 @@ ServerStats Server::Stats() const {
   stats.open_refinements = refinement_count();
   stats.cache = service_.cache().Stats();
   stats.admission = admission_.Stats();
+  stats.durable = wal_ != nullptr;
+  stats.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  if (wal_ != nullptr) stats.wal = wal_->stats();
+  stats.recovery = recovery_report_;
   return stats;
 }
 

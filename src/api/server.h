@@ -51,6 +51,8 @@
 #include "obs/trace.h"
 #include "serve/ranking_service.h"
 #include "sources/source_registry.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
 
 namespace biorank::api {
 
@@ -94,6 +96,17 @@ struct ServerOptions {
   AdmissionOptions admission;
   /// Metrics registry + slow-query tracing (obs/).
   ObservabilityOptions obs;
+  /// Durability (storage/): when non-empty, the server boots warm from
+  /// this directory (newest valid snapshot, then WAL replay past it),
+  /// logs every session open/close and evidence delta to the WAL before
+  /// applying it, and serves Checkpoint(). Empty (the default) keeps the
+  /// server memory-only. A boot failure never aborts construction: the
+  /// server comes up memory-only and storage_status() carries the error.
+  std::string storage_dir;
+  /// Group-fsync knobs for the WAL (ignored without storage_dir). The
+  /// registry field is filled with the server's own registry when left
+  /// null.
+  storage::WalOptions wal;
 };
 
 /// Monotonic service counters plus a point-in-time cache snapshot.
@@ -117,6 +130,20 @@ struct ServerStats {
   uint64_t open_refinements = 0;      ///< Currently live handles.
   serve::CacheStats cache;       ///< Shared reliability cache snapshot.
   AdmissionStats admission;      ///< Queue depth/age gauges + counters.
+  bool durable = false;          ///< Whether a WAL is attached.
+  uint64_t checkpoints = 0;      ///< Checkpoint() calls that completed.
+  storage::WalStats wal;         ///< Append-side WAL counters (if durable).
+  storage::RecoveryReport recovery;  ///< What the warm boot did (if any).
+};
+
+/// What one Server::Checkpoint() wrote.
+struct CheckpointReport {
+  uint64_t wal_lsn = 0;      ///< Covering LSN stamped into the snapshot.
+  std::string path;          ///< Snapshot file written.
+  uint64_t bytes = 0;        ///< Encoded snapshot size.
+  size_t sessions = 0;       ///< Live sessions captured.
+  size_t cache_entries = 0;  ///< Resolved cache entries captured.
+  double seconds = 0.0;      ///< Wall time, capture through rename.
 };
 
 /// The front door. Construction generates the synthetic world and wires
@@ -125,6 +152,11 @@ struct ServerStats {
 class Server {
  public:
   explicit Server(ServerOptions options = {});
+
+  /// Syncs the WAL (best-effort) before tearing the stack down, so a
+  /// clean shutdown never leaves an un-synced suffix for the next boot
+  /// to treat as a torn tail.
+  ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -234,6 +266,28 @@ class Server {
   size_t session_count() const;
   size_t refinement_count() const;
 
+  /// Writes one versioned snapshot of the whole durable state (every
+  /// live session's frozen graph + CSR, the resolved cache entries, the
+  /// covering WAL LSN) to the storage directory. Readers are never
+  /// blocked: each session is frozen under its applier's *shared* lock,
+  /// and the session registry lock is held only long enough to capture
+  /// the LSN and the session pointers. kFailedPrecondition when the
+  /// server has no storage attached (or its boot failed).
+  Result<CheckpointReport> Checkpoint();
+
+  /// OK when the server is durable (or memory-only by configuration);
+  /// the boot error when ServerOptions::storage_dir was set but the
+  /// warm boot failed and the server fell back to memory-only.
+  const Status& storage_status() const { return storage_status_; }
+
+  /// Whether a WAL is attached (storage booted OK).
+  bool durable() const { return wal_ != nullptr; }
+
+  /// What the warm boot did (zeroes for memory-only servers).
+  const storage::RecoveryReport& recovery_report() const {
+    return recovery_report_;
+  }
+
   ServerStats Stats() const;
 
   /// Point-in-time metrics: the server's registry snapshot rendered in
@@ -331,6 +385,27 @@ class Server {
   /// gauge collectors for sessions/refinements/cache/admission.
   void InitMetrics();
 
+  /// FNV-style hash over every option that determines ranking values
+  /// (universe shape + seed, mediator sources, MC seed + trial plan).
+  /// Stamped into the WAL header and every snapshot; a mismatch on boot
+  /// means the directory belongs to a differently-configured server and
+  /// replaying it would silently change results.
+  uint64_t StorageFingerprint() const;
+
+  /// The warm boot: newest valid snapshot -> session reconstruction ->
+  /// cache restore -> WAL open (torn-tail truncation) -> replay past
+  /// the snapshot -> attach the WAL to every live applier. Runs in the
+  /// constructor, before any concurrent caller exists, so it touches
+  /// sessions_ without the registry lock.
+  Status BootStorage();
+
+  /// Appends a session-lifecycle record; requires sessions_mu_ (the
+  /// checkpoint's LSN capture takes the same lock, so the captured LSN
+  /// cleanly partitions open/close records into before/after).
+  Result<uint64_t> LogSessionEventLocked(storage::WalRecordType type,
+                                         SessionId id,
+                                         const std::string& body);
+
   /// Records one finished request's phases into the shared latency
   /// histograms — every entry point (Query, RankGraph, QuerySession,
   /// Refine) stamps through here, so the histograms cover them all.
@@ -361,6 +436,10 @@ class Server {
     obs::Counter* refinements_cancelled = nullptr;
     obs::Counter* errors = nullptr;
     obs::Counter* slow_queries = nullptr;
+    obs::Counter* checkpoints = nullptr;
+    obs::Counter* replayed_records = nullptr;
+    obs::Histogram* snapshot_write_seconds = nullptr;
+    obs::Histogram* recovery_seconds = nullptr;
     obs::Histogram* query_seconds = nullptr;
     obs::Histogram* queue_seconds = nullptr;
     obs::Histogram* integrate_seconds = nullptr;
@@ -383,6 +462,14 @@ class Server {
   AdmissionQueue admission_;
   obs::SlowQueryLog slow_log_;
   Metrics metrics_;
+
+  /// Durability (null/empty for memory-only servers). wal_ is created by
+  /// BootStorage and never reassigned afterwards, so readers may test it
+  /// without a lock; Append serializes internally.
+  std::unique_ptr<storage::Wal> wal_;
+  Status storage_status_;
+  storage::RecoveryReport recovery_report_;
+  std::atomic<uint64_t> checkpoints_{0};
 
   std::atomic<uint64_t> op_clock_{0};
   std::atomic<uint64_t> next_session_id_{1};

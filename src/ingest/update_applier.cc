@@ -4,17 +4,34 @@
 #include <mutex>
 #include <utility>
 
+#include "storage/codec.h"
+
 namespace biorank::ingest {
 
 UpdateApplier::UpdateApplier(QueryGraph graph,
                              serve::RankingService* service,
                              UpdateApplierOptions options)
     : graph_(std::move(graph)), service_(service), options_(options) {
-  canonicalize_ = service_->options().canonicalize;
-  canonicalize_.collect_provenance = true;
   init_status_ = graph_.Validate();
   if (!init_status_.ok()) return;
   csr_ = BuildCsrSnapshot(graph_.graph);
+  Init();
+}
+
+UpdateApplier::UpdateApplier(QueryGraph graph,
+                             serve::RankingService* service,
+                             CsrSnapshot preloaded_csr, uint64_t applied_lsn,
+                             UpdateApplierOptions options)
+    : graph_(std::move(graph)), service_(service), options_(options),
+      csr_(std::move(preloaded_csr)), last_wal_lsn_(applied_lsn) {
+  init_status_ = graph_.Validate();
+  if (!init_status_.ok()) return;
+  Init();
+}
+
+void UpdateApplier::Init() {
+  canonicalize_ = service_->options().canonicalize;
+  canonicalize_.collect_provenance = true;
   canonicals_.resize(graph_.answers.size());
   std::vector<int> all(graph_.answers.size());
   for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
@@ -43,14 +60,64 @@ Status UpdateApplier::Recanonicalize(
 Result<ApplyReport> UpdateApplier::ApplyDelta(
     const EvidenceDelta& delta, const ProbabilisticMetrics* metrics) {
   std::unique_lock<std::shared_mutex> writer(mu_);
+  return ApplyLocked(delta, metrics, /*replay_lsn=*/0);
+}
+
+Result<ApplyReport> UpdateApplier::ApplyReplayed(
+    const EvidenceDelta& delta, uint64_t lsn,
+    const ProbabilisticMetrics* metrics) {
+  std::unique_lock<std::shared_mutex> writer(mu_);
+  return ApplyLocked(delta, metrics, lsn);
+}
+
+void UpdateApplier::AttachWal(storage::Wal* wal, uint64_t session_id) {
+  std::unique_lock<std::shared_mutex> writer(mu_);
+  wal_ = wal;
+  wal_session_id_ = session_id;
+}
+
+uint64_t UpdateApplier::last_wal_lsn() const {
+  std::shared_lock<std::shared_mutex> reader(mu_);
+  return last_wal_lsn_;
+}
+
+UpdateApplier::FrozenState UpdateApplier::Freeze() const {
+  std::shared_lock<std::shared_mutex> reader(mu_);
+  FrozenState frozen;
+  frozen.graph = graph_;
+  frozen.csr = csr_;
+  frozen.wal_lsn = last_wal_lsn_;
+  return frozen;
+}
+
+Result<ApplyReport> UpdateApplier::ApplyLocked(
+    const EvidenceDelta& delta, const ProbabilisticMetrics* metrics,
+    uint64_t replay_lsn) {
   BIORANK_RETURN_IF_ERROR(init_status_);
   // Schema checks here; ApplyDeltaToGraph runs the structural pass, so
   // each delta is validated exactly once per tier.
   if (metrics != nullptr) {
     BIORANK_RETURN_IF_ERROR(ValidateDeltaSchema(delta, *metrics));
   }
+  uint64_t logged_lsn = replay_lsn;
+  if (wal_ != nullptr && replay_lsn == 0) {
+    // Log-then-apply. Structural validation runs *before* the append so
+    // a delta that would be rejected never reaches the log — which is
+    // what lets recovery apply every logged delta unconditionally.
+    // ApplyDeltaToGraph revalidates below; the duplicate pass is cheap
+    // next to re-canonicalization and keeps its no-mutation-on-error
+    // contract intact.
+    BIORANK_RETURN_IF_ERROR(ValidateDelta(delta, graph_));
+    storage::ByteWriter body;
+    storage::EncodeDelta(delta, body);
+    Result<uint64_t> lsn = wal_->Append(storage::WalRecordType::kApplyDelta,
+                                        wal_session_id_, body.bytes());
+    if (!lsn.ok()) return lsn.status();
+    logged_lsn = lsn.value();
+  }
   Result<AppliedDelta> applied = ApplyDeltaToGraph(delta, graph_);
   if (!applied.ok()) return applied.status();
+  if (logged_lsn != 0) last_wal_lsn_ = logged_lsn;
 
   // The graph mutated: refresh the flat snapshot before anything
   // traverses it (re-canonicalization below reads csr_).

@@ -41,6 +41,7 @@
 #include "ingest/delta.h"
 #include "ingest/dependency_index.h"
 #include "serve/ranking_service.h"
+#include "storage/wal.h"
 #include "util/status.h"
 
 namespace biorank::ingest {
@@ -83,6 +84,19 @@ class UpdateApplier {
   UpdateApplier(QueryGraph graph, serve::RankingService* service,
                 UpdateApplierOptions options = {});
 
+  /// The warm-boot constructor: like the primary one, but adopts a
+  /// preloaded flat snapshot (storage/snapshot.h's bounds-checked load)
+  /// instead of rebuilding it from the graph. The caller guarantees
+  /// `preloaded_csr` is the snapshot of `graph` — it was serialized from
+  /// this same pair and validated on load; re-canonicalization then
+  /// traverses byte-identical arrays, which is half of the recovered
+  /// server's bit-identity story. `applied_lsn` seeds last_wal_lsn()
+  /// with the checkpoint's per-session position so a re-checkpoint
+  /// before any new delta still covers the already-baked-in history.
+  UpdateApplier(QueryGraph graph, serve::RankingService* service,
+                CsrSnapshot preloaded_csr, uint64_t applied_lsn,
+                UpdateApplierOptions options = {});
+
   /// Validates and applies one delta under the writer lock, invalidates
   /// exactly the orphaned cache keys, and re-canonicalizes exactly the
   /// dirty answers. When `metrics` is non-null the delta is additionally
@@ -91,6 +105,36 @@ class UpdateApplier {
   Result<ApplyReport> ApplyDelta(const EvidenceDelta& delta,
                                  const ProbabilisticMetrics* metrics =
                                      nullptr);
+
+  /// Attaches the durability log (storage/wal.h): every later ApplyDelta
+  /// becomes log-then-apply — the delta is structurally validated, then
+  /// appended to `wal` as session `session_id`, then applied. Invalid
+  /// deltas are rejected *before* logging, so a WAL replay can never
+  /// fail validation. Pass null to detach. Borrowed; must outlive the
+  /// applier (or be detached first).
+  void AttachWal(storage::Wal* wal, uint64_t session_id);
+
+  /// Recovery path: applies a delta that is *already* in the WAL without
+  /// re-appending it, recording `lsn` as this session's applied
+  /// position. Same semantics as ApplyDelta otherwise.
+  Result<ApplyReport> ApplyReplayed(const EvidenceDelta& delta, uint64_t lsn,
+                                    const ProbabilisticMetrics* metrics =
+                                        nullptr);
+
+  /// LSN of the last delta applied through this applier (logged or
+  /// replayed); 0 before any. Reader lock.
+  uint64_t last_wal_lsn() const;
+
+  /// A checkpoint capture: the live graph, the maintained flat snapshot,
+  /// and the applied LSN, all copied under one reader lock so they are
+  /// mutually consistent (a concurrent writer either happened before the
+  /// whole triple or after it).
+  struct FrozenState {
+    QueryGraph graph;
+    CsrSnapshot csr;
+    uint64_t wal_lsn = 0;
+  };
+  FrozenState Freeze() const;
 
   /// Ranks the live answer set under the reader lock: clean answers ride
   /// their kept canonicals (warm cache), dirty ones were re-canonicalized
@@ -124,6 +168,16 @@ class UpdateApplier {
   /// writer lock (or the constructor's exclusivity).
   Status Recanonicalize(const std::vector<int>& answer_indices);
 
+  /// Shared init tail of both constructors (canonicalize every answer).
+  void Init();
+
+  /// The delta pipeline body; requires the writer lock. `replay_lsn` 0
+  /// means a live delta (append to the attached WAL, if any); nonzero
+  /// means a replay of an already-logged record at that LSN.
+  Result<ApplyReport> ApplyLocked(const EvidenceDelta& delta,
+                                  const ProbabilisticMetrics* metrics,
+                                  uint64_t replay_lsn);
+
   mutable std::shared_mutex mu_;
   QueryGraph graph_;
   serve::RankingService* service_;
@@ -139,6 +193,11 @@ class UpdateApplier {
   /// is O(V+E) — the same order as the mask BFS it feeds).
   CsrSnapshot csr_;
   Status init_status_;
+  /// Durability hookup (null = memory-only). Guarded by mu_ like the
+  /// rest of the writer state.
+  storage::Wal* wal_ = nullptr;
+  uint64_t wal_session_id_ = 0;
+  uint64_t last_wal_lsn_ = 0;
 };
 
 }  // namespace biorank::ingest

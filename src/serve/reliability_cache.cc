@@ -95,6 +95,30 @@ CacheStats ReliabilityCache::Stats() const {
   return stats;
 }
 
+std::vector<std::pair<std::string, CacheEntry>>
+ReliabilityCache::Export() const {
+  std::vector<std::pair<std::string, CacheEntry>> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    // Reverse iteration: LRU list is most-recent-first, so walking
+    // backwards emits oldest first.
+    for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
+      out.push_back(*it);
+    }
+  }
+  return out;
+}
+
+void ReliabilityCache::Restore(
+    const std::vector<std::pair<std::string, CacheEntry>>& entries) {
+  for (const auto& [repr, entry] : entries) {
+    CanonicalKey key;
+    key.repr = repr;
+    key.hash = Fnv1a64(repr);
+    Put(key, entry);
+  }
+}
+
 void ReliabilityCache::Clear() {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);

@@ -109,6 +109,23 @@ class ReliabilityCache {
   /// count as invalidations).
   void Clear();
 
+  /// Point-in-time copy of every entry, as (canonical repr, entry)
+  /// pairs — the storage layer's checkpoint export. Order is
+  /// shard-ascending, LRU-oldest first within a shard, so feeding the
+  /// pairs back through Restore() in order reproduces the recency order
+  /// (most recently used ends up at the front again). Bounds-only and
+  /// partial-MC entries are exported too: every CacheEntry field is a
+  /// pure function of the canonical key (the bit-identity contract), so
+  /// a restored partial state resumes exactly where the original left
+  /// off — and the bounds-only entries are what lets a warm boot keep
+  /// pruning without re-resolving, preserving the pre-kill hit rate.
+  std::vector<std::pair<std::string, CacheEntry>> Export() const;
+
+  /// Re-inserts exported entries (hashes are recomputed from the reprs —
+  /// a canonical hash is a pure function of the repr). Counts as normal
+  /// insertions; capacity eviction applies as usual.
+  void Restore(const std::vector<std::pair<std::string, CacheEntry>>& entries);
+
   const ReliabilityCacheOptions& options() const { return options_; }
 
  private:

@@ -1,0 +1,100 @@
+#include "storage/codec.h"
+
+namespace biorank::storage {
+
+void EncodeDelta(const ingest::EvidenceDelta& delta, ByteWriter& out) {
+  out.PutU64(delta.add_nodes.size());
+  for (const auto& op : delta.add_nodes) {
+    out.PutDouble(op.p);
+    out.PutString(op.label);
+    out.PutString(op.entity_set);
+  }
+  out.PutU64(delta.add_edges.size());
+  for (const auto& op : delta.add_edges) {
+    out.PutI32(op.from);
+    out.PutI32(op.to);
+    out.PutDouble(op.q);
+  }
+  out.PutU64(delta.remove_edges.size());
+  for (const auto& op : delta.remove_edges) out.PutI32(op.edge);
+  out.PutU64(delta.reweight_edges.size());
+  for (const auto& op : delta.reweight_edges) {
+    out.PutI32(op.edge);
+    out.PutDouble(op.q);
+  }
+  out.PutU64(delta.revise_node_probs.size());
+  for (const auto& op : delta.revise_node_probs) {
+    out.PutI32(op.node);
+    out.PutDouble(op.p);
+  }
+  out.PutU64(delta.revise_source_priors.size());
+  for (const auto& op : delta.revise_source_priors) {
+    out.PutString(op.entity_set);
+    out.PutDouble(op.ratio);
+  }
+}
+
+Status DecodeDelta(ByteReader& in, ingest::EvidenceDelta& delta) {
+  uint64_t n = 0;
+  BIORANK_RETURN_IF_ERROR(in.GetCount(n, sizeof(double) + 2 * sizeof(uint64_t)));
+  delta.add_nodes.resize(static_cast<size_t>(n));
+  for (auto& op : delta.add_nodes) {
+    BIORANK_RETURN_IF_ERROR(in.GetDouble(op.p));
+    BIORANK_RETURN_IF_ERROR(in.GetString(op.label));
+    BIORANK_RETURN_IF_ERROR(in.GetString(op.entity_set));
+  }
+  BIORANK_RETURN_IF_ERROR(in.GetCount(n, 2 * sizeof(int32_t) + sizeof(double)));
+  delta.add_edges.resize(static_cast<size_t>(n));
+  for (auto& op : delta.add_edges) {
+    BIORANK_RETURN_IF_ERROR(in.GetI32(op.from));
+    BIORANK_RETURN_IF_ERROR(in.GetI32(op.to));
+    BIORANK_RETURN_IF_ERROR(in.GetDouble(op.q));
+  }
+  BIORANK_RETURN_IF_ERROR(in.GetCount(n, sizeof(int32_t)));
+  delta.remove_edges.resize(static_cast<size_t>(n));
+  for (auto& op : delta.remove_edges) {
+    BIORANK_RETURN_IF_ERROR(in.GetI32(op.edge));
+  }
+  BIORANK_RETURN_IF_ERROR(in.GetCount(n, sizeof(int32_t) + sizeof(double)));
+  delta.reweight_edges.resize(static_cast<size_t>(n));
+  for (auto& op : delta.reweight_edges) {
+    BIORANK_RETURN_IF_ERROR(in.GetI32(op.edge));
+    BIORANK_RETURN_IF_ERROR(in.GetDouble(op.q));
+  }
+  BIORANK_RETURN_IF_ERROR(in.GetCount(n, sizeof(int32_t) + sizeof(double)));
+  delta.revise_node_probs.resize(static_cast<size_t>(n));
+  for (auto& op : delta.revise_node_probs) {
+    BIORANK_RETURN_IF_ERROR(in.GetI32(op.node));
+    BIORANK_RETURN_IF_ERROR(in.GetDouble(op.p));
+  }
+  BIORANK_RETURN_IF_ERROR(in.GetCount(n, sizeof(uint64_t) + sizeof(double)));
+  delta.revise_source_priors.resize(static_cast<size_t>(n));
+  for (auto& op : delta.revise_source_priors) {
+    BIORANK_RETURN_IF_ERROR(in.GetString(op.entity_set));
+    BIORANK_RETURN_IF_ERROR(in.GetDouble(op.ratio));
+  }
+  return Status::OK();
+}
+
+void EncodeQuery(const ExploratoryQuery& query, ByteWriter& out) {
+  out.PutString(query.entity_set);
+  out.PutString(query.attribute);
+  out.PutString(query.value);
+  out.PutU64(query.output_sets.size());
+  for (const auto& set : query.output_sets) out.PutString(set);
+}
+
+Status DecodeQuery(ByteReader& in, ExploratoryQuery& query) {
+  BIORANK_RETURN_IF_ERROR(in.GetString(query.entity_set));
+  BIORANK_RETURN_IF_ERROR(in.GetString(query.attribute));
+  BIORANK_RETURN_IF_ERROR(in.GetString(query.value));
+  uint64_t n = 0;
+  BIORANK_RETURN_IF_ERROR(in.GetCount(n, sizeof(uint64_t)));
+  query.output_sets.resize(static_cast<size_t>(n));
+  for (auto& set : query.output_sets) {
+    BIORANK_RETURN_IF_ERROR(in.GetString(set));
+  }
+  return Status::OK();
+}
+
+}  // namespace biorank::storage

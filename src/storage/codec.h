@@ -1,0 +1,161 @@
+// Byte-level encode/decode helpers for the durability layer: a small
+// bounds-checked binary codec (little-endian fixed-width integers,
+// bit-exact doubles, length-prefixed strings) plus the wire encodings of
+// the two payloads the WAL carries — EvidenceDelta and ExploratoryQuery.
+// Every decode failure is a typed kDataLoss, never an abort: corrupt
+// bytes are an operational condition of this layer, not a bug.
+
+#ifndef BIORANK_STORAGE_CODEC_H_
+#define BIORANK_STORAGE_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ingest/delta.h"
+#include "integrate/exploratory_query.h"
+#include "util/status.h"
+
+namespace biorank::storage {
+
+/// Appends fixed-width little-endian values and length-prefixed strings
+/// to a growing byte buffer. Doubles are serialized by bit pattern
+/// (memcpy of the IEEE-754 representation), so a round trip is
+/// bit-exact — the property the bit-identity recovery contract rests on.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutFixed(v); }
+  void PutU64(uint64_t v) { PutFixed(v); }
+  void PutI32(int32_t v) { PutFixed(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutFixed(static_cast<uint64_t>(v)); }
+  void PutDouble(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutFixed(bits);
+  }
+  void PutString(const std::string& s) {
+    PutU64(s.size());
+    buf_.append(s);
+  }
+  void PutBytes(const void* data, size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+
+  const std::string& bytes() const { return buf_; }
+  std::string&& TakeBytes() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void PutFixed(T v) {
+    char out[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+    buf_.append(out, sizeof(T));
+  }
+
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a byte buffer. Every Get* returns a typed
+/// kDataLoss when the buffer is short; decoders propagate it upward so a
+/// truncated or bit-flipped file surfaces as Status, never as UB.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t n)
+      : data_(static_cast<const unsigned char*>(data)), size_(n) {}
+  explicit ByteReader(const std::string& s) : ByteReader(s.data(), s.size()) {}
+
+  Status GetU8(uint8_t& v) {
+    if (pos_ + 1 > size_) return Short("u8");
+    v = data_[pos_++];
+    return Status::OK();
+  }
+  Status GetU32(uint32_t& v) { return GetFixed(v); }
+  Status GetU64(uint64_t& v) { return GetFixed(v); }
+  Status GetI32(int32_t& v) {
+    uint32_t raw = 0;
+    BIORANK_RETURN_IF_ERROR(GetFixed(raw));
+    v = static_cast<int32_t>(raw);
+    return Status::OK();
+  }
+  Status GetI64(int64_t& v) {
+    uint64_t raw = 0;
+    BIORANK_RETURN_IF_ERROR(GetFixed(raw));
+    v = static_cast<int64_t>(raw);
+    return Status::OK();
+  }
+  Status GetDouble(double& v) {
+    uint64_t bits = 0;
+    BIORANK_RETURN_IF_ERROR(GetFixed(bits));
+    std::memcpy(&v, &bits, sizeof(v));
+    return Status::OK();
+  }
+  /// Copies exactly `n` raw bytes into `dest` (the bulk array path of
+  /// the snapshot codec).
+  Status GetBytesInto(void* dest, size_t n) {
+    if (n > Remaining()) return Short("raw bytes");
+    std::memcpy(dest, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+  Status GetString(std::string& s) {
+    uint64_t n = 0;
+    BIORANK_RETURN_IF_ERROR(GetU64(n));
+    if (n > Remaining()) return Short("string body");
+    s.assign(reinterpret_cast<const char*>(data_ + pos_),
+             static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return Status::OK();
+  }
+
+  /// Reads a length-prefixed count, refusing anything the remaining
+  /// bytes cannot possibly hold (`min_element_bytes` per element) — the
+  /// guard that keeps a bit-flipped length from driving a huge resize.
+  Status GetCount(uint64_t& n, size_t min_element_bytes) {
+    BIORANK_RETURN_IF_ERROR(GetU64(n));
+    if (min_element_bytes > 0 && n > Remaining() / min_element_bytes) {
+      return Status::DataLoss("implausible element count in stream");
+    }
+    return Status::OK();
+  }
+
+  size_t Remaining() const { return size_ - pos_; }
+  size_t pos() const { return pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  template <typename T>
+  Status GetFixed(T& v) {
+    if (pos_ + sizeof(T) > size_) return Short("fixed int");
+    v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  Status Short(const char* what) {
+    return Status::DataLoss(std::string("byte stream truncated reading ") +
+                            what);
+  }
+
+  const unsigned char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// EvidenceDelta wire form (all six op groups, fixed order).
+void EncodeDelta(const ingest::EvidenceDelta& delta, ByteWriter& out);
+Status DecodeDelta(ByteReader& in, ingest::EvidenceDelta& delta);
+
+/// ExploratoryQuery wire form (the payload of a WAL open-session record).
+void EncodeQuery(const ExploratoryQuery& query, ByteWriter& out);
+Status DecodeQuery(ByteReader& in, ExploratoryQuery& query);
+
+}  // namespace biorank::storage
+
+#endif  // BIORANK_STORAGE_CODEC_H_

@@ -1,0 +1,36 @@
+#include "storage/recovery.h"
+
+#include "util/file.h"
+
+namespace biorank::storage {
+
+std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
+
+Result<SnapshotLoadResult> LoadNewestValidSnapshot(const std::string& dir,
+                                                   uint64_t fingerprint) {
+  SnapshotLoadResult result;
+  for (const auto& [lsn, path] : ListSnapshots(dir)) {
+    (void)lsn;
+    Result<std::string> bytes = util::ReadFileToString(path);
+    if (!bytes.ok()) {
+      ++result.corrupt_skipped;
+      continue;
+    }
+    Result<SnapshotState> decoded = DecodeSnapshot(bytes.value(), fingerprint);
+    if (decoded.ok()) {
+      result.found = true;
+      result.state = std::move(decoded).value();
+      result.path = path;
+      return result;
+    }
+    if (decoded.status().code() == StatusCode::kFailedPrecondition) {
+      // Not corruption: the directory belongs to another configuration.
+      // Booting over it would silently change every ranking.
+      return decoded.status();
+    }
+    ++result.corrupt_skipped;
+  }
+  return result;
+}
+
+}  // namespace biorank::storage

@@ -1,0 +1,25 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum used to
+// frame WAL records and stamp snapshot files in src/storage/. Software
+// table-driven implementation; the same polynomial RocksDB and leveldb
+// use for their log framing, chosen for its error-detection properties
+// on short records.
+
+#ifndef BIORANK_UTIL_CRC32C_H_
+#define BIORANK_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace biorank::util {
+
+/// Extends `crc` with `data[0, n)`. Start from 0 for a fresh checksum.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// Checksum of `data[0, n)`.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace biorank::util
+
+#endif  // BIORANK_UTIL_CRC32C_H_

@@ -1,6 +1,6 @@
 #include "util/csv.h"
 
-#include <fstream>
+#include "util/file.h"
 
 namespace biorank {
 
@@ -43,15 +43,9 @@ std::string CsvWriter::ToString() const {
 }
 
 Status CsvWriter::WriteToFile(const std::string& path) const {
-  std::ofstream file(path, std::ios::trunc);
-  if (!file) {
-    return Status::InvalidArgument("cannot open file for writing: " + path);
-  }
-  file << ToString();
-  if (!file) {
-    return Status::Internal("write failed: " + path);
-  }
-  return Status::OK();
+  // Temp-file + rename: a crash mid-write leaves the previous file
+  // intact instead of a truncated CSV.
+  return util::AtomicFileWrite(path, ToString());
 }
 
 }  // namespace biorank

@@ -25,7 +25,9 @@ class CsvWriter {
   /// Renders the full document (header + rows).
   std::string ToString() const;
 
-  /// Writes the document to `path`, overwriting any existing file.
+  /// Writes the document to `path`, overwriting any existing file. The
+  /// write is atomic (temp file + rename via util::AtomicFileWrite), so a
+  /// crash never leaves a torn CSV behind.
   Status WriteToFile(const std::string& path) const;
 
   size_t row_count() const { return rows_.size(); }

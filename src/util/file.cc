@@ -1,0 +1,115 @@
+#include "util/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace biorank::util {
+namespace {
+
+std::string DirOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status ErrnoStatus(StatusCode code, const std::string& what,
+                   const std::string& path) {
+  return Status(code, what + " " + path + ": " + std::strerror(errno));
+}
+
+// fsync the directory entry so a rename survives a crash. Best-effort:
+// some filesystems refuse O_DIRECTORY fsync; that is not a data loss.
+void SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+Status AtomicFileWrite(const std::string& path, const std::string& contents) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    // Matches the historical CsvWriter contract: an unopenable
+    // destination is a caller error, not an I/O fault.
+    return ErrnoStatus(StatusCode::kInvalidArgument,
+                       "cannot open file for writing:", path);
+  }
+  const char* data = contents.data();
+  size_t remaining = contents.size();
+  while (remaining > 0) {
+    ssize_t n = ::write(fd, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return ErrnoStatus(StatusCode::kInternal, "write failed:", path);
+    }
+    data += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return ErrnoStatus(StatusCode::kInternal, "fsync failed:", path);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return ErrnoStatus(StatusCode::kInternal, "close failed:", path);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return ErrnoStatus(StatusCode::kInternal, "rename failed:", path);
+  }
+  SyncDir(DirOf(path));
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return ErrnoStatus(StatusCode::kInternal, "cannot open:", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus(StatusCode::kInternal, "read failed:", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0) return Status::OK();
+  if (errno == EEXIST) {
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      return Status::OK();
+    }
+    return Status::InvalidArgument("not a directory: " + path);
+  }
+  return ErrnoStatus(StatusCode::kInvalidArgument, "cannot create dir:",
+                     path);
+}
+
+}  // namespace biorank::util

@@ -1,0 +1,34 @@
+// Crash-safe file helpers shared by the CSV writer and the storage
+// snapshot writer: write-to-temp + fsync + atomic rename, plus a
+// whole-file reader.
+
+#ifndef BIORANK_UTIL_FILE_H_
+#define BIORANK_UTIL_FILE_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace biorank::util {
+
+/// Writes `contents` to `path` atomically: the bytes land in a temp file
+/// in the same directory (`<path>.tmp.<pid>`), are fsynced, and the temp
+/// file is renamed over `path`; the directory is fsynced afterwards so
+/// the rename itself survives a crash. Readers of `path` therefore see
+/// either the old file or the complete new one, never a torn prefix.
+///
+/// Returns kInvalidArgument when the destination directory is missing or
+/// unwritable, kInternal on write/fsync/rename failures.
+Status AtomicFileWrite(const std::string& path, const std::string& contents);
+
+/// Reads the whole file at `path` into a string. Returns kNotFound when
+/// the file does not exist, kInternal on read errors.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Creates `path` as a directory (one level; parents must exist). OK if
+/// it already exists and is a directory; kInvalidArgument otherwise.
+Status EnsureDir(const std::string& path);
+
+}  // namespace biorank::util
+
+#endif  // BIORANK_UTIL_FILE_H_

@@ -26,6 +26,7 @@ enum class StatusCode {
   kResourceExhausted, ///< Admission control rejected the request (backpressure).
   kDeadlineExceeded,  ///< The request's deadline passed before it could be served.
   kCancelled,         ///< The caller cancelled the operation (e.g. a refinement).
+  kDataLoss,          ///< Unrecoverable corruption (checksum mismatch, bad file).
 };
 
 /// Human-readable name of a status code, e.g. "InvalidArgument".
@@ -72,6 +73,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

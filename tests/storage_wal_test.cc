@@ -1,0 +1,244 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "ingest/delta.h"
+#include "storage/codec.h"
+#include "util/file.h"
+
+namespace biorank::storage {
+namespace {
+
+constexpr uint64_t kFp = 0xB10FA15E;
+
+std::string TempLog(const char* name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string ReadAll(const std::string& path) {
+  Result<std::string> bytes = util::ReadFileToString(path);
+  EXPECT_TRUE(bytes.ok()) << bytes.status();
+  return bytes.ok() ? bytes.value() : std::string();
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(StorageWalTest, FreshLogAppendsAndReplaysInOrder) {
+  std::string path = TempLog("wal_fresh.log");
+  Result<Wal::OpenResult> opened = Wal::Open(path, kFp);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_TRUE(opened.value().replay.records.empty());
+  EXPECT_FALSE(opened.value().replay.torn_tail);
+  Wal& wal = *opened.value().wal;
+
+  Result<uint64_t> a = wal.Append(WalRecordType::kOpenSession, 7, "query");
+  Result<uint64_t> b = wal.Append(WalRecordType::kApplyDelta, 7, "delta");
+  Result<uint64_t> c = wal.Append(WalRecordType::kCloseSession, 7, "");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a.value(), 1u);
+  EXPECT_EQ(b.value(), 2u);
+  EXPECT_EQ(c.value(), 3u);
+  EXPECT_EQ(wal.last_lsn(), 3u);
+  ASSERT_TRUE(wal.Sync().ok());
+
+  Result<WalReplay> replay = ReadWal(path, kFp);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  ASSERT_EQ(replay.value().records.size(), 3u);
+  EXPECT_EQ(replay.value().records[0].type, WalRecordType::kOpenSession);
+  EXPECT_EQ(replay.value().records[0].session_id, 7u);
+  EXPECT_EQ(replay.value().records[0].body, "query");
+  EXPECT_EQ(replay.value().records[1].body, "delta");
+  EXPECT_EQ(replay.value().records[2].type, WalRecordType::kCloseSession);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(replay.value().records[i].lsn, i + 1);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StorageWalTest, ReopenContinuesLsnSequence) {
+  std::string path = TempLog("wal_reopen.log");
+  {
+    Result<Wal::OpenResult> opened = Wal::Open(path, kFp);
+    ASSERT_TRUE(opened.ok());
+    ASSERT_TRUE(
+        opened.value().wal->Append(WalRecordType::kApplyDelta, 1, "x").ok());
+    ASSERT_TRUE(
+        opened.value().wal->Append(WalRecordType::kApplyDelta, 1, "y").ok());
+  }
+  Result<Wal::OpenResult> reopened = Wal::Open(path, kFp);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened.value().replay.last_lsn, 2u);
+  Result<uint64_t> next =
+      reopened.value().wal->Append(WalRecordType::kApplyDelta, 1, "z");
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(StorageWalTest, TornTailTruncatesToLastCompleteRecord) {
+  std::string path = TempLog("wal_torn.log");
+  {
+    Result<Wal::OpenResult> opened = Wal::Open(path, kFp);
+    ASSERT_TRUE(opened.ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(opened.value()
+                      .wal->Append(WalRecordType::kApplyDelta, 1, "body")
+                      .ok());
+    }
+  }
+  // A crash mid-append leaves a partial frame: simulate with the prefix
+  // of a real record.
+  std::string intact = ReadAll(path);
+  std::string partial =
+      FrameWalRecord(6, WalRecordType::kApplyDelta, 1, "lost").substr(0, 9);
+  WriteAll(path, intact + partial);
+
+  Result<WalReplay> scanned = ReadWal(path, kFp);
+  ASSERT_TRUE(scanned.ok()) << scanned.status();
+  EXPECT_TRUE(scanned.value().torn_tail);
+  EXPECT_EQ(scanned.value().truncated_bytes, partial.size());
+  EXPECT_EQ(scanned.value().records.size(), 5u);
+  EXPECT_EQ(scanned.value().last_lsn, 5u);
+
+  // Open physically truncates; appends then land after record 5 and the
+  // file reads back clean.
+  Result<Wal::OpenResult> opened = Wal::Open(path, kFp);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_TRUE(opened.value().replay.torn_tail);
+  EXPECT_EQ(ReadAll(path), intact);
+  Result<uint64_t> lsn =
+      opened.value().wal->Append(WalRecordType::kApplyDelta, 1, "after");
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(lsn.value(), 6u);
+  opened.value().wal.reset();
+  Result<WalReplay> clean = ReadWal(path, kFp);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_FALSE(clean.value().torn_tail);
+  EXPECT_EQ(clean.value().records.size(), 6u);
+  std::remove(path.c_str());
+}
+
+TEST(StorageWalTest, BitFlipInLastRecordIsATornTailNotAnError) {
+  std::string path = TempLog("wal_flip_tail.log");
+  std::string file = WalFileHeader(kFp);
+  file += FrameWalRecord(1, WalRecordType::kApplyDelta, 1, "aaaa");
+  std::string last = FrameWalRecord(2, WalRecordType::kApplyDelta, 1, "bbbb");
+  last[last.size() - 2] ^= 0x40;  // Flip a payload bit in the final record.
+  file += last;
+  WriteAll(path, file);
+
+  Result<WalReplay> scanned = ReadWal(path, kFp);
+  ASSERT_TRUE(scanned.ok()) << scanned.status();
+  EXPECT_TRUE(scanned.value().torn_tail);
+  EXPECT_EQ(scanned.value().records.size(), 1u);
+  EXPECT_EQ(scanned.value().truncated_bytes, last.size());
+  std::remove(path.c_str());
+}
+
+TEST(StorageWalTest, BitFlipMidFileIsTypedDataLoss) {
+  std::string path = TempLog("wal_flip_mid.log");
+  std::string file = WalFileHeader(kFp);
+  std::string corrupt = FrameWalRecord(1, WalRecordType::kApplyDelta, 1,
+                                       "the corrupted one");
+  corrupt[corrupt.size() - 3] ^= 0x01;  // Payload bit flip, framing intact.
+  file += corrupt;
+  file += FrameWalRecord(2, WalRecordType::kApplyDelta, 1, "valid after");
+  WriteAll(path, file);
+
+  // A valid record *follows* the bad frame, so this cannot be a torn
+  // tail: it must surface as data loss, not silent truncation.
+  Result<WalReplay> scanned = ReadWal(path, kFp);
+  ASSERT_FALSE(scanned.ok());
+  EXPECT_EQ(scanned.status().code(), StatusCode::kDataLoss);
+  Result<Wal::OpenResult> opened = Wal::Open(path, kFp);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(StorageWalTest, StaleLsnIsRejected) {
+  std::string path = TempLog("wal_stale_lsn.log");
+  std::string file = WalFileHeader(kFp);
+  file += FrameWalRecord(1, WalRecordType::kApplyDelta, 1, "one");
+  file += FrameWalRecord(1, WalRecordType::kApplyDelta, 1, "one again");
+  file += FrameWalRecord(2, WalRecordType::kApplyDelta, 1, "two");
+  WriteAll(path, file);
+  // The duplicate LSN breaks the monotone sequence mid-file (a complete
+  // record follows it): typed corruption.
+  Result<WalReplay> scanned = ReadWal(path, kFp);
+  ASSERT_FALSE(scanned.ok());
+  EXPECT_EQ(scanned.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(StorageWalTest, FingerprintMismatchIsFailedPrecondition) {
+  std::string path = TempLog("wal_fp.log");
+  {
+    Result<Wal::OpenResult> opened = Wal::Open(path, kFp);
+    ASSERT_TRUE(opened.ok());
+  }
+  Result<Wal::OpenResult> other = Wal::Open(path, kFp + 1);
+  ASSERT_FALSE(other.ok());
+  EXPECT_EQ(other.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(StorageWalTest, GroupFsyncBatchesByCount) {
+  std::string path = TempLog("wal_fsync.log");
+  WalOptions options;
+  options.fsync_every_n = 4;
+  Result<Wal::OpenResult> opened = Wal::Open(path, kFp, options);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Wal& wal = *opened.value().wal;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(wal.Append(WalRecordType::kApplyDelta, 1, "b").ok());
+  }
+  // Appends 4 and 8 crossed the batch threshold; 9 and 10 are pending.
+  EXPECT_EQ(wal.stats().syncs, 2u);
+  ASSERT_TRUE(wal.Sync().ok());
+  EXPECT_EQ(wal.stats().syncs, 3u);
+  ASSERT_TRUE(wal.Sync().ok());  // Nothing pending: no extra fsync.
+  EXPECT_EQ(wal.stats().syncs, 3u);
+  EXPECT_EQ(wal.stats().records, 10u);
+  std::remove(path.c_str());
+}
+
+TEST(StorageWalTest, DeltaBodyRoundTripsThroughCodec) {
+  ingest::EvidenceDelta delta;
+  delta.add_nodes.push_back({0.75, "new-node", "AmiGO"});
+  delta.reweight_edges.push_back({3, 0.5});
+  delta.revise_source_priors.push_back({"AmiGO", 0.9});
+  ByteWriter out;
+  EncodeDelta(delta, out);
+
+  ingest::EvidenceDelta back;
+  ByteReader in(out.bytes());
+  ASSERT_TRUE(DecodeDelta(in, back).ok());
+  EXPECT_TRUE(in.AtEnd());
+  ASSERT_EQ(back.add_nodes.size(), 1u);
+  EXPECT_EQ(back.add_nodes[0].label, "new-node");
+  EXPECT_EQ(back.add_nodes[0].entity_set, "AmiGO");
+  EXPECT_EQ(back.add_nodes[0].p, 0.75);
+  ASSERT_EQ(back.reweight_edges.size(), 1u);
+  EXPECT_EQ(back.reweight_edges[0].edge, 3);
+  ASSERT_EQ(back.revise_source_priors.size(), 1u);
+  EXPECT_EQ(back.revise_source_priors[0].entity_set, "AmiGO");
+
+  // A truncated body surfaces as typed data loss, never UB.
+  std::string short_bytes = out.bytes().substr(0, out.bytes().size() - 4);
+  ByteReader short_in(short_bytes);
+  ingest::EvidenceDelta ignored;
+  EXPECT_EQ(DecodeDelta(short_in, ignored).code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace biorank::storage

@@ -32,6 +32,15 @@ TEST(StatusTest, AllCodesHaveDistinctNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
                "DeadlineExceeded");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
+}
+
+TEST(StatusTest, DataLossHasNamedConstructor) {
+  Status s = Status::DataLoss("snapshot checksum mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.ToString(), "DataLoss: snapshot checksum mismatch");
+  EXPECT_FALSE(Status::DataLoss("x") == Status::Internal("x"));
 }
 
 TEST(StatusTest, SchedulingCodesHaveNamedConstructors) {
